@@ -1,0 +1,336 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§5), plus the ablations DESIGN.md commits to and
+// micro-benchmarks of the substrates. Figures 1b/1c sweep simulated
+// core counts {1,8,16,24,28} (the paper's 2×14-core testbed) for both
+// the verified and unverified page-table variants; the headline result
+// to reproduce is the *shape*: latency grows with core count through NR
+// log contention, and verified tracks unverified closely.
+//
+// Custom metrics: us/map and us/unmap are the paper's y-axes (mean
+// syscall latency); vcs and vc-max-ms describe the Figure 1a run.
+package vnros_test
+
+import (
+	"fmt"
+	"testing"
+
+	vnros "github.com/verified-os/vnros"
+	"github.com/verified-os/vnros/internal/experiments"
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/hw/mem"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/marshal"
+	"github.com/verified-os/vnros/internal/nr"
+	"github.com/verified-os/vnros/internal/pt"
+	"github.com/verified-os/vnros/internal/sys"
+)
+
+// benchCores are the Figure 1b/1c x-axis values.
+var benchCores = []int{1, 8, 16, 24, 28}
+
+// opsPerCore balances runtime against measurement stability for the
+// figure sweeps.
+const opsPerCore = 200
+
+// BenchmarkFig1aVerificationConditions runs the full VC suite — the
+// paper's "total time to verify our code" — reporting the VC count and
+// the slowest single VC alongside the total.
+func BenchmarkFig1aVerificationConditions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := vnros.Verify(int64(2026 + i))
+		if failed := rep.Failed(); len(failed) > 0 {
+			b.Fatalf("%d VCs failed; first: %s: %v",
+				len(failed), failed[0].Obligation.ID(), failed[0].Err)
+		}
+		b.ReportMetric(float64(len(rep.Results)), "vcs")
+		b.ReportMetric(float64(rep.Max().Milliseconds()), "vc-max-ms")
+	}
+}
+
+// BenchmarkFig1bMapLatency is Figure 1b: map latency vs cores, verified
+// vs unverified.
+func BenchmarkFig1bMapLatency(b *testing.B) {
+	for _, variant := range []pt.Variant{pt.VariantUnverified, pt.VariantVerified} {
+		for _, cores := range benchCores {
+			b.Run(fmt.Sprintf("%s/cores=%d", variant, cores), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p, err := experiments.MapLatency(variant, cores, opsPerCore)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(p.Mean.Nanoseconds())/1000, "us/map")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig1cUnmapLatency is Figure 1c: unmap latency vs cores.
+func BenchmarkFig1cUnmapLatency(b *testing.B) {
+	for _, variant := range []pt.Variant{pt.VariantUnverified, pt.VariantVerified} {
+		for _, cores := range benchCores {
+			b.Run(fmt.Sprintf("%s/cores=%d", variant, cores), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p, err := experiments.UnmapLatency(variant, cores, opsPerCore)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(p.Mean.Nanoseconds())/1000, "us/unmap")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationNRvsMutex is DESIGN.md ablation 1.
+func BenchmarkAblationNRvsMutex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nrMean, muMean, err := experiments.AblationNRvsMutex(8, opsPerCore)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(nrMean.Nanoseconds())/1000, "us/nr-map")
+		b.ReportMetric(float64(muMean.Nanoseconds())/1000, "us/mutex-map")
+	}
+}
+
+// BenchmarkAblationTLB is DESIGN.md ablation 2.
+func BenchmarkAblationTLB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		warm, cold, err := experiments.AblationTLB(20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(warm.Nanoseconds()), "ns/warm-xlate")
+		b.ReportMetric(float64(cold.Nanoseconds()), "ns/cold-xlate")
+	}
+}
+
+// BenchmarkAblationSharding is DESIGN.md ablation 3.
+func BenchmarkAblationSharding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		single, sharded, err := experiments.AblationSharding(4, 4, 3000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(single, "ops/s-1log")
+		b.ReportMetric(sharded, "ops/s-4logs")
+	}
+}
+
+// BenchmarkAblationGhostChecks is DESIGN.md ablation 4: the cost of
+// runtime verification artifacts when enabled, and that the shipped
+// configuration pays nothing.
+func BenchmarkAblationGhostChecks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		off, on, err := experiments.AblationGhostChecks(2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(off.Nanoseconds())/1000, "us/ghost-off")
+		b.ReportMetric(float64(on.Nanoseconds())/1000, "us/ghost-on")
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkNRWriteSingleThread measures the NR log append+apply path
+// uncontended.
+func BenchmarkNRWriteSingleThread(b *testing.B) {
+	ras, err := pt.NewReplicated(pt.ReplicatedOptions{Variant: pt.VariantVerified, Replicas: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := ras.Register(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := mmu.VAddr(0x1000_0000_0000 + uint64(i)*mmu.L1PageSize)
+		resp := ctx.Execute(pt.ASWrite{Kind: "map", VA: va, Frame: 0x200_0000, Size: mmu.L1PageSize})
+		if resp.Outcome != pt.OutcomeOK {
+			b.Fatal(resp.Outcome)
+		}
+	}
+}
+
+// BenchmarkNRReadLocalReplica measures replica-local reads.
+func BenchmarkNRReadLocalReplica(b *testing.B) {
+	ras, err := pt.NewReplicated(pt.ReplicatedOptions{Variant: pt.VariantVerified, Replicas: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := ras.Register(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx.Execute(pt.ASWrite{Kind: "map", VA: 0x4000_0000, Frame: 0x200_0000, Size: mmu.L1PageSize})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := ctx.ExecuteRead(pt.ASRead{Kind: "resolve", VA: 0x4000_0000})
+		if !resp.OK {
+			b.Fatal("resolve missed")
+		}
+	}
+}
+
+// BenchmarkMMUTranslateWarm measures a TLB hit.
+func BenchmarkMMUTranslateWarm(b *testing.B) {
+	pm := mem.New(64 << 20)
+	src := pt.NewSimpleFrameSource(pm, 0x1000, 16<<20)
+	as, err := pt.NewVerified(pm, src, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := as.Map(0x4000_0000, 0x80_0000, mmu.L1PageSize, mmu.Flags{Writable: true}); err != nil {
+		b.Fatal(err)
+	}
+	u := mmu.New(pm)
+	u.SetRoot(as.Root(), 1)
+	if _, f := u.Translate(0x4000_0000, mmu.AccessRead); f != nil {
+		b.Fatal(f)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, f := u.Translate(0x4000_0000, mmu.AccessRead); f != nil {
+			b.Fatal(f)
+		}
+	}
+}
+
+// BenchmarkMMUPageWalk measures the full 4-level walk (no TLB).
+func BenchmarkMMUPageWalk(b *testing.B) {
+	pm := mem.New(64 << 20)
+	src := pt.NewSimpleFrameSource(pm, 0x1000, 16<<20)
+	as, err := pt.NewVerified(pm, src, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := as.Map(0x4000_0000, 0x80_0000, mmu.L1PageSize, mmu.Flags{Writable: true}); err != nil {
+		b.Fatal(err)
+	}
+	w := mmu.Walker{Mem: pm}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := w.Walk(as.Root(), 0x4000_0000, mmu.AccessRead); res.Fault != nil {
+			b.Fatal(res.Fault)
+		}
+	}
+}
+
+// BenchmarkSyscallPath measures one spec-checked write syscall through
+// marshalling and the kernel state machine.
+func BenchmarkSyscallPath(b *testing.B) {
+	system, err := vnros.Boot(vnros.Config{Cores: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	initSys, err := system.Init()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fd, e := initSys.Open("/bench", vnros.OCreate|vnros.ORdWr)
+	if e != vnros.EOK {
+		b.Fatal(e)
+	}
+	payload := []byte("sixteen bytes!!!")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, e := initSys.Write(fd, payload); e != vnros.EOK {
+			b.Fatal(e)
+		}
+		if _, e := initSys.Seek(fd, 0, vnros.SeekSet); e != vnros.EOK {
+			b.Fatal(e)
+		}
+	}
+	b.StopTimer()
+	if err := initSys.ContractErr(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMarshalSyscallCodec measures one op+resp round trip of the
+// wire codec.
+func BenchmarkMarshalSyscallCodec(b *testing.B) {
+	op := sys.WriteOp{Num: sys.NumWrite, PID: 1, FD: 3, Data: []byte("payload payload payload")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, payload := sys.EncodeWrite(op)
+		if _, err := sys.DecodeWrite(frame, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarshalEncoder measures the raw encoder.
+func BenchmarkMarshalEncoder(b *testing.B) {
+	buf := make([]byte, 0, 256)
+	data := []byte("0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := marshal.NewEncoder(buf)
+		e.U64(uint64(i)).String("/some/path").BytesField(data).Bool(true)
+		buf = e.Bytes()
+	}
+}
+
+// BenchmarkFSWriteRead measures the raw filesystem data path.
+func BenchmarkFSWriteRead(b *testing.B) {
+	f := fs.New()
+	ino, err := f.Create("/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.WriteAt(ino, 0, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.ReadAt(ino, 0, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNRFlatCombiningContended measures per-op latency with
+// parallel callers funnelling through one replica's combiner.
+func BenchmarkNRFlatCombiningContended(b *testing.B) {
+	n := nr.New(nr.Options{Replicas: 1}, func() nr.DataStructure[uint64, kvBenchOp, uint64] {
+		return &kvBench{m: make(map[uint64]uint64)}
+	})
+	b.RunParallel(func(pb *testing.PB) {
+		c := n.MustRegister(0)
+		i := uint64(0)
+		for pb.Next() {
+			c.Execute(kvBenchOp{K: i % 128, V: i})
+			i++
+		}
+	})
+}
+
+// kvBenchOp is the mutating op of the contended NR benchmark.
+type kvBenchOp struct{ K, V uint64 }
+
+// kvBench is the benchmark payload for the contended NR benchmark.
+type kvBench struct{ m map[uint64]uint64 }
+
+// DispatchRead implements nr.DataStructure.
+func (d *kvBench) DispatchRead(k uint64) uint64 { return d.m[k] }
+
+// DispatchWrite implements nr.DataStructure.
+func (d *kvBench) DispatchWrite(w kvBenchOp) uint64 { d.m[w.K] = w.V; return w.V }
+
+// BenchmarkAblationReadScaling is DESIGN.md ablation 5: NR read
+// throughput with readers on one replica vs spread over two.
+func BenchmarkAblationReadScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		one, two, err := experiments.AblationReadScaling(4, 20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(one, "ops/s-1replica")
+		b.ReportMetric(two, "ops/s-2replicas")
+	}
+}

@@ -1,0 +1,78 @@
+// Command vnros-verify runs the full verification-condition suite (the
+// repository's analog of the paper's "total time to verify our code"),
+// printing the per-module ledger, the Figure 1a CDF, and the §5
+// proof-to-code ratio report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	vnros "github.com/verified-os/vnros"
+	"github.com/verified-os/vnros/internal/verifier"
+	"github.com/verified-os/vnros/internal/verifier/loc"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2026, "seed for randomized verification conditions")
+	module := flag.String("module", "", "restrict to one module (e.g. pt, fs)")
+	cdf := flag.Bool("cdf", true, "print the Figure 1a CDF")
+	ratio := flag.Bool("ratio", true, "print the proof-to-code ratio report")
+	verbose := flag.Bool("v", false, "print each VC as it completes")
+	flag.Parse()
+
+	g := vnros.NewVCRegistry()
+	opts := verifier.Options{Seed: *seed, Module: *module}
+	if *verbose {
+		opts.Progress = func(r verifier.Result) {
+			status := "ok"
+			if r.Err != nil {
+				status = "FAIL: " + r.Err.Error()
+			}
+			fmt.Printf("  [%-15s] %-45s %10v %s\n",
+				r.Obligation.Kind, r.Obligation.ID(), r.Duration.Round(1000), status)
+		}
+	}
+	rep := g.Run(opts)
+
+	fmt.Print(rep.Summary())
+	if failed := rep.Failed(); len(failed) > 0 {
+		fmt.Println("\nFAILED verification conditions:")
+		for _, f := range failed {
+			fmt.Printf("  %s: %v\n", f.Obligation.ID(), f.Err)
+		}
+		os.Exit(1)
+	}
+
+	if *cdf {
+		fmt.Println()
+		fmt.Print(renderCDF(rep))
+	}
+	if *ratio {
+		fmt.Println()
+		st, err := loc.Count(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vnros-verify: loc:", err)
+			os.Exit(1)
+		}
+		fmt.Println("Proof-to-code accounting (paper §5):")
+		fmt.Print(loc.Render(st))
+	}
+}
+
+func renderCDF(rep *verifier.Report) string {
+	out := "Figure 1a: CDF of verification condition times\n"
+	cdf := rep.CDF()
+	step := len(cdf) / 20
+	if step == 0 {
+		step = 1
+	}
+	out += fmt.Sprintf("%14s %10s\n", "time", "fraction")
+	for i := 0; i < len(cdf); i += step {
+		out += fmt.Sprintf("%14v %10.3f\n", cdf[i].Duration.Round(1000), cdf[i].Fraction)
+	}
+	last := cdf[len(cdf)-1]
+	out += fmt.Sprintf("%14v %10.3f\n", last.Duration.Round(1000), last.Fraction)
+	return out
+}

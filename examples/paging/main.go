@@ -1,0 +1,116 @@
+// Paging: the paper's §5 prototype, live. Drives the verified x86-64
+// page table (map/unmap/resolve) under the refinement harness — after
+// every operation the hardware's interpretation of the page-table bits
+// is checked against the high-level spec — then demonstrates why TLB
+// shootdown is a correctness obligation by replaying the stale-TLB
+// scenario.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/hw/mem"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/pt"
+)
+
+func main() {
+	pm := mem.New(256 << 20)
+	frames := pt.NewSimpleFrameSource(pm, 0x1000, 64<<20)
+
+	// Wire the address space to a real MMU so unmap performs shootdown.
+	var cpu *mmu.MMU
+	as, err := pt.NewVerified(pm, frames, func(va mmu.VAddr) { cpu.Invlpg(va) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	as.EnableGhostChecks(true)
+	cpu = mmu.New(pm)
+	cpu.SetRoot(as.Root(), 1)
+
+	// The refinement harness: every operation is checked against the
+	// mathematical map through the MMU interpretation function.
+	h, err := pt.NewHarness(as, pm)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== explicit operations, each refinement-checked ==")
+	ops := []pt.TraceOp{
+		{Kind: "map", VA: 0x4000_0000, Frame: 0x80_0000, Size: mmu.L1PageSize,
+			Flags: mmu.Flags{Writable: true, User: true}},
+		{Kind: "map", VA: 0x4020_0000, Frame: 0x40_0000, Size: mmu.L2PageSize,
+			Flags: mmu.Flags{Writable: true}},
+		{Kind: "resolve", VA: 0x4000_0123},
+		{Kind: "map", VA: 0x4000_0000, Frame: 0x90_0000, Size: mmu.L1PageSize}, // must fail: already mapped
+		{Kind: "unmap", VA: 0x4020_0000},
+		{Kind: "resolve", VA: 0x4020_0000}, // must miss
+	}
+	for _, op := range ops {
+		if err := h.Apply(op); err != nil {
+			log.Fatalf("refinement violated: %v", err)
+		}
+		fmt.Printf("  %-8s va=%#x ok (abstract state verified)\n", op.Kind, uint64(op.VA))
+	}
+
+	fmt.Println("\n== hardware view: translation through the MMU ==")
+	msg := []byte("written through the verified mapping")
+	if f := cpu.WriteUser(0x4000_0000+64, msg); f != nil {
+		log.Fatal(f)
+	}
+	phys := make([]byte, len(msg))
+	if err := pm.Read(0x80_0000+64, phys); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  user write at va 0x40000040 landed at pa 0x800040: %q\n", phys)
+
+	fmt.Println("\n== TLB shootdown: why unmap must invalidate ==")
+	// Warm the TLB, unmap (which runs Invlpg via the hook), and observe
+	// the fault. Then show what a buggy unmap (no shootdown) would do.
+	if _, f := cpu.Translate(0x4000_0000, mmu.AccessRead); f != nil {
+		log.Fatal(f)
+	}
+	if _, err := as.Unmap(0x4000_0000); err != nil {
+		log.Fatal(err)
+	}
+	if _, f := cpu.Translate(0x4000_0000, mmu.AccessRead); f == nil {
+		log.Fatal("BUG: translation survived unmap")
+	}
+	fmt.Println("  correct unmap: subsequent access faults, as the spec requires")
+
+	// The buggy variant: clear the PTE directly without invalidation.
+	if err := as.Map(0x5000_0000, 0x80_0000, mmu.L1PageSize, mmu.Flags{Writable: true}); err != nil {
+		log.Fatal(err)
+	}
+	if _, f := cpu.Translate(0x5000_0000, mmu.AccessRead); f != nil {
+		log.Fatal(f)
+	}
+	m, _ := as.Resolve(0x5000_0000)
+	_ = m
+	// Reach into memory the way a buggy kernel would (test-only path).
+	w := mmu.Walker{Mem: pm}
+	res := w.Walk(as.Root(), 0x5000_0000, mmu.AccessRead)
+	leafTable := as.Root()
+	for _, e := range res.Path {
+		if e.IsLeaf() {
+			break
+		}
+		leafTable = e.Addr()
+	}
+	if err := pm.Write64(mmu.EntryAddr(leafTable, 0x5000_0000, 1), 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, f := cpu.Translate(0x5000_0000, mmu.AccessRead); f == nil {
+		fmt.Println("  buggy unmap (no invlpg): STALE translation still served by the TLB")
+	}
+
+	fmt.Println("\n== randomized refinement run ==")
+	r := rand.New(rand.NewSource(42))
+	if err := pt.RunRandomTrace(r, true, 500); err != nil {
+		log.Fatalf("refinement violated: %v", err)
+	}
+	fmt.Printf("  500 randomized ops refined the high-level spec; %d checked steps total\n", 500)
+	fmt.Printf("  page table now holds %d mappings after the demo ops\n", as.MappedPages())
+}

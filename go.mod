@@ -1,0 +1,3 @@
+module github.com/verified-os/vnros
+
+go 1.22

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/netstack"
+	"github.com/verified-os/vnros/internal/proc"
+	"github.com/verified-os/vnros/internal/sys"
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerMoreObligations is the second wave of whole-system VCs:
+// cross-machine networking under the full stack, SIGKILL resource
+// reclamation, data-frame conservation across process lifecycles, and
+// the derived Table 1/2 self-row staying backed by real components.
+func registerMoreObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "core", Name: "cross-machine-request-response", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				wire := netstack.NewNetwork()
+				sa, err := Boot(Config{Cores: 2, MemBytes: 256 << 20, NICAddr: 0xA, Network: wire})
+				if err != nil {
+					return err
+				}
+				sb, err := Boot(Config{Cores: 2, MemBytes: 256 << 20, NICAddr: 0xB, Network: wire})
+				if err != nil {
+					return err
+				}
+				initA, err := sa.Init()
+				if err != nil {
+					return err
+				}
+				initB, err := sb.Init()
+				if err != nil {
+					return err
+				}
+				ready := make(chan uint64, 1)
+				serverErr := make(chan error, 1)
+				const rounds = 20
+				_, err = sb.Run(initB, "echo", func(p *Process) int {
+					sock, e := p.Sys.SockBind(4000)
+					if e != sys.EOK {
+						ready <- 0
+						serverErr <- fmt.Errorf("bind: %v", e)
+						return 1
+					}
+					ready <- sock
+					for i := 0; i < rounds; i++ {
+						payload, from, port, e := p.Sys.SockRecvBlocking(sock)
+						if e != sys.EOK {
+							serverErr <- fmt.Errorf("recv: %v", e)
+							return 1
+						}
+						if e := p.Sys.SockSend(sock, from, port, payload); e != sys.EOK {
+							serverErr <- fmt.Errorf("send: %v", e)
+							return 1
+						}
+					}
+					serverErr <- nil
+					return 0
+				})
+				if err != nil {
+					return err
+				}
+				if <-ready == 0 {
+					return <-serverErr
+				}
+				clientErr := make(chan error, 1)
+				seed := r.Int63()
+				_, err = sa.Run(initA, "client", func(p *Process) int {
+					rr := rand.New(rand.NewSource(seed))
+					sock, e := p.Sys.SockBind(0)
+					if e != sys.EOK {
+						clientErr <- fmt.Errorf("client bind: %v", e)
+						return 1
+					}
+					for i := 0; i < rounds; i++ {
+						msg := make([]byte, 1+rr.Intn(200))
+						rr.Read(msg)
+						if e := p.Sys.SockSend(sock, 0xB, 4000, msg); e != sys.EOK {
+							clientErr <- fmt.Errorf("client send: %v", e)
+							return 1
+						}
+						echo, _, _, e := p.Sys.SockRecvBlocking(sock)
+						if e != sys.EOK {
+							clientErr <- fmt.Errorf("client recv: %v", e)
+							return 1
+						}
+						if string(echo) != string(msg) {
+							clientErr <- fmt.Errorf("round %d echoed wrong payload", i)
+							return 1
+						}
+					}
+					clientErr <- nil
+					return 0
+				})
+				if err != nil {
+					return err
+				}
+				if err := <-clientErr; err != nil {
+					return err
+				}
+				if err := <-serverErr; err != nil {
+					return err
+				}
+				sa.WaitAll()
+				sb.WaitAll()
+				return nil
+			}},
+		verifier.Obligation{Module: "core", Name: "data-frame-conservation", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				// After any sequence of mmap/munmap/exit across many
+				// processes, the shared frame pool returns to its boot
+				// occupancy — no physical page leaks.
+				s, err := Boot(Config{Cores: 2, MemBytes: 256 << 20})
+				if err != nil {
+					return err
+				}
+				initSys, err := s.Init()
+				if err != nil {
+					return err
+				}
+				baseline := s.dataAlloc.Stats().AllocatedFrames
+				const procs = 5
+				errs := make(chan error, procs)
+				for i := 0; i < procs; i++ {
+					seed := r.Int63()
+					_, err := s.Run(initSys, "mapper", func(p *Process) int {
+						rr := rand.New(rand.NewSource(seed))
+						var bases []uint64
+						for j := 0; j < 20; j++ {
+							if rr.Intn(2) == 0 || len(bases) == 0 {
+								va, e := p.Sys.MMap(uint64(1+rr.Intn(4)) * 4096)
+								if e == sys.EOK {
+									bases = append(bases, uint64(va))
+								}
+							} else {
+								k := rr.Intn(len(bases))
+								if e := p.Sys.MUnmap(mmu.VAddr(bases[k])); e != sys.EOK {
+									errs <- fmt.Errorf("munmap: %v", e)
+									return 1
+								}
+								bases = append(bases[:k], bases[k+1:]...)
+							}
+						}
+						// Leave the rest mapped: exit must reclaim them.
+						errs <- nil
+						return 0
+					})
+					if err != nil {
+						return err
+					}
+				}
+				for i := 0; i < procs; i++ {
+					if err := <-errs; err != nil {
+						return err
+					}
+				}
+				s.WaitAll()
+				for i := 0; i < procs; i++ {
+					if _, e := initSys.Wait(); e != sys.EOK {
+						return fmt.Errorf("wait: %v", e)
+					}
+				}
+				if got := s.dataAlloc.Stats().AllocatedFrames; got != baseline {
+					return fmt.Errorf("frame pool: %d allocated after teardown, baseline %d", got, baseline)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "core", Name: "sigkill-reclaims-everything", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				s, err := Boot(Config{Cores: 2, MemBytes: 256 << 20})
+				if err != nil {
+					return err
+				}
+				initSys, err := s.Init()
+				if err != nil {
+					return err
+				}
+				baseline := s.dataAlloc.Stats().AllocatedFrames
+				started := make(chan proc.PID, 1)
+				parked := make(chan sys.Errno, 1)
+				_, err = s.Run(initSys, "victim", func(p *Process) int {
+					if _, e := p.Sys.SockBind(7777); e != sys.EOK {
+						started <- 0
+						return 1
+					}
+					base, e := p.Sys.MMap(8 * 4096)
+					if e != sys.EOK {
+						started <- 0
+						return 1
+					}
+					started <- p.PID
+					parked <- p.Sys.FutexWait(base, 0)
+					return 0
+				})
+				if err != nil {
+					return err
+				}
+				pid := <-started
+				if pid == 0 {
+					return fmt.Errorf("victim setup failed")
+				}
+				if e := initSys.Kill(pid, proc.SIGKILL); e != sys.EOK {
+					return fmt.Errorf("kill: %v", e)
+				}
+				<-parked
+				s.WaitAll()
+				if _, e := initSys.Wait(); e != sys.EOK {
+					return fmt.Errorf("wait: %v", e)
+				}
+				if got := s.dataAlloc.Stats().AllocatedFrames; got != baseline {
+					return fmt.Errorf("SIGKILL leaked %d frames", got-baseline)
+				}
+				if _, err := s.Net.Bind(7777); err != nil {
+					return fmt.Errorf("port not reclaimed: %v", err)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "core", Name: "table-self-row-backed-by-components", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				s, err := Boot(Config{Cores: 2, MemBytes: 256 << 20})
+				if err != nil {
+					return err
+				}
+				self := s.Components.Derive("vnros")
+				for _, row := range []string{"Scheduler", "Memory management", "Filesystem",
+					"Complex drivers", "Process management", "Threads and synchronization",
+					"Network stack", "System libraries"} {
+					if self.Table2[row] == 0 { // relwork.No
+						return fmt.Errorf("derived row %q is ✗ — component registry out of sync", row)
+					}
+				}
+				// The fs write path really exists behind the claim.
+				initSys, err := s.Init()
+				if err != nil {
+					return err
+				}
+				fd, e := initSys.Open("/claimcheck", fs.OCreate|fs.ORdWr)
+				if e != sys.EOK {
+					return fmt.Errorf("claimed filesystem cannot open: %v", e)
+				}
+				if _, e := initSys.Write(fd, []byte("backed")); e != sys.EOK {
+					return fmt.Errorf("claimed filesystem cannot write: %v", e)
+				}
+				return initSys.ContractErr()
+			}},
+	)
+}

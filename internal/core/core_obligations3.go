@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/proc"
+	"github.com/verified-os/vnros/internal/sys"
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerEvenMoreObligations: console ordering through the driver
+// stack, filesystem visibility across processes on different replicas,
+// contract checking active on every Run'd process, and wait/exit code
+// plumbing through the full boundary.
+func registerEvenMoreObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "core", Name: "console-output-ordered", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				s, err := Boot(Config{Cores: 1, MemBytes: 256 << 20})
+				if err != nil {
+					return err
+				}
+				var want strings.Builder
+				for i := 0; i < 100; i++ {
+					line := fmt.Sprintf("line %d/%x\n", i, r.Uint32())
+					s.Printf("%s", line)
+					want.WriteString(line)
+				}
+				if got := s.ConsoleOutput(); got != want.String() {
+					return fmt.Errorf("console transcript diverged (%d vs %d bytes)",
+						len(got), want.Len())
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "core", Name: "fs-visible-across-replicas", Kind: verifier.KindLinearizability,
+			Check: func(r *rand.Rand) error {
+				// A file created by a process on replica 0 is immediately
+				// visible to a process on replica 1 (NR read fence), for
+				// every one of a series of files.
+				s, err := Boot(Config{Cores: 28, MemBytes: 256 << 20}) // 2 replicas
+				if err != nil {
+					return err
+				}
+				if s.NumReplicas() != 2 {
+					return fmt.Errorf("expected 2 replicas, got %d", s.NumReplicas())
+				}
+				initSys, err := s.Init()
+				if err != nil {
+					return err
+				}
+				writerDone := make(chan sys.Errno, 1)
+				readerDone := make(chan error, 1)
+				next := make(chan string, 1)
+				// Writer lands on one core/replica, reader on another
+				// (round-robin placement).
+				if _, err := s.Run(initSys, "writer", func(p *Process) int {
+					for i := 0; i < 20; i++ {
+						path := fmt.Sprintf("/file%d", i)
+						if _, e := p.Sys.Open(path, fs.OCreate); e != sys.EOK {
+							writerDone <- e
+							return 1
+						}
+						next <- path
+					}
+					close(next)
+					writerDone <- sys.EOK
+					return 0
+				}); err != nil {
+					return err
+				}
+				if _, err := s.Run(initSys, "reader", func(p *Process) int {
+					for path := range next {
+						if _, e := p.Sys.Stat(path); e != sys.EOK {
+							readerDone <- fmt.Errorf("stat %s after create returned %v", path, e)
+							return 1
+						}
+					}
+					readerDone <- nil
+					return 0
+				}); err != nil {
+					return err
+				}
+				if e := <-writerDone; e != sys.EOK {
+					return fmt.Errorf("writer: %v", e)
+				}
+				if err := <-readerDone; err != nil {
+					return err
+				}
+				s.WaitAll()
+				return s.CheckReplicaAgreement()
+			}},
+		verifier.Obligation{Module: "core", Name: "exit-codes-cross-boundary", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				s, err := Boot(Config{Cores: 2, MemBytes: 256 << 20})
+				if err != nil {
+					return err
+				}
+				initSys, err := s.Init()
+				if err != nil {
+					return err
+				}
+				codes := map[proc.PID]int{}
+				for i := 0; i < 8; i++ {
+					code := r.Intn(200)
+					p, err := s.Run(initSys, fmt.Sprintf("c%d", i), func(p *Process) int {
+						return code
+					})
+					if err != nil {
+						return err
+					}
+					codes[p.PID] = code
+				}
+				s.WaitAll()
+				for i := 0; i < 8; i++ {
+					res, e := initSys.Wait()
+					if e != sys.EOK {
+						return fmt.Errorf("wait %d: %v", i, e)
+					}
+					if want, ok := codes[res.PID]; !ok || res.ExitCode != want {
+						return fmt.Errorf("pid %d exit code %d, want %d", res.PID, res.ExitCode, want)
+					}
+					delete(codes, res.PID)
+				}
+				return nil
+			}},
+	)
+}

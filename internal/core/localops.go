@@ -1,0 +1,195 @@
+package core
+
+import (
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/netstack"
+	"github.com/verified-os/vnros/internal/nr"
+	"github.com/verified-os/vnros/internal/proc"
+	"github.com/verified-os/vnros/internal/sched"
+	"github.com/verified-os/vnros/internal/sys"
+)
+
+// This file implements the syscalls the composition layer serves
+// outside the replicated kernel state: raw user-memory access (not a
+// kernel-state transition), futexes (they block), and sockets (their
+// receive queues are fed by device interrupts, which are not
+// deterministic log entries). NrOS similarly keeps device- and
+// blocking-state per node rather than in the replicated structures.
+
+func (s *System) localOp(h *handler, op sys.WriteOp) sys.Resp {
+	switch op.Num {
+	case sys.NumMemRead:
+		buf := make([]byte, op.Len)
+		if e := s.userMem(h.core, op.PID, op.VA, buf, false); e != sys.EOK {
+			return sys.Resp{Errno: e}
+		}
+		return sys.Resp{Errno: sys.EOK, Val: op.Len, Data: buf}
+
+	case sys.NumMemWrite:
+		if e := s.userMem(h.core, op.PID, op.VA, op.Data, true); e != sys.EOK {
+			return sys.Resp{Errno: e}
+		}
+		return sys.Resp{Errno: sys.EOK, Val: uint64(len(op.Data))}
+
+	case sys.NumMemCAS:
+		return s.memCAS(h, op)
+
+	case sys.NumFutexWait:
+		return s.futexWait(h, op)
+
+	case sys.NumFutexWake:
+		return s.futexWake(op)
+
+	case sys.NumSockBind:
+		sock, err := s.Net.Bind(op.Port)
+		if err != nil {
+			return sys.Resp{Errno: sys.ErrnoFromError(err)}
+		}
+		s.sockMu.Lock()
+		if s.sockets[op.PID] == nil {
+			s.sockets[op.PID] = make(map[uint64]*netstack.Socket)
+		}
+		s.nextSock++
+		id := s.nextSock
+		s.sockets[op.PID][id] = sock
+		s.sockMu.Unlock()
+		return sys.Resp{Errno: sys.EOK, Val: id}
+
+	case sys.NumSockSend:
+		sock, e := s.sockOf(op.PID, op.Sock)
+		if e != sys.EOK {
+			return sys.Resp{Errno: e}
+		}
+		if err := sock.SendTo(netstack.Addr(op.Addr), op.Port, op.Data); err != nil {
+			return sys.Resp{Errno: sys.ErrnoFromError(err)}
+		}
+		return sys.Resp{Errno: sys.EOK}
+
+	case sys.NumSockRecv:
+		sock, e := s.sockOf(op.PID, op.Sock)
+		if e != sys.EOK {
+			return sys.Resp{Errno: e}
+		}
+		// Pump the NIC on every core before concluding the queue is
+		// empty.
+		for c := 0; c < s.cfg.Cores; c++ {
+			s.Dispatcher.Poll(c)
+		}
+		r, err := sock.TryRecv()
+		if err != nil {
+			return sys.Resp{Errno: sys.ErrnoFromError(err)}
+		}
+		return sys.Resp{Errno: sys.EOK, Val: uint64(r.From), TID: sched.TID(r.FromPort), Data: r.Payload}
+
+	case sys.NumSockClose:
+		s.sockMu.Lock()
+		sock := s.sockets[op.PID][op.Sock]
+		delete(s.sockets[op.PID], op.Sock)
+		s.sockMu.Unlock()
+		if sock == nil {
+			return sys.Resp{Errno: sys.EBADF}
+		}
+		if err := sock.Close(); err != nil {
+			return sys.Resp{Errno: sys.ErrnoFromError(err)}
+		}
+		return sys.Resp{Errno: sys.EOK}
+	}
+	return sys.Resp{Errno: sys.ENOSYS}
+}
+
+func (s *System) sockOf(pid proc.PID, id uint64) (*netstack.Socket, sys.Errno) {
+	s.sockMu.Lock()
+	defer s.sockMu.Unlock()
+	sock := s.sockets[pid][id]
+	if sock == nil {
+		return nil, sys.EBADF
+	}
+	return sock, sys.EOK
+}
+
+// userMem accesses process memory through the calling core's replica,
+// under the replica's read lock so the page tables are stable.
+func (s *System) userMem(core int, pid proc.PID, va mmu.VAddr, p []byte, write bool) sys.Errno {
+	e := sys.EFAULT
+	s.nr.Replica(s.replicaOf(core)).Inspect(func(d nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp]) {
+		k := d.(*sys.Kernel)
+		if write {
+			e = k.UserWrite(pid, va, p)
+		} else {
+			e = k.UserRead(pid, va, p)
+		}
+	})
+	return e
+}
+
+// memCAS implements the atomic compare-and-swap "instruction" on a
+// 32-bit user word. Atomicity with respect to other memCAS and
+// futexWait value checks is provided by futexMu — the same serialization
+// point the kernel futex uses, so the userspace mutex protocol composes
+// correctly with FUTEX_WAIT.
+func (s *System) memCAS(h *handler, op sys.WriteOp) sys.Resp {
+	s.futexMu.Lock()
+	defer s.futexMu.Unlock()
+	var word [4]byte
+	if e := s.userMem(h.core, op.PID, op.VA, word[:], false); e != sys.EOK {
+		return sys.Resp{Errno: e}
+	}
+	cur := uint32(word[0]) | uint32(word[1])<<8 | uint32(word[2])<<16 | uint32(word[3])<<24
+	swapped := false
+	if cur == op.Word {
+		nv := uint32(op.Len)
+		nw := [4]byte{byte(nv), byte(nv >> 8), byte(nv >> 16), byte(nv >> 24)}
+		if e := s.userMem(h.core, op.PID, op.VA, nw[:], true); e != sys.EOK {
+			return sys.Resp{Errno: e}
+		}
+		swapped = true
+	}
+	return sys.Resp{Errno: sys.EOK, Val: uint64(cur), SigOK: swapped}
+}
+
+// futexWait implements FUTEX_WAIT: the value check and the enqueue are
+// atomic with respect to futexWake (both hold futexMu), eliminating
+// lost wakeups — the property the usr.Mutex protocol depends on.
+func (s *System) futexWait(h *handler, op sys.WriteOp) sys.Resp {
+	key := futexKey{pid: op.PID, va: op.VA}
+	s.futexMu.Lock()
+	var word [4]byte
+	if e := s.userMem(h.core, op.PID, op.VA, word[:], false); e != sys.EOK {
+		s.futexMu.Unlock()
+		return sys.Resp{Errno: e}
+	}
+	cur := uint32(word[0]) | uint32(word[1])<<8 | uint32(word[2])<<16 | uint32(word[3])<<24
+	if cur != op.Word {
+		s.futexMu.Unlock()
+		return sys.Resp{Errno: sys.EAGAIN}
+	}
+	ch := make(chan struct{})
+	s.futexQ[key] = append(s.futexQ[key], ch)
+	s.futexMu.Unlock()
+	<-ch
+	return sys.Resp{Errno: sys.EOK}
+}
+
+// futexWake implements FUTEX_WAKE, returning the number woken.
+func (s *System) futexWake(op sys.WriteOp) sys.Resp {
+	key := futexKey{pid: op.PID, va: op.VA}
+	n := op.Len
+	if n == 0 {
+		n = 1
+	}
+	s.futexMu.Lock()
+	q := s.futexQ[key]
+	woken := uint64(0)
+	for woken < n && len(q) > 0 {
+		close(q[0])
+		q = q[1:]
+		woken++
+	}
+	if len(q) == 0 {
+		delete(s.futexQ, key)
+	} else {
+		s.futexQ[key] = q
+	}
+	s.futexMu.Unlock()
+	return sys.Resp{Errno: sys.EOK, Val: woken}
+}

@@ -1,0 +1,347 @@
+// Package core composes the full simulated operating system — the
+// paper's "verified NrOS" (§4): the hardware platform, the NR-replicated
+// kernel state machine (one sys.Kernel replica per simulated NUMA
+// node), device drivers, the network stack, futexes, and the process
+// runtime that executes user programs against the §3 client application
+// contract.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/verified-os/vnros/internal/dev"
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/hw/machine"
+	"github.com/verified-os/vnros/internal/hw/mem"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/marshal"
+	"github.com/verified-os/vnros/internal/mm"
+	"github.com/verified-os/vnros/internal/netstack"
+	"github.com/verified-os/vnros/internal/nr"
+	"github.com/verified-os/vnros/internal/proc"
+	"github.com/verified-os/vnros/internal/pt"
+	"github.com/verified-os/vnros/internal/relwork"
+	"github.com/verified-os/vnros/internal/sys"
+)
+
+// CoresPerNode is the simulated NUMA topology: how many cores share one
+// kernel replica (the paper's testbed has 14 cores per node).
+const CoresPerNode = 14
+
+// Config sizes a system.
+type Config struct {
+	// Cores is the number of simulated cores (default 2).
+	Cores int
+	// Replicas overrides the kernel replica count (default derived
+	// from Cores via CoresPerNode).
+	Replicas int
+	// MemBytes is physical memory (default 512 MiB).
+	MemBytes mem.PAddr
+	// DiskBlocks sizes the disk (default 1<<16 blocks).
+	DiskBlocks uint64
+	// NICAddr is this machine's network address.
+	NICAddr uint64
+	// Network, if non-nil, attaches the machine to a virtual switch.
+	Network *netstack.Network
+	// RestoreFS loads the filesystem from disk at boot (each replica
+	// deserializes the same snapshot, keeping them bit-identical).
+	RestoreFS bool
+	// BootDisk, if non-nil, is copied onto the machine's disk before
+	// boot ("inserting" an existing disk image).
+	BootDisk fs.BlockStore
+}
+
+// System is a booted instance of the OS.
+type System struct {
+	cfg     Config
+	Machine *machine.Machine
+
+	// The replicated kernel.
+	nr       *nr.NR[sys.ReadOp, sys.WriteOp, sys.Resp]
+	replicas []*sys.Kernel
+
+	// Shared data-frame allocator (physical pages for user memory).
+	dataMu    sync.Mutex
+	dataAlloc *mm.Buddy
+
+	// Devices.
+	Dispatcher *dev.Dispatcher
+	Console    *dev.Console
+	BlockDev   *dev.BlockDriver
+	NICDrv     *dev.NICDriver
+	TimerDrv   *dev.TimerDriver
+	Net        *netstack.Stack
+
+	// Futex wait queues, keyed per process and word address.
+	futexMu sync.Mutex
+	futexQ  map[futexKey][]chan struct{}
+
+	// Per-process sockets.
+	sockMu   sync.Mutex
+	sockets  map[proc.PID]map[uint64]*netstack.Socket
+	nextSock uint64
+
+	// Process bookkeeping.
+	procMu    sync.Mutex
+	nextCore  int
+	liveProcs sync.WaitGroup
+
+	// Components is the self-inventory behind Table 1/2's vnros column.
+	Components *relwork.Registry
+}
+
+type futexKey struct {
+	pid proc.PID
+	va  mmu.VAddr
+}
+
+// Physical memory layout carved at boot.
+const (
+	bounceBase    = mem.PAddr(0x4000)    // block-driver DMA bounce
+	tableRegion   = mem.PAddr(16 << 20)  // page-table frames start
+	tableSpan     = mem.PAddr(16 << 20)  // per replica
+	dataRegionOff = mem.PAddr(128 << 20) // user data frames start
+)
+
+// Boot builds and starts a system.
+func Boot(cfg Config) (*System, error) {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 2
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1 + (cfg.Cores-1)/CoresPerNode
+	}
+	if cfg.MemBytes == 0 {
+		cfg.MemBytes = 512 << 20
+	}
+	if cfg.DiskBlocks == 0 {
+		cfg.DiskBlocks = 1 << 16
+	}
+	if cfg.NICAddr == 0 {
+		cfg.NICAddr = 0x02_00_00_00_00_01
+	}
+	if dataRegionOff+((64)<<20) > cfg.MemBytes {
+		return nil, fmt.Errorf("core: need at least %d MiB of memory", (dataRegionOff+(64<<20))>>20)
+	}
+
+	m := machine.New(machine.Config{
+		Cores:      cfg.Cores,
+		MemBytes:   cfg.MemBytes,
+		DiskBlocks: cfg.DiskBlocks,
+		NICAddr:    cfg.NICAddr,
+	})
+	s := &System{
+		cfg:     cfg,
+		Machine: m,
+		futexQ:  make(map[futexKey][]chan struct{}),
+		sockets: make(map[proc.PID]map[uint64]*netstack.Socket),
+	}
+
+	// Devices.
+	s.Dispatcher = dev.NewDispatcher(m.IC)
+	s.Console = dev.NewConsole(m.Serial)
+	var err error
+	if s.BlockDev, err = dev.NewBlockDriver(m.Disk, m.Mem, bounceBase); err != nil {
+		return nil, err
+	}
+	if s.NICDrv, err = dev.NewNICDriver(m.NIC, s.Dispatcher); err != nil {
+		return nil, err
+	}
+	if s.TimerDrv, err = dev.NewTimerDriver(m.Timer, s.Dispatcher); err != nil {
+		return nil, err
+	}
+	if cfg.Network != nil {
+		cfg.Network.Attach(m.NIC)
+	}
+	s.Net = netstack.NewStack(s.NICDrv)
+	// The NIC interrupt path must run; poll from a dedicated pump when
+	// frames arrive. In this simulation, delivery raises the IRQ
+	// synchronously, so polling after attach suffices; the runtime also
+	// polls on every syscall (see handler).
+
+	// Shared data-frame allocator.
+	dataFrames := uint64(cfg.MemBytes-dataRegionOff) / mem.PageSize
+	if s.dataAlloc, err = mm.NewBuddy(m.Mem, dataRegionOff, dataFrames); err != nil {
+		return nil, err
+	}
+
+	// "Insert" a pre-existing disk image, if provided.
+	if cfg.BootDisk != nil {
+		buf := make([]byte, cfg.BootDisk.BlockSize())
+		for i := uint64(0); i < cfg.BootDisk.NumBlocks() && i < s.BlockDev.NumBlocks(); i++ {
+			if err := cfg.BootDisk.ReadBlock(i, buf); err != nil {
+				return nil, err
+			}
+			if err := s.BlockDev.WriteBlock(i, buf); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Optional boot-time filesystem restore, shared by the replica
+	// constructor below.
+	var bootFS func() *fs.FS
+	if cfg.RestoreFS {
+		bootFS = func() *fs.FS {
+			f, err := fs.Load(s.BlockDev)
+			if err != nil {
+				return fs.New() // fresh disk: empty root
+			}
+			return f
+		}
+	}
+
+	// The replicated kernel: one replica per NUMA node, page-table
+	// frames from disjoint per-replica regions so replicas never alias
+	// each other's table memory.
+	replicaIdx := 0
+	s.nr = nr.New(nr.Options{Replicas: cfg.Replicas},
+		func() nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp] {
+			base := tableRegion + mem.PAddr(replicaIdx)*tableSpan
+			replicaIdx++
+			src := pt.NewSimpleFrameSource(m.Mem, base, base+tableSpan)
+			var k *sys.Kernel
+			if bootFS != nil {
+				k = sys.NewKernelWithFS(m.Mem, src, bootFS())
+			} else {
+				k = sys.NewKernel(m.Mem, src)
+			}
+			s.replicas = append(s.replicas, k)
+			return k
+		})
+
+	s.registerComponents()
+	return s, nil
+}
+
+// replicaOf maps a core to its kernel replica index.
+func (s *System) replicaOf(core int) int {
+	r := core / CoresPerNode
+	if r >= s.nr.NumReplicas() {
+		r = s.nr.NumReplicas() - 1
+	}
+	return r
+}
+
+// NumReplicas returns the kernel replica count.
+func (s *System) NumReplicas() int { return s.nr.NumReplicas() }
+
+// allocDataFrames grabs n zeroed user-data frames from the shared pool.
+func (s *System) allocDataFrames(n uint64) ([]mem.PAddr, error) {
+	s.dataMu.Lock()
+	defer s.dataMu.Unlock()
+	out := make([]mem.PAddr, 0, n)
+	for i := uint64(0); i < n; i++ {
+		f, err := s.dataAlloc.AllocOrder(0)
+		if err != nil {
+			for _, g := range out {
+				_ = s.dataAlloc.Free(g)
+			}
+			return nil, err
+		}
+		if err := s.Machine.Mem.ZeroFrame(f); err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// freeDataFrames returns frames to the shared pool.
+func (s *System) freeDataFrames(frames []mem.PAddr) {
+	s.dataMu.Lock()
+	defer s.dataMu.Unlock()
+	for _, f := range frames {
+		_ = s.dataAlloc.Free(f)
+	}
+}
+
+// handler is the per-process syscall entry: it owns the process's NR
+// thread context (each process is pinned to a core, each core to a
+// replica, as in NrOS).
+type handler struct {
+	s    *System
+	core int
+	ctx  *nr.ThreadContext[sys.ReadOp, sys.WriteOp, sys.Resp]
+}
+
+// Syscall implements sys.Handler: the kernel side of the boundary.
+func (h *handler) Syscall(frame marshal.SyscallFrame, payload []byte) (marshal.RetFrame, []byte) {
+	s := h.s
+	// Drain pending device interrupts before entering the kernel proper
+	// (the simulation's interrupt delivery point). All cores are
+	// drained: the interrupt controller load-balances lines round-robin
+	// and an idle core's pending queue would otherwise starve.
+	for c := 0; c < s.cfg.Cores; c++ {
+		s.Dispatcher.Poll(c)
+	}
+
+	if sys.IsReadOp(frame.Num) {
+		op, err := sys.DecodeRead(frame, payload)
+		if err != nil {
+			return sys.EncodeResp(sys.Resp{Errno: sys.EINVAL})
+		}
+		return sys.EncodeResp(h.ctx.ExecuteRead(op))
+	}
+	op, err := sys.DecodeWrite(frame, payload)
+	if err != nil {
+		return sys.EncodeResp(sys.Resp{Errno: sys.EINVAL})
+	}
+	if sys.IsLocalOp(op.Num) {
+		return sys.EncodeResp(s.localOp(h, op))
+	}
+
+	// mmap: attach data frames from the shared pool before logging, so
+	// every replica maps the same physical pages.
+	if op.Num == sys.NumMMap {
+		if op.Size == 0 || op.Size%mmu.L1PageSize != 0 {
+			return sys.EncodeResp(sys.Resp{Errno: sys.EINVAL})
+		}
+		frames, err := s.allocDataFrames(op.Size / mmu.L1PageSize)
+		if err != nil {
+			return sys.EncodeResp(sys.Resp{Errno: sys.ENOMEM})
+		}
+		op.Frames = frames
+		resp := h.ctx.Execute(op)
+		if resp.Errno != sys.EOK {
+			s.freeDataFrames(frames)
+		}
+		return sys.EncodeResp(resp)
+	}
+
+	resp := h.ctx.Execute(op)
+	// munmap/exit return the data frames they released; give them back
+	// to the shared pool exactly once (here, on the calling path).
+	if resp.Errno == sys.EOK && len(resp.Freed) > 0 {
+		s.freeDataFrames(resp.Freed)
+	}
+	if op.Num == sys.NumExit && resp.Errno == sys.EOK {
+		s.cleanupProcessLocal(op.PID)
+	}
+	if op.Num == sys.NumKill && op.Sig == proc.SIGKILL && resp.Errno == sys.EOK {
+		s.cleanupProcessLocal(op.Target)
+	}
+	return sys.EncodeResp(resp)
+}
+
+// cleanupProcessLocal tears down core-side state (sockets, futexes).
+func (s *System) cleanupProcessLocal(pid proc.PID) {
+	s.sockMu.Lock()
+	for _, sock := range s.sockets[pid] {
+		_ = sock.Close()
+	}
+	delete(s.sockets, pid)
+	s.sockMu.Unlock()
+
+	s.futexMu.Lock()
+	for k, q := range s.futexQ {
+		if k.pid == pid {
+			for _, ch := range q {
+				close(ch)
+			}
+			delete(s.futexQ, k)
+		}
+	}
+	s.futexMu.Unlock()
+}

@@ -1,0 +1,152 @@
+package dev
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/verified-os/vnros/internal/hw/machine"
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+func TestConsoleWriter(t *testing.T) {
+	m := machine.New(machine.Config{})
+	c := NewConsole(m.Serial)
+	fmt.Fprintf(c, "pid %d: %s\n", 7, "ready")
+	if m.Serial.Output() != "pid 7: ready\n" {
+		t.Fatalf("output = %q", m.Serial.Output())
+	}
+}
+
+func TestConsoleReaderLines(t *testing.T) {
+	m := machine.New(machine.Config{})
+	r := NewConsoleReader(m.Serial)
+	m.Serial.InjectInput([]byte("hel"))
+	if _, ok := r.ReadLine(); ok {
+		t.Fatal("partial line returned")
+	}
+	m.Serial.InjectInput([]byte("lo\nworld\n"))
+	line, ok := r.ReadLine()
+	if !ok || line != "hello" {
+		t.Fatalf("line = %q %t", line, ok)
+	}
+	line, ok = r.ReadLine()
+	if !ok || line != "world" {
+		t.Fatalf("line2 = %q %t", line, ok)
+	}
+}
+
+func TestTimerDriverTicks(t *testing.T) {
+	m := machine.New(machine.Config{Cores: 1})
+	d := NewDispatcher(m.IC)
+	td, err := NewTimerDriver(m.Timer, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	td.Start(10, func() { fired++ })
+	m.Timer.Advance(35) // 3 ticks
+	d.Poll(0)
+	// All three interrupts coalesce per-core into the pending bit, so at
+	// least one handler run is guaranteed and seen counts dispatches.
+	if fired == 0 || td.TicksSeen() == 0 {
+		t.Fatalf("fired = %d seen = %d", fired, td.TicksSeen())
+	}
+}
+
+func TestBlockDriverRoundTrip(t *testing.T) {
+	m := machine.New(machine.Config{DiskBlocks: 32})
+	drv, err := NewBlockDriver(m.Disk, m.Mem, 0x8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, machine.DiskBlockSize)
+	for i := range p {
+		p[i] = byte(i * 7)
+	}
+	if err := drv.WriteBlock(5, p); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, machine.DiskBlockSize)
+	if err := drv.ReadBlock(5, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, p) {
+		t.Fatal("round trip mismatch")
+	}
+	if err := drv.ReadBlock(999, got); err == nil {
+		t.Fatal("out-of-range read succeeded")
+	}
+	if err := drv.WriteBlock(5, p[:10]); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestBlockDriverRejectsUnalignedBounce(t *testing.T) {
+	m := machine.New(machine.Config{})
+	if _, err := NewBlockDriver(m.Disk, m.Mem, 0x8001); err == nil {
+		t.Fatal("unaligned bounce accepted")
+	}
+}
+
+func TestNICDriverDelivery(t *testing.T) {
+	ma := machine.New(machine.Config{NICAddr: 1})
+	mb := machine.New(machine.Config{NICAddr: 2})
+	ma.NIC.AttachWire(mb.NIC.Deliver)
+	mb.NIC.AttachWire(ma.NIC.Deliver)
+
+	da := NewDispatcher(ma.IC)
+	db := NewDispatcher(mb.IC)
+	nda, err := NewNICDriver(ma.NIC, da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndb, err := NewNICDriver(mb.NIC, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotB [][]byte
+	ndb.SetHandler(func(f []byte) { gotB = append(gotB, f) })
+	var gotA [][]byte
+	nda.SetHandler(func(f []byte) { gotA = append(gotA, f) })
+
+	if err := nda.Send([]byte("syn")); err != nil {
+		t.Fatal(err)
+	}
+	db.Poll(0)
+	if len(gotB) != 1 || string(gotB[0]) != "syn" {
+		t.Fatalf("b received %q", gotB)
+	}
+	if err := ndb.Send([]byte("ack")); err != nil {
+		t.Fatal(err)
+	}
+	da.Poll(0)
+	if len(gotA) != 1 || string(gotA[0]) != "ack" {
+		t.Fatalf("a received %q", gotA)
+	}
+	if nda.RxCount() != 1 || ndb.RxCount() != 1 {
+		t.Fatalf("rx counts = %d, %d", nda.RxCount(), ndb.RxCount())
+	}
+}
+
+func TestDispatcherBadIRQ(t *testing.T) {
+	d := NewDispatcher(machine.NewInterruptController(1))
+	if err := d.Handle(-1, func() {}); err == nil {
+		t.Fatal("negative IRQ accepted")
+	}
+	if err := d.Handle(machine.NumIRQs, func() {}); err == nil {
+		t.Fatal("out-of-range IRQ accepted")
+	}
+	if d.Count(-5) != 0 {
+		t.Fatal("Count on bad irq")
+	}
+}
+
+func TestObligationsAllPass(t *testing.T) {
+	g := &verifier.Registry{}
+	RegisterObligations(g)
+	rep := g.Run(verifier.Options{Seed: 41})
+	for _, f := range rep.Failed() {
+		t.Errorf("VC %s failed: %v", f.Obligation.ID(), f.Err)
+	}
+}

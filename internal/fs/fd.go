@@ -1,0 +1,218 @@
+package fs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FD is a file descriptor.
+type FD uint64
+
+// Open flags.
+const (
+	ORdOnly = 1 << iota
+	OWrOnly
+	ORdWr
+	OCreate
+	OTrunc
+	OAppend
+)
+
+// Errors for the descriptor layer.
+var (
+	ErrBadFD      = errors.New("fs: bad file descriptor")
+	ErrNotLocked  = errors.New("fs: descriptor not locked for syscall")
+	ErrPermission = errors.New("fs: descriptor not opened for this operation")
+)
+
+// OpenFile is the kernel state behind one descriptor — the fields the
+// paper's read_spec state machine exposes: the file, the cursor, and
+// the per-descriptor lock that discharges the §3 data-race-freedom
+// obligation (the syscall layer locks the descriptor for the duration
+// of each call).
+type OpenFile struct {
+	Ino    Ino
+	Offset uint64
+	Flags  int
+	Locked bool
+}
+
+// FDTable maps descriptors to open files. Like FS it is sequential.
+type FDTable struct {
+	fs   *FS
+	open map[FD]*OpenFile
+	next FD
+}
+
+// NewFDTable creates an empty table over fs.
+func NewFDTable(fs *FS) *FDTable {
+	return &FDTable{fs: fs, open: make(map[FD]*OpenFile), next: 3} // 0-2 reserved
+}
+
+// FS returns the underlying filesystem.
+func (t *FDTable) FS() *FS { return t.fs }
+
+// Open opens path with flags, creating the file when OCreate is set.
+func (t *FDTable) Open(path string, flags int) (FD, error) {
+	ino, err := t.fs.Lookup(path)
+	if err != nil {
+		if flags&OCreate == 0 {
+			return 0, err
+		}
+		ino, err = t.fs.Create(path)
+		if err != nil {
+			return 0, err
+		}
+	}
+	st, err := t.fs.StatIno(ino)
+	if err != nil {
+		return 0, err
+	}
+	if st.Kind == KindDir && flags&(OWrOnly|ORdWr|OTrunc|OAppend) != 0 {
+		return 0, fmt.Errorf("%w: cannot open directory for writing", ErrIsDir)
+	}
+	if flags&OTrunc != 0 {
+		if err := t.fs.Truncate(ino, 0); err != nil {
+			return 0, err
+		}
+	}
+	fd := t.next
+	t.next++
+	t.open[fd] = &OpenFile{Ino: ino, Flags: flags}
+	return fd, nil
+}
+
+// Get returns the open file for fd.
+func (t *FDTable) Get(fd FD) (*OpenFile, error) {
+	of := t.open[fd]
+	if of == nil {
+		return nil, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	return of, nil
+}
+
+// Lock marks the descriptor as held by an in-flight syscall; the
+// read/write paths require it (the read_spec precondition
+// `pre.files[fd].locked`).
+func (t *FDTable) Lock(fd FD) error {
+	of, err := t.Get(fd)
+	if err != nil {
+		return err
+	}
+	if of.Locked {
+		return fmt.Errorf("fs: descriptor %d already locked", fd)
+	}
+	of.Locked = true
+	return nil
+}
+
+// Unlock releases the descriptor.
+func (t *FDTable) Unlock(fd FD) error {
+	of, err := t.Get(fd)
+	if err != nil {
+		return err
+	}
+	if !of.Locked {
+		return fmt.Errorf("%w: %d", ErrNotLocked, fd)
+	}
+	of.Locked = false
+	return nil
+}
+
+// Read implements the paper's read syscall semantics: read_len =
+// min(len(buffer), size - offset) bytes from the current offset, then
+// advance the offset. The descriptor must be locked.
+func (t *FDTable) Read(fd FD, buffer []byte) (uint64, error) {
+	of, err := t.Get(fd)
+	if err != nil {
+		return 0, err
+	}
+	if !of.Locked {
+		return 0, fmt.Errorf("%w: read(%d)", ErrNotLocked, fd)
+	}
+	if of.Flags&OWrOnly != 0 {
+		return 0, fmt.Errorf("%w: read on write-only fd", ErrPermission)
+	}
+	n, err := t.fs.ReadAt(of.Ino, of.Offset, buffer)
+	if err != nil {
+		return 0, err
+	}
+	of.Offset += uint64(n)
+	return uint64(n), nil
+}
+
+// Write writes buffer at the current offset (or EOF with OAppend) and
+// advances it. The descriptor must be locked.
+func (t *FDTable) Write(fd FD, buffer []byte) (uint64, error) {
+	of, err := t.Get(fd)
+	if err != nil {
+		return 0, err
+	}
+	if !of.Locked {
+		return 0, fmt.Errorf("%w: write(%d)", ErrNotLocked, fd)
+	}
+	if of.Flags&(OWrOnly|ORdWr|OAppend) == 0 {
+		return 0, fmt.Errorf("%w: write on read-only fd", ErrPermission)
+	}
+	if of.Flags&OAppend != 0 {
+		st, err := t.fs.StatIno(of.Ino)
+		if err != nil {
+			return 0, err
+		}
+		of.Offset = st.Size
+	}
+	n, err := t.fs.WriteAt(of.Ino, of.Offset, buffer)
+	if err != nil {
+		return 0, err
+	}
+	of.Offset += uint64(n)
+	return uint64(n), nil
+}
+
+// Whence values for Seek.
+const (
+	SeekSet = iota
+	SeekCur
+	SeekEnd
+)
+
+// Seek repositions the descriptor's offset.
+func (t *FDTable) Seek(fd FD, off int64, whence int) (uint64, error) {
+	of, err := t.Get(fd)
+	if err != nil {
+		return 0, err
+	}
+	var base uint64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = of.Offset
+	case SeekEnd:
+		st, err := t.fs.StatIno(of.Ino)
+		if err != nil {
+			return 0, err
+		}
+		base = st.Size
+	default:
+		return 0, fmt.Errorf("%w: whence %d", ErrInval, whence)
+	}
+	n := int64(base) + off
+	if n < 0 {
+		return 0, fmt.Errorf("%w: negative offset", ErrInval)
+	}
+	of.Offset = uint64(n)
+	return of.Offset, nil
+}
+
+// Close releases the descriptor.
+func (t *FDTable) Close(fd FD) error {
+	if _, ok := t.open[fd]; !ok {
+		return fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	delete(t.open, fd)
+	return nil
+}
+
+// OpenCount returns the number of live descriptors.
+func (t *FDTable) OpenCount() int { return len(t.open) }

@@ -1,0 +1,252 @@
+package fs
+
+import (
+	"fmt"
+	"math/rand"
+	gopath "path"
+	"sort"
+	"strings"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerMoreObligations is the second wave of filesystem VCs:
+// path-resolution equivalence with Go's reference path algebra, a
+// full-API equivalence check against a flat reference model, hard-link
+// accounting, and directory-listing determinism.
+func registerMoreObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "fs", Name: "path-normalization-matches-reference", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				comps := []string{"a", "b", "c", ".", "..", "", "dd"}
+				for i := 0; i < 2000; i++ {
+					// Random absolute path from the component pool.
+					n := 1 + r.Intn(6)
+					parts := make([]string, n)
+					for j := range parts {
+						parts[j] = comps[r.Intn(len(comps))]
+					}
+					p := "/" + strings.Join(parts, "/")
+					got, err := SplitPath(p)
+					if err != nil {
+						return fmt.Errorf("SplitPath(%q): %v", p, err)
+					}
+					want := gopath.Clean(p)
+					gotPath := "/" + strings.Join(got, "/")
+					if want == "/" && gotPath == "/" {
+						continue
+					}
+					if gotPath != want {
+						return fmt.Errorf("SplitPath(%q) = %q, path.Clean = %q", p, gotPath, want)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "fs", Name: "api-matches-flat-reference-model", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				// Reference model: map[path]contents plus a directory
+				// set; compare outcomes of create/write/read/unlink
+				// against the tree implementation.
+				f := New()
+				refFiles := map[string][]byte{}
+				refDirs := map[string]bool{"/": true}
+				names := []string{"/x", "/y", "/d/a", "/d/b", "/d/e/z"}
+				_, _ = f.Mkdir("/d")
+				refDirs["/d"] = true
+				_, _ = f.Mkdir("/d/e")
+				refDirs["/d/e"] = true
+				for i := 0; i < 1500; i++ {
+					p := names[r.Intn(len(names))]
+					switch r.Intn(4) {
+					case 0: // create
+						_, err := f.Create(p)
+						_, exists := refFiles[p]
+						if (err == nil) == exists {
+							return fmt.Errorf("create(%q) err=%v but ref exists=%t", p, err, exists)
+						}
+						if err == nil {
+							refFiles[p] = nil
+						}
+					case 1: // write whole contents
+						data := make([]byte, r.Intn(100))
+						r.Read(data)
+						ino, err := f.Lookup(p)
+						if _, exists := refFiles[p]; !exists {
+							if err == nil {
+								return fmt.Errorf("lookup(%q) found unknown file", p)
+							}
+							continue
+						}
+						if err != nil {
+							return fmt.Errorf("lookup(%q): %v", p, err)
+						}
+						if err := f.Truncate(ino, 0); err != nil {
+							return err
+						}
+						if _, err := f.WriteAt(ino, 0, data); err != nil {
+							return err
+						}
+						refFiles[p] = append([]byte(nil), data...)
+					case 2: // read and compare
+						ino, err := f.Lookup(p)
+						want, exists := refFiles[p]
+						if !exists {
+							continue
+						}
+						if err != nil {
+							return fmt.Errorf("lookup(%q): %v", p, err)
+						}
+						buf := make([]byte, len(want)+10)
+						n, err := f.ReadAt(ino, 0, buf)
+						if err != nil {
+							return err
+						}
+						if n != len(want) || string(buf[:n]) != string(want) {
+							return fmt.Errorf("read(%q) diverged from reference", p)
+						}
+					default: // unlink
+						err := f.Unlink(p)
+						_, exists := refFiles[p]
+						if (err == nil) != exists {
+							return fmt.Errorf("unlink(%q) err=%v, ref exists=%t", p, err, exists)
+						}
+						delete(refFiles, p)
+					}
+				}
+				return f.CheckInvariant()
+			}},
+		verifier.Obligation{Module: "fs", Name: "hard-link-accounting", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				f := New()
+				if _, err := f.Create("/base"); err != nil {
+					return err
+				}
+				links := []string{"/base"}
+				for i := 0; i < 300; i++ {
+					if r.Intn(2) == 0 || len(links) == 1 {
+						name := fmt.Sprintf("/l%d", i)
+						if err := f.Link(links[r.Intn(len(links))], name); err != nil {
+							return err
+						}
+						links = append(links, name)
+					} else {
+						j := 1 + r.Intn(len(links)-1)
+						if err := f.Unlink(links[j]); err != nil {
+							return err
+						}
+						links = append(links[:j], links[j+1:]...)
+					}
+					st, err := f.StatPath(links[0])
+					if err != nil {
+						return err
+					}
+					if st.Nlink != len(links) {
+						return fmt.Errorf("nlink = %d, live names = %d", st.Nlink, len(links))
+					}
+				}
+				return f.CheckInvariant()
+			}},
+		verifier.Obligation{Module: "fs", Name: "readdir-deterministic-sorted", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				f := New()
+				var names []string
+				for i := 0; i < 60; i++ {
+					name := fmt.Sprintf("f%03d", r.Intn(1000))
+					if _, err := f.Create("/" + name); err == nil {
+						names = append(names, name)
+					}
+				}
+				sort.Strings(names)
+				ents, err := f.ReadDir("/")
+				if err != nil {
+					return err
+				}
+				if len(ents) != len(names) {
+					return fmt.Errorf("readdir %d entries, want %d", len(ents), len(names))
+				}
+				for i := range ents {
+					if ents[i].Name != names[i] {
+						return fmt.Errorf("entry %d = %q, want %q (sorted)", i, ents[i].Name, names[i])
+					}
+				}
+				// Determinism: two listings agree.
+				again, err := f.ReadDir("/")
+				if err != nil {
+					return err
+				}
+				for i := range again {
+					if again[i] != ents[i] {
+						return fmt.Errorf("readdir not deterministic at %d", i)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "fs", Name: "rename-preserves-content-and-links", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				f := New()
+				ino, err := f.Create("/a")
+				if err != nil {
+					return err
+				}
+				payload := make([]byte, 500)
+				r.Read(payload)
+				if _, err := f.WriteAt(ino, 0, payload); err != nil {
+					return err
+				}
+				if err := f.Link("/a", "/alias"); err != nil {
+					return err
+				}
+				cur := "/a"
+				for i := 0; i < 50; i++ {
+					next := fmt.Sprintf("/r%d", i)
+					if err := f.Rename(cur, next); err != nil {
+						return err
+					}
+					cur = next
+					st, err := f.StatPath(cur)
+					if err != nil {
+						return err
+					}
+					if st.Ino != ino || st.Nlink != 2 {
+						return fmt.Errorf("after rename %d: ino %d nlink %d", i, st.Ino, st.Nlink)
+					}
+				}
+				buf := make([]byte, len(payload))
+				if _, err := f.ReadAt(ino, 0, buf); err != nil {
+					return err
+				}
+				if string(buf) != string(payload) {
+					return fmt.Errorf("contents lost across renames")
+				}
+				return f.CheckInvariant()
+			}},
+		verifier.Obligation{Module: "fs", Name: "snapshot-deterministic-bytes", Kind: verifier.KindRoundTrip,
+			Check: func(r *rand.Rand) error {
+				// Two saves of the same state produce byte-identical
+				// payloads (replicas restore bit-identically at boot).
+				f := randomFS(r, 80)
+				d1 := NewMemBlockStore(512, 65536)
+				d2 := NewMemBlockStore(512, 65536)
+				if err := Save(f, d1); err != nil {
+					return err
+				}
+				if err := Save(f, d2); err != nil {
+					return err
+				}
+				b1 := make([]byte, 512)
+				b2 := make([]byte, 512)
+				for i := uint64(0); i < 512; i++ {
+					if err := d1.ReadBlock(i, b1); err != nil {
+						return err
+					}
+					if err := d2.ReadBlock(i, b2); err != nil {
+						return err
+					}
+					if string(b1) != string(b2) {
+						return fmt.Errorf("snapshot block %d differs between saves", i)
+					}
+				}
+				return nil
+			}},
+	)
+}

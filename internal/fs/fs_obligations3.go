@@ -1,0 +1,126 @@
+package fs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerEvenMoreObligations is the third filesystem wave: open-flag
+// semantics (OTrunc, OAppend, OCreate idempotence), sparse-write
+// zero-fill, and descriptor independence (two descriptors on one file
+// keep independent cursors over shared contents).
+func registerEvenMoreObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "fs", Name: "open-flag-semantics", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				t := NewFDTable(New())
+				fd, err := t.Open("/f", OCreate|ORdWr)
+				if err != nil {
+					return err
+				}
+				_ = t.Lock(fd)
+				if _, err := t.Write(fd, []byte("0123456789")); err != nil {
+					return err
+				}
+				_ = t.Unlock(fd)
+				// OCreate on an existing file opens it (no truncation).
+				fd2, err := t.Open("/f", OCreate|ORdWr)
+				if err != nil {
+					return err
+				}
+				st, err := t.FS().StatPath("/f")
+				if err != nil || st.Size != 10 {
+					return fmt.Errorf("OCreate truncated existing file: size %d", st.Size)
+				}
+				// OTrunc empties it.
+				if _, err := t.Open("/f", ORdWr|OTrunc); err != nil {
+					return err
+				}
+				st, _ = t.FS().StatPath("/f")
+				if st.Size != 0 {
+					return fmt.Errorf("OTrunc left %d bytes", st.Size)
+				}
+				// OAppend writes always land at EOF regardless of cursor.
+				fd3, err := t.Open("/f", OWrOnly|OAppend)
+				if err != nil {
+					return err
+				}
+				_ = t.Lock(fd3)
+				if _, err := t.Write(fd3, []byte("aa")); err != nil {
+					return err
+				}
+				_ = t.Unlock(fd3)
+				if _, err := t.Seek(fd3, 0, SeekSet); err != nil {
+					return err
+				}
+				_ = t.Lock(fd3)
+				if _, err := t.Write(fd3, []byte("bb")); err != nil {
+					return err
+				}
+				_ = t.Unlock(fd3)
+				st, _ = t.FS().StatPath("/f")
+				if st.Size != 4 {
+					return fmt.Errorf("append after seek overwrote: size %d, want 4", st.Size)
+				}
+				_ = fd2
+				return nil
+			}},
+		verifier.Obligation{Module: "fs", Name: "sparse-write-zero-fill", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				f := New()
+				ino, err := f.Create("/sparse")
+				if err != nil {
+					return err
+				}
+				gap := uint64(100 + r.Intn(5000))
+				if _, err := f.WriteAt(ino, gap, []byte("tail")); err != nil {
+					return err
+				}
+				buf := make([]byte, gap)
+				n, err := f.ReadAt(ino, 0, buf)
+				if err != nil || uint64(n) != gap {
+					return fmt.Errorf("gap read = %d, %v", n, err)
+				}
+				for i, b := range buf {
+					if b != 0 {
+						return fmt.Errorf("gap byte %d = %#x, want 0", i, b)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "fs", Name: "descriptors-independent-cursors", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				t := NewFDTable(New())
+				a, err := t.Open("/shared", OCreate|ORdWr)
+				if err != nil {
+					return err
+				}
+				b, err := t.Open("/shared", ORdWr)
+				if err != nil {
+					return err
+				}
+				_ = t.Lock(a)
+				if _, err := t.Write(a, []byte("abcdefgh")); err != nil {
+					return err
+				}
+				_ = t.Unlock(a)
+				// b's cursor is still 0; reading from b sees the bytes a
+				// wrote, from the start.
+				_ = t.Lock(b)
+				buf := make([]byte, 4)
+				n, err := t.Read(b, buf)
+				_ = t.Unlock(b)
+				if err != nil || n != 4 || string(buf) != "abcd" {
+					return fmt.Errorf("b read = %q/%d, %v", buf, n, err)
+				}
+				// a's cursor is unaffected by b's read.
+				of, err := t.Get(a)
+				if err != nil || of.Offset != 8 {
+					return fmt.Errorf("a offset = %d, want 8", of.Offset)
+				}
+				return nil
+			}},
+	)
+}

@@ -1,0 +1,187 @@
+package fs
+
+import (
+	"fmt"
+)
+
+// This file is the §3 client-application contract for the file system,
+// centered on the paper's read_spec example, transcribed from the
+// paper's Verus into executable Go:
+//
+//	spec fn read_spec(pre: State, post: State, fd: usize,
+//	                  buffer: Seq<u8>, read_len: usize)
+//	{ pre.files[fd].locked
+//	  && read_len == min(buffer.len(), pre.files[fd].size - pre.files[fd].offset)
+//	  && buffer[0 .. read_len] == pre.files[fd].contents[
+//	         pre.files[fd].offset .. (pre.files[fd].offset + read_len)]
+//	  && post.files[fd].offset == pre.files[fd].offset + read_len }
+//
+// SpecState is the abstract "State" — the per-descriptor view a client
+// application reasons about — and ReadSpec/WriteSpec/SeekSpec are the
+// transition relations. AbstractFDs computes the abstraction of a real
+// FDTable, and the obligations check every implementation step against
+// the relation, exactly as the `ensures` clause of the paper's read
+// wrapper demands.
+
+// SpecFile is the abstract view of one descriptor.
+type SpecFile struct {
+	Contents []byte
+	Offset   uint64
+	Locked   bool
+}
+
+// Size returns the abstract file size.
+func (s SpecFile) Size() uint64 { return uint64(len(s.Contents)) }
+
+// SpecState is the abstract system state from the client's perspective.
+type SpecState struct {
+	Files map[FD]SpecFile
+}
+
+// CloneSpec deep-copies the state.
+func (s SpecState) CloneSpec() SpecState {
+	out := SpecState{Files: make(map[FD]SpecFile, len(s.Files))}
+	for fd, f := range s.Files {
+		c := make([]byte, len(f.Contents))
+		copy(c, f.Contents)
+		out.Files[fd] = SpecFile{Contents: c, Offset: f.Offset, Locked: f.Locked}
+	}
+	return out
+}
+
+// ReadSpec is the paper's read_spec: it relates pre and post states for
+// a read of readLen bytes into a buffer of the given length, returning
+// nil when the transition is allowed.
+func ReadSpec(pre, post SpecState, fd FD, bufferLen uint64, gotBuffer []byte, readLen uint64) error {
+	pf, ok := pre.Files[fd]
+	if !ok {
+		return fmt.Errorf("read_spec: fd %d not open in pre", fd)
+	}
+	if !pf.Locked {
+		return fmt.Errorf("read_spec: pre.files[%d].locked is false", fd)
+	}
+	want := pf.Size() - pf.Offset
+	if pf.Offset >= pf.Size() {
+		want = 0
+	}
+	if bufferLen < want {
+		want = bufferLen
+	}
+	if readLen != want {
+		return fmt.Errorf("read_spec: read_len %d != min(buffer.len=%d, size-offset=%d)",
+			readLen, bufferLen, pf.Size()-min64(pf.Offset, pf.Size()))
+	}
+	for i := uint64(0); i < readLen; i++ {
+		if gotBuffer[i] != pf.Contents[pf.Offset+i] {
+			return fmt.Errorf("read_spec: buffer[%d] = %#x != contents[%d] = %#x",
+				i, gotBuffer[i], pf.Offset+i, pf.Contents[pf.Offset+i])
+		}
+	}
+	qf, ok := post.Files[fd]
+	if !ok {
+		return fmt.Errorf("read_spec: fd %d not open in post", fd)
+	}
+	if qf.Offset != pf.Offset+readLen {
+		return fmt.Errorf("read_spec: post offset %d != pre offset %d + read_len %d",
+			qf.Offset, pf.Offset, readLen)
+	}
+	return nil
+}
+
+// WriteSpec relates pre and post for a write: the written bytes appear
+// in contents at the pre offset (zero-filling any gap), the offset
+// advances by the count, everything else is unchanged.
+func WriteSpec(pre, post SpecState, fd FD, data []byte, wrote uint64) error {
+	pf, ok := pre.Files[fd]
+	if !ok {
+		return fmt.Errorf("write_spec: fd %d not open in pre", fd)
+	}
+	if !pf.Locked {
+		return fmt.Errorf("write_spec: pre.files[%d].locked is false", fd)
+	}
+	if wrote != uint64(len(data)) {
+		return fmt.Errorf("write_spec: wrote %d != len(data) %d", wrote, len(data))
+	}
+	qf, ok := post.Files[fd]
+	if !ok {
+		return fmt.Errorf("write_spec: fd %d not open in post", fd)
+	}
+	wantSize := pf.Size()
+	if pf.Offset+wrote > wantSize {
+		wantSize = pf.Offset + wrote
+	}
+	if qf.Size() != wantSize {
+		return fmt.Errorf("write_spec: post size %d != %d", qf.Size(), wantSize)
+	}
+	for i := uint64(0); i < qf.Size(); i++ {
+		var want byte
+		switch {
+		case i >= pf.Offset && i < pf.Offset+wrote:
+			want = data[i-pf.Offset]
+		case i < pf.Size():
+			want = pf.Contents[i]
+		default:
+			want = 0 // gap beyond old EOF zero-fills
+		}
+		if qf.Contents[i] != want {
+			return fmt.Errorf("write_spec: post contents[%d] = %#x, want %#x", i, qf.Contents[i], want)
+		}
+	}
+	if qf.Offset != pf.Offset+wrote {
+		return fmt.Errorf("write_spec: post offset %d != %d", qf.Offset, pf.Offset+wrote)
+	}
+	return nil
+}
+
+// SeekSpec relates pre and post for a seek.
+func SeekSpec(pre, post SpecState, fd FD, off int64, whence int, result uint64) error {
+	pf, ok := pre.Files[fd]
+	if !ok {
+		return fmt.Errorf("seek_spec: fd %d not open", fd)
+	}
+	var base uint64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = pf.Offset
+	case SeekEnd:
+		base = pf.Size()
+	default:
+		return fmt.Errorf("seek_spec: bad whence %d", whence)
+	}
+	want := int64(base) + off
+	if want < 0 {
+		return fmt.Errorf("seek_spec: negative target accepted")
+	}
+	if result != uint64(want) {
+		return fmt.Errorf("seek_spec: result %d != %d", result, want)
+	}
+	if qf := post.Files[fd]; qf.Offset != uint64(want) {
+		return fmt.Errorf("seek_spec: post offset %d != %d", qf.Offset, want)
+	}
+	return nil
+}
+
+// AbstractFDs computes the abstraction of an FDTable: the paper's
+// `view()` function from runtime values to the mathematical State.
+func AbstractFDs(t *FDTable) SpecState {
+	out := SpecState{Files: make(map[FD]SpecFile, len(t.open))}
+	for fd, of := range t.open {
+		n := t.fs.inodes[of.Ino]
+		var contents []byte
+		if n != nil {
+			contents = make([]byte, len(n.Data))
+			copy(contents, n.Data)
+		}
+		out.Files[fd] = SpecFile{Contents: contents, Offset: of.Offset, Locked: of.Locked}
+	}
+	return out
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,274 @@
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/verified-os/vnros/internal/marshal"
+)
+
+// BlockStore is the persistence substrate: a disk of fixed-size blocks.
+// internal/dev's disk driver implements it over the simulated disk
+// device; MemBlockStore implements it in memory for tests.
+type BlockStore interface {
+	BlockSize() int
+	NumBlocks() uint64
+	ReadBlock(i uint64, p []byte) error
+	WriteBlock(i uint64, p []byte) error
+}
+
+// Persistence errors.
+var (
+	ErrTooBig     = errors.New("fs: snapshot exceeds device capacity")
+	ErrBadImage   = errors.New("fs: corrupt filesystem image")
+	ErrNoSnapshot = errors.New("fs: device holds no snapshot")
+)
+
+// snapshotMagic identifies a valid image header.
+const snapshotMagic = 0x76_6e_72_6f_73_66_73_31 // "vnrosfs1"
+
+// Save serializes the filesystem into the block store as one atomic
+// snapshot using A/B slots: the payload is written into the slot NOT
+// referenced by the current header, and the header (with checksum and
+// slot pointer) is written last. A crash at any point leaves the
+// previous snapshot fully intact and loadable; a torn header or payload
+// is detected by magic/checksum. This is the persistence story scoped
+// to the paper's prototype; journaled crash consistency is future work
+// there too.
+func Save(f *FS, d BlockStore) error {
+	e := marshal.NewEncoder(nil)
+	// Deterministic inode order for reproducible images.
+	inos := make([]Ino, 0, len(f.inodes))
+	for ino := range f.inodes {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	e.U64(uint64(f.next))
+	e.U64(uint64(len(inos)))
+	for _, ino := range inos {
+		n := f.inodes[ino]
+		e.U64(uint64(n.Ino))
+		e.U8(uint8(n.Kind))
+		e.U64(uint64(n.Nlink))
+		e.BytesField(n.Data)
+		names := make([]string, 0, len(n.Children))
+		for name := range n.Children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		e.U64(uint64(len(names)))
+		for _, name := range names {
+			e.String(name)
+			e.U64(uint64(n.Children[name]))
+		}
+	}
+	payload := e.Bytes()
+
+	bs := d.BlockSize()
+	blocks := (len(payload) + bs - 1) / bs
+	slotCap := (d.NumBlocks() - 1) / 2 // blocks per A/B slot
+	if uint64(blocks) > slotCap {
+		return fmt.Errorf("%w: %d bytes into %d-block slots", ErrTooBig, len(payload), slotCap)
+	}
+	// Pick the slot the current header does NOT point at.
+	slot := uint64(0)
+	if cur, err := readHeader(d); err == nil {
+		slot = 1 - cur.slot
+	}
+	base := 1 + slot*slotCap
+	buf := make([]byte, bs)
+	for i := 0; i < blocks; i++ {
+		lo := i * bs
+		hi := lo + bs
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		copy(buf, payload[lo:hi])
+		for j := hi - lo; j < bs; j++ {
+			buf[j] = 0
+		}
+		if err := d.WriteBlock(base+uint64(i), buf); err != nil {
+			return err
+		}
+	}
+	// Header: magic, slot, length, checksum — written last (the commit
+	// point).
+	h := marshal.NewEncoder(nil)
+	h.U64(snapshotMagic).U64(slot).U64(uint64(len(payload))).U64(fletcher64(payload))
+	hb := make([]byte, bs)
+	copy(hb, h.Bytes())
+	return d.WriteBlock(0, hb)
+}
+
+// header is the decoded snapshot header.
+type header struct {
+	slot   uint64
+	length uint64
+	sum    uint64
+}
+
+func readHeader(d BlockStore) (header, error) {
+	bs := d.BlockSize()
+	hb := make([]byte, bs)
+	if err := d.ReadBlock(0, hb); err != nil {
+		return header{}, err
+	}
+	h := marshal.NewDecoder(hb[:32])
+	magic, slot, length, sum := h.U64(), h.U64(), h.U64(), h.U64()
+	if h.Err() != nil || magic != snapshotMagic || slot > 1 {
+		return header{}, ErrNoSnapshot
+	}
+	return header{slot: slot, length: length, sum: sum}, nil
+}
+
+// Load reconstructs a filesystem from the block store.
+func Load(d BlockStore) (*FS, error) {
+	bs := d.BlockSize()
+	hd, err := readHeader(d)
+	if err != nil {
+		return nil, err
+	}
+	length, sum := hd.length, hd.sum
+	blocks := (int(length) + bs - 1) / bs
+	slotCap := (d.NumBlocks() - 1) / 2
+	if uint64(blocks) > slotCap {
+		return nil, fmt.Errorf("%w: header claims %d bytes", ErrBadImage, length)
+	}
+	base := 1 + hd.slot*slotCap
+	payload := make([]byte, blocks*bs)
+	for i := 0; i < blocks; i++ {
+		if err := d.ReadBlock(base+uint64(i), payload[i*bs:(i+1)*bs]); err != nil {
+			return nil, err
+		}
+	}
+	payload = payload[:length]
+	if fletcher64(payload) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadImage)
+	}
+
+	dec := marshal.NewDecoder(payload)
+	f := &FS{inodes: make(map[Ino]*Inode)}
+	f.next = Ino(dec.U64())
+	count := dec.U64()
+	if dec.Err() != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, dec.Err())
+	}
+	for i := uint64(0); i < count; i++ {
+		n := &Inode{
+			Ino:   Ino(dec.U64()),
+			Kind:  Kind(dec.U8()),
+			Nlink: int(dec.U64()),
+			Data:  dec.BytesField(),
+		}
+		nc := dec.U64()
+		if dec.Err() != nil {
+			return nil, fmt.Errorf("%w: inode %d: %v", ErrBadImage, i, dec.Err())
+		}
+		if n.Kind == KindDir {
+			n.Children = make(map[string]Ino, nc)
+		} else if nc != 0 {
+			return nil, fmt.Errorf("%w: file with children", ErrBadImage)
+		}
+		for j := uint64(0); j < nc; j++ {
+			name := dec.String()
+			child := Ino(dec.U64())
+			if dec.Err() != nil {
+				return nil, fmt.Errorf("%w: dirent: %v", ErrBadImage, dec.Err())
+			}
+			n.Children[name] = child
+		}
+		if _, dup := f.inodes[n.Ino]; dup {
+			return nil, fmt.Errorf("%w: duplicate inode %d", ErrBadImage, n.Ino)
+		}
+		f.inodes[n.Ino] = n
+	}
+	if err := dec.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	if _, ok := f.inodes[RootIno]; !ok {
+		return nil, fmt.Errorf("%w: no root inode", ErrBadImage)
+	}
+	if err := f.CheckInvariant(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	return f, nil
+}
+
+// Equal reports whether two filesystems have identical observable
+// state (used by the persistence round-trip obligation).
+func Equal(a, b *FS) bool {
+	if len(a.inodes) != len(b.inodes) || a.next != b.next {
+		return false
+	}
+	for ino, n := range a.inodes {
+		m := b.inodes[ino]
+		if m == nil || m.Kind != n.Kind || m.Nlink != n.Nlink ||
+			string(m.Data) != string(n.Data) || len(m.Children) != len(n.Children) {
+			return false
+		}
+		for name, ci := range n.Children {
+			if m.Children[name] != ci {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fletcher64 is a simple position-dependent checksum for snapshot
+// integrity (not cryptographic; the threat model is torn writes).
+func fletcher64(p []byte) uint64 {
+	var a, b uint64 = 1, 0
+	for _, c := range p {
+		a = (a + uint64(c)) % 0xffffffff
+		b = (b + a) % 0xffffffff
+	}
+	return b<<32 | a
+}
+
+// MemBlockStore is an in-memory BlockStore for tests and the quickstart
+// example.
+type MemBlockStore struct {
+	bs     int
+	blocks [][]byte
+}
+
+// NewMemBlockStore creates a store with n blocks of size bs.
+func NewMemBlockStore(bs int, n uint64) *MemBlockStore {
+	m := &MemBlockStore{bs: bs, blocks: make([][]byte, n)}
+	return m
+}
+
+// BlockSize implements BlockStore.
+func (m *MemBlockStore) BlockSize() int { return m.bs }
+
+// NumBlocks implements BlockStore.
+func (m *MemBlockStore) NumBlocks() uint64 { return uint64(len(m.blocks)) }
+
+// ReadBlock implements BlockStore.
+func (m *MemBlockStore) ReadBlock(i uint64, p []byte) error {
+	if i >= uint64(len(m.blocks)) || len(p) != m.bs {
+		return fmt.Errorf("fs: bad block read %d len %d", i, len(p))
+	}
+	if m.blocks[i] == nil {
+		for j := range p {
+			p[j] = 0
+		}
+		return nil
+	}
+	copy(p, m.blocks[i])
+	return nil
+}
+
+// WriteBlock implements BlockStore.
+func (m *MemBlockStore) WriteBlock(i uint64, p []byte) error {
+	if i >= uint64(len(m.blocks)) || len(p) != m.bs {
+		return fmt.Errorf("fs: bad block write %d len %d", i, len(p))
+	}
+	if m.blocks[i] == nil {
+		m.blocks[i] = make([]byte, m.bs)
+	}
+	copy(m.blocks[i], p)
+	return nil
+}

@@ -1,0 +1,178 @@
+package machine
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/hw/mem"
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// RegisterObligations registers the platform-device verification
+// conditions: interrupt conservation (no lost or duplicated IRQs),
+// timer arithmetic, disk DMA against a flat reference, and NIC frame
+// isolation.
+func RegisterObligations(g *verifier.Registry) {
+	registerMoreObligations(g)
+	g.Register(
+		verifier.Obligation{Module: "hw/machine", Name: "irq-conservation", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				const cores = 3
+				ic := NewInterruptController(cores)
+				raised := 0
+				for i := 0; i < 500; i++ {
+					if r.Intn(3) > 0 {
+						ic.Raise(IRQDisk)
+						raised++
+					}
+					if r.Intn(4) == 0 {
+						for c := 0; c < cores; c++ {
+							for ic.Pending(c) >= 0 {
+								raised--
+							}
+						}
+					}
+				}
+				for c := 0; c < cores; c++ {
+					for ic.Pending(c) >= 0 {
+						raised--
+					}
+				}
+				// Same-line IRQs coalesce per core while pending (level-
+				// triggered semantics): at most `cores` can be absorbed
+				// per drain epoch, so the residue can be positive but the
+				// drained count can never exceed the raised count
+				// (raised >= 0) and never go negative.
+				if raised < 0 {
+					return fmt.Errorf("delivered %d more IRQs than raised", -raised)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "hw/machine", Name: "irq-priority-order", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				ic := NewInterruptController(1)
+				lines := []int{IRQNIC, IRQTimer, IRQDisk, IRQSerial}
+				for _, l := range lines {
+					ic.RaiseOn(0, l)
+				}
+				prev := -1
+				for {
+					irq := ic.Pending(0)
+					if irq < 0 {
+						break
+					}
+					if irq <= prev {
+						return fmt.Errorf("IRQ %d delivered after %d", irq, prev)
+					}
+					prev = irq
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "hw/machine", Name: "timer-interval-arithmetic", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				m := New(Config{Cores: 1})
+				interval := uint64(1 + r.Intn(1000))
+				m.Timer.Program(interval)
+				var advanced uint64
+				for i := 0; i < 200; i++ {
+					n := uint64(r.Intn(3000))
+					m.Timer.Advance(n)
+					advanced += n
+				}
+				if got, want := m.Timer.Ticks(), advanced/interval; got != want {
+					return fmt.Errorf("ticks = %d, want %d (advanced %d, interval %d)",
+						got, want, advanced, interval)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "hw/machine", Name: "disk-dma-matches-reference", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				m := New(Config{DiskBlocks: 128, MemBytes: 16 << 20})
+				ref := make(map[uint64][]byte)
+				dma := mem.PAddr(0x8000)
+				for i := 0; i < 300; i++ {
+					block := uint64(r.Intn(130)) // sometimes out of range
+					if r.Intn(2) == 0 {
+						p := make([]byte, DiskBlockSize)
+						r.Read(p)
+						if err := m.Mem.Write(dma, p); err != nil {
+							return err
+						}
+						m.Disk.Submit(true, block, dma)
+						c, okC := m.Disk.Complete()
+						if !okC {
+							return fmt.Errorf("write completion lost")
+						}
+						if block < 128 {
+							if c.Err != "" {
+								return fmt.Errorf("in-range write failed: %s", c.Err)
+							}
+							ref[block] = append([]byte(nil), p...)
+						} else if c.Err == "" {
+							return fmt.Errorf("out-of-range write succeeded")
+						}
+					} else {
+						m.Disk.Submit(false, block, dma)
+						c, okC := m.Disk.Complete()
+						if !okC {
+							return fmt.Errorf("read completion lost")
+						}
+						if block >= 128 {
+							if c.Err == "" {
+								return fmt.Errorf("out-of-range read succeeded")
+							}
+							continue
+						}
+						if c.Err != "" {
+							return fmt.Errorf("in-range read failed: %s", c.Err)
+						}
+						got := make([]byte, DiskBlockSize)
+						if err := m.Mem.Read(dma, got); err != nil {
+							return err
+						}
+						want := ref[block]
+						if want == nil {
+							want = make([]byte, DiskBlockSize)
+						}
+						if !bytes.Equal(got, want) {
+							return fmt.Errorf("block %d diverged from reference", block)
+						}
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "hw/machine", Name: "nic-frames-isolated", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				a := New(Config{NICAddr: 1})
+				b := New(Config{NICAddr: 2})
+				a.NIC.AttachWire(b.NIC.Deliver)
+				// Transmit, then mutate the source buffer; the delivered
+				// frame must be unaffected (DMA copies, no aliasing).
+				src := []byte("immutable in flight")
+				if err := a.NIC.TX(src); err != nil {
+					return err
+				}
+				src[0] = 'X'
+				f, okF := b.NIC.RX()
+				if !okF || string(f) != "immutable in flight" {
+					return fmt.Errorf("frame aliased sender buffer: %q", f)
+				}
+				// And mutating the received frame must not affect a
+				// second delivery of the same content.
+				if err := a.NIC.TX([]byte("second")); err != nil {
+					return err
+				}
+				f2, _ := b.NIC.RX()
+				f2[0] = 'Z'
+				if err := a.NIC.TX([]byte("second")); err != nil {
+					return err
+				}
+				f3, _ := b.NIC.RX()
+				if string(f3) != "second" {
+					return fmt.Errorf("receive buffer aliased: %q", f3)
+				}
+				return nil
+			}},
+	)
+}

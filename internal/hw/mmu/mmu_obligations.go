@@ -1,0 +1,317 @@
+package mmu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/hw/mem"
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// RegisterObligations registers the hardware-spec verification
+// conditions for the MMU model: the permission matrix, entry encoding
+// bijectivity, walk/interpret agreement, canonical-address handling,
+// TLB staleness and invalidation semantics, and accessed/dirty bits —
+// the facts the page-table refinement proof assumes about the hardware.
+func RegisterObligations(g *verifier.Registry) {
+	registerMoreObligations(g)
+	g.Register(
+		verifier.Obligation{Module: "hw/mmu", Name: "entry-encoding-bijective", Kind: verifier.KindRoundTrip,
+			Check: func(r *rand.Rand) error {
+				// All 16 flag combinations at every leaf level, random
+				// aligned frames: encode→decode is the identity, and
+				// distinct inputs give distinct raw entries.
+				seen := make(map[uint64]bool)
+				for level := 1; level <= 2; level++ {
+					size := PageSizeAtLevel(level)
+					for bits := 0; bits < 16; bits++ {
+						fl := Flags{
+							Writable: bits&1 != 0, User: bits&2 != 0,
+							NoExec: bits&4 != 0, Global: bits&8 != 0,
+						}
+						frame := mem.PAddr(uint64(1+r.Intn(1024)) * size)
+						e := MakeLeaf(level, frame, fl)
+						if !e.Valid() || !e.IsLeaf() || e.Addr() != frame || e.LeafFlags() != fl {
+							return fmt.Errorf("leaf round trip failed: level %d flags %+v", level, fl)
+						}
+						key := e.Raw ^ uint64(level)<<60
+						if seen[key] {
+							return fmt.Errorf("entry encoding collision at level %d bits %d", level, bits)
+						}
+						seen[key] = true
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "hw/mmu", Name: "permission-matrix", Kind: verifier.KindModelCheck,
+			Check: func(r *rand.Rand) error {
+				// Exhaustive: every (flags, access kind) pair behaves per
+				// the architectural rules (supervisor ignores U/S for
+				// data, honors XD; user requires U; writes require W).
+				accesses := []Access{AccessRead, AccessWrite, AccessExec,
+					AccessUserRead, AccessUserWrite, AccessUserExec}
+				for bits := 0; bits < 8; bits++ {
+					fl := Flags{Writable: bits&1 != 0, User: bits&2 != 0, NoExec: bits&4 != 0}
+					m := mem.New(1 << 24)
+					root := buildFourLevel(m, 0x4000_0000, 0x9000, fl)
+					w := Walker{Mem: m}
+					for _, a := range accesses {
+						res := w.Walk(root, 0x4000_0000, a)
+						wantFault := false
+						if a.isUser() && !fl.User {
+							wantFault = true
+						}
+						if a.isWrite() && !fl.Writable {
+							wantFault = true
+						}
+						if a.isExec() && fl.NoExec {
+							wantFault = true
+						}
+						if (res.Fault != nil) != wantFault {
+							return fmt.Errorf("flags %+v access %v: fault=%v want %v",
+								fl, a, res.Fault, wantFault)
+						}
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "hw/mmu", Name: "walk-interpret-agreement", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				// Build random multi-entry tables; the interpretation
+				// function and individual walks must agree everywhere.
+				m := mem.New(1 << 24)
+				fl := Flags{Writable: true, User: true}
+				var vas []VAddr
+				root := mem.PAddr(0x1000)
+				next := mem.PAddr(0x2000)
+				alloc := func() mem.PAddr { a := next; next += mem.PageSize; return a }
+				tables := map[string]mem.PAddr{} // path key -> table frame
+				for i := 0; i < 24; i++ {
+					va := VAddr(uint64(r.Intn(1<<20)) * L1PageSize)
+					if uint64(va)&(1<<(VABits-1)) != 0 {
+						continue
+					}
+					// Build/reuse the path.
+					table := root
+					okPath := true
+					for level := Levels; level > 1; level-- {
+						key := fmt.Sprintf("%d/%d", level, va.Index(level))
+						slotAddr := EntryAddr(table, va, level)
+						raw, err := m.Read64(slotAddr)
+						if err != nil {
+							return err
+						}
+						e := Entry{Raw: raw, Level: level}
+						if !e.Present() {
+							sub, okT := tables[key]
+							if !okT {
+								sub = alloc()
+								tables[key] = sub
+							}
+							if err := m.Write64(slotAddr, MakeTable(level, sub).Raw); err != nil {
+								return err
+							}
+							table = sub
+						} else if e.IsLeaf() {
+							okPath = false
+							break
+						} else {
+							table = e.Addr()
+						}
+					}
+					if !okPath {
+						continue
+					}
+					frame := mem.PAddr(uint64(0x100+r.Intn(256))) * mem.PageSize
+					if err := m.Write64(EntryAddr(table, va, 1), MakeLeaf(1, frame, fl).Raw); err != nil {
+						return err
+					}
+					vas = append(vas, va)
+				}
+				w := Walker{Mem: m}
+				abs, err := w.Interpret(root)
+				if err != nil {
+					return err
+				}
+				walked := 0
+				for _, va := range vas {
+					res := w.Walk(root, va, AccessRead)
+					if res.Fault != nil {
+						continue // overwritten by a later iteration reusing the slot
+					}
+					walked++
+					tr, okA := abs[va]
+					if !okA {
+						return fmt.Errorf("walkable %v missing from interpretation", va)
+					}
+					if tr.Frame != res.Translation.Frame {
+						return fmt.Errorf("interpretation frame %v != walk frame %v at %v",
+							tr.Frame, res.Translation.Frame, va)
+					}
+				}
+				if walked == 0 {
+					return fmt.Errorf("degenerate test: nothing walkable")
+				}
+				// Reverse inclusion: everything interpreted must walk.
+				for va := range abs {
+					if res := w.Walk(root, va, AccessRead); res.Fault != nil {
+						return fmt.Errorf("interpreted %v does not walk: %v", va, res.Fault)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "hw/mmu", Name: "non-canonical-always-faults", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				m := mem.New(1 << 20)
+				w := Walker{Mem: m}
+				for i := 0; i < 300; i++ {
+					// Random address with bits 48..62 not matching bit 47.
+					va := VAddr(r.Uint64())
+					if va.IsCanonical() {
+						continue
+					}
+					res := w.Walk(0x1000, va, AccessRead)
+					if res.Fault == nil || len(res.Path) != 0 {
+						return fmt.Errorf("non-canonical %v did not fault pre-walk", va)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "hw/mmu", Name: "tlb-staleness-and-invalidation", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				m := mem.New(1 << 24)
+				va := VAddr(uint64(1+r.Intn(1<<18)) * L1PageSize)
+				root := buildFourLevel(m, va, 0x9000, Flags{Writable: true, User: true})
+				u := New(m)
+				u.SetRoot(root, 1)
+				if _, f := u.Translate(va, AccessRead); f != nil {
+					return fmt.Errorf("initial translate: %v", f)
+				}
+				// Clear the leaf behind the MMU's back.
+				w := Walker{Mem: m}
+				res := w.Walk(root, va, AccessRead)
+				table := root
+				for _, e := range res.Path {
+					if e.IsLeaf() {
+						break
+					}
+					table = e.Addr()
+				}
+				if err := m.Write64(EntryAddr(table, va, 1), 0); err != nil {
+					return err
+				}
+				if _, f := u.Translate(va, AccessRead); f != nil {
+					return fmt.Errorf("TLB did not serve stale translation (model too strong)")
+				}
+				u.Invlpg(va)
+				if _, f := u.Translate(va, AccessRead); f == nil {
+					return fmt.Errorf("translation survived invlpg")
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "hw/mmu", Name: "accessed-dirty-bits", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				m := mem.New(1 << 24)
+				va := VAddr(0x7000_0000)
+				root := buildFourLevel(m, va, 0x9000, Flags{Writable: true})
+				u := New(m)
+				u.SetRoot(root, 0)
+				leafSlot := leafSlotOf(m, root, va)
+				if _, f := u.Translate(va, AccessRead); f != nil {
+					return fmt.Errorf("read translate: %v", f)
+				}
+				raw, _ := m.Read64(leafSlot)
+				e := Entry{Raw: raw, Level: 1}
+				if !e.Accessed() || e.Dirty() {
+					return fmt.Errorf("after read: A=%t D=%t", e.Accessed(), e.Dirty())
+				}
+				if _, f := u.Translate(va, AccessWrite); f != nil {
+					return fmt.Errorf("write translate: %v", f)
+				}
+				raw, _ = m.Read64(leafSlot)
+				if !(Entry{Raw: raw, Level: 1}).Dirty() {
+					return fmt.Errorf("dirty bit not set by write")
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "hw/mmu", Name: "huge-page-offset-arithmetic", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				m := mem.New(1 << 24)
+				root := mem.PAddr(0x1000)
+				l3 := mem.PAddr(0x2000)
+				va := VAddr(uint64(r.Intn(256)) * L2PageSize)
+				frame := mem.PAddr(uint64(2+r.Intn(30)) * L2PageSize)
+				if err := m.Write64(EntryAddr(root, va, 4), MakeTable(4, l3).Raw); err != nil {
+					return err
+				}
+				l2 := mem.PAddr(0x3000)
+				if err := m.Write64(EntryAddr(l3, va, 3), MakeTable(3, l2).Raw); err != nil {
+					return err
+				}
+				if err := m.Write64(EntryAddr(l2, va, 2), MakeLeaf(2, frame, Flags{Writable: true}).Raw); err != nil {
+					return err
+				}
+				w := Walker{Mem: m}
+				for i := 0; i < 200; i++ {
+					off := uint64(r.Intn(L2PageSize))
+					res := w.Walk(root, va+VAddr(off), AccessRead)
+					if res.Fault != nil {
+						return fmt.Errorf("huge walk at +%#x: %v", off, res.Fault)
+					}
+					if res.Translation.PAddr != frame+mem.PAddr(off) {
+						return fmt.Errorf("huge offset %#x -> %v, want %v",
+							off, res.Translation.PAddr, frame+mem.PAddr(off))
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "hw/mmu", Name: "tlb-asid-isolation", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// Translations cached for one address space must never
+				// serve another (unless Global).
+				tlb := NewTLB(64)
+				tr := Translation{Base: 0x1000, Frame: 0x5000, PageSize: L1PageSize}
+				tlb.Insert(1, tr)
+				if _, hit := tlb.Lookup(2, 0x1000); hit {
+					return fmt.Errorf("translation leaked across ASIDs")
+				}
+				gl := tr
+				gl.Base = 0x9000
+				gl.Global = true
+				tlb.Insert(1, gl)
+				tlb.InvalidateASID(1)
+				if _, hit := tlb.Lookup(1, 0x1000); hit {
+					return fmt.Errorf("non-global survived ASID flush")
+				}
+				if _, hit := tlb.Lookup(1, 0x9000); !hit {
+					return fmt.Errorf("global entry lost on ASID flush")
+				}
+				return nil
+			}},
+	)
+}
+
+// buildFourLevel hand-builds a 4-level path mapping va -> frame.
+func buildFourLevel(m *mem.PhysMem, va VAddr, frame mem.PAddr, fl Flags) mem.PAddr {
+	root := mem.PAddr(0x1000)
+	l3, l2, l1 := mem.PAddr(0x2000), mem.PAddr(0x3000), mem.PAddr(0x4000)
+	_ = m.Write64(EntryAddr(root, va, 4), MakeTable(4, l3).Raw)
+	_ = m.Write64(EntryAddr(l3, va, 3), MakeTable(3, l2).Raw)
+	_ = m.Write64(EntryAddr(l2, va, 2), MakeTable(2, l1).Raw)
+	_ = m.Write64(EntryAddr(l1, va, 1), MakeLeaf(1, frame, fl).Raw)
+	return root
+}
+
+// leafSlotOf finds the physical slot of va's leaf entry.
+func leafSlotOf(m *mem.PhysMem, root mem.PAddr, va VAddr) mem.PAddr {
+	w := Walker{Mem: m}
+	res := w.Walk(root, va, AccessRead)
+	table := root
+	for _, e := range res.Path {
+		if e.IsLeaf() {
+			return EntryAddr(table, va, e.Level)
+		}
+		table = e.Addr()
+	}
+	return 0
+}

@@ -1,0 +1,128 @@
+package mmu
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/hw/mem"
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerMoreObligations is the third hardware-spec wave: virtual
+// read/write through the MMU against a reference, CR3/ASID switch
+// semantics, cross-page access splitting, and canonicalization of the
+// interpretation function.
+func registerMoreObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "hw/mmu", Name: "virtual-rw-matches-physical", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				m := mem.New(1 << 24)
+				va := VAddr(0x4000_0000)
+				frame := mem.PAddr(0x20_0000)
+				root := buildFourLevel(m, va, frame, Flags{Writable: true, User: true})
+				// Map the next page too, for cross-page accesses.
+				l1 := mem.PAddr(0x4000)
+				if err := m.Write64(EntryAddr(l1, va+L1PageSize, 1),
+					MakeLeaf(1, frame+L1PageSize, Flags{Writable: true, User: true}).Raw); err != nil {
+					return err
+				}
+				u := New(m)
+				u.SetRoot(root, 1)
+				for i := 0; i < 200; i++ {
+					off := VAddr(r.Intn(2*L1PageSize - 600))
+					p := make([]byte, 1+r.Intn(512))
+					r.Read(p)
+					if f := u.Write(va+off, p); f != nil {
+						return fmt.Errorf("virtual write at +%#x: %v", uint64(off), f)
+					}
+					phys := make([]byte, len(p))
+					if err := m.Read(frame+mem.PAddr(off), phys); err != nil {
+						return err
+					}
+					if !bytes.Equal(phys, p) {
+						return fmt.Errorf("virtual write landed wrong at +%#x", uint64(off))
+					}
+					back := make([]byte, len(p))
+					if f := u.Read(va+off, back); f != nil {
+						return fmt.Errorf("virtual read: %v", f)
+					}
+					if !bytes.Equal(back, p) {
+						return fmt.Errorf("virtual read diverged at +%#x", uint64(off))
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "hw/mmu", Name: "cr3-switch-isolates-spaces", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// Two address spaces mapping the same VA to different
+				// frames; switching CR3 with distinct ASIDs must route
+				// accesses to the right frame, including TLB-warm paths.
+				m := mem.New(1 << 24)
+				va := VAddr(0x4000_0000)
+				rootA := buildFourLevel(m, va, 0x20_0000, Flags{Writable: true})
+				// Second space at different table frames.
+				rootB := mem.PAddr(0x8000)
+				l3, l2, l1 := mem.PAddr(0x9000), mem.PAddr(0xa000), mem.PAddr(0xb000)
+				_ = m.Write64(EntryAddr(rootB, va, 4), MakeTable(4, l3).Raw)
+				_ = m.Write64(EntryAddr(l3, va, 3), MakeTable(3, l2).Raw)
+				_ = m.Write64(EntryAddr(l2, va, 2), MakeTable(2, l1).Raw)
+				_ = m.Write64(EntryAddr(l1, va, 1), MakeLeaf(1, 0x30_0000, Flags{Writable: true}).Raw)
+
+				u := New(m)
+				for i := 0; i < 50; i++ {
+					u.SetRoot(rootA, 1)
+					tr, f := u.Translate(va, AccessRead)
+					if f != nil || tr.Frame != 0x20_0000 {
+						return fmt.Errorf("space A translated to %v (%v)", tr.Frame, f)
+					}
+					u.SetRoot(rootB, 2)
+					tr, f = u.Translate(va, AccessRead)
+					if f != nil || tr.Frame != 0x30_0000 {
+						return fmt.Errorf("space B translated to %v (%v)", tr.Frame, f)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "hw/mmu", Name: "interpret-canonicalizes-upper-half", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				m := mem.New(1 << 24)
+				va := VAddr(0xffff_8000_0000_0000 + uint64(r.Intn(1024))*L1PageSize)
+				root := buildFourLevel(m, va, 0x20_0000, Flags{Writable: true})
+				w := Walker{Mem: m}
+				abs, err := w.Interpret(root)
+				if err != nil {
+					return err
+				}
+				tr, ok := abs[va]
+				if !ok {
+					return fmt.Errorf("upper-half mapping %v missing from interpretation", va)
+				}
+				if !tr.Base.IsCanonical() {
+					return fmt.Errorf("interpretation key %v not canonical", tr.Base)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "hw/mmu", Name: "fault-reports-access-kind", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				m := mem.New(1 << 24)
+				va := VAddr(0x4000_0000)
+				root := buildFourLevel(m, va, 0x20_0000, Flags{Writable: false, User: false})
+				w := Walker{Mem: m}
+				for _, a := range []Access{AccessWrite, AccessUserRead, AccessUserWrite} {
+					res := w.Walk(root, va, a)
+					if res.Fault == nil {
+						return fmt.Errorf("%v did not fault on RO supervisor page", a)
+					}
+					if res.Fault.Access != a || res.Fault.Addr != va || !res.Fault.Present {
+						return fmt.Errorf("fault info wrong for %v: %+v", a, res.Fault)
+					}
+				}
+				res := w.Walk(root, va+L1PageSize, AccessRead)
+				if res.Fault == nil || res.Fault.Present {
+					return fmt.Errorf("non-present fault misreported: %+v", res.Fault)
+				}
+				return nil
+			}},
+	)
+}

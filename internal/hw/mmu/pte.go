@@ -1,0 +1,170 @@
+package mmu
+
+import (
+	"fmt"
+
+	"github.com/verified-os/vnros/internal/hw/mem"
+)
+
+// Architectural x86-64 page-table entry bits. These are the real bit
+// positions from the Intel SDM; the page-table implementation writes
+// them and this package interprets them.
+const (
+	BitPresent   uint64 = 1 << 0  // P: entry is valid
+	BitWritable  uint64 = 1 << 1  // R/W: writes allowed
+	BitUser      uint64 = 1 << 2  // U/S: user-mode access allowed
+	BitPWT       uint64 = 1 << 3  // page-level write-through
+	BitPCD       uint64 = 1 << 4  // page-level cache disable
+	BitAccessed  uint64 = 1 << 5  // A: set by hardware on access
+	BitDirty     uint64 = 1 << 6  // D: set by hardware on write (leaf only)
+	BitPageSize  uint64 = 1 << 7  // PS: leaf at level 2/3 (huge page)
+	BitGlobal    uint64 = 1 << 8  // G: not flushed on CR3 switch (leaf only)
+	BitNoExecute uint64 = 1 << 63 // XD: instruction fetches disallowed
+
+	// addrMask extracts the 52-bit physical frame base from an entry.
+	addrMask uint64 = ((1 << 52) - 1) &^ ((1 << 12) - 1)
+)
+
+// Entry is a raw 64-bit page-table entry at a known level. The level is
+// needed to decide whether BitPageSize means "huge leaf" (levels 2, 3) or
+// is reserved (level 1 interprets bit 7 as PAT, which we do not model;
+// level 4 entries with PS set are architecture-invalid).
+type Entry struct {
+	Raw   uint64
+	Level int // 4 = PML4E, 3 = PDPTE, 2 = PDE, 1 = PTE
+}
+
+// Present reports whether the entry is valid.
+func (e Entry) Present() bool { return e.Raw&BitPresent != 0 }
+
+// Writable reports the R/W bit.
+func (e Entry) Writable() bool { return e.Raw&BitWritable != 0 }
+
+// User reports the U/S bit.
+func (e Entry) User() bool { return e.Raw&BitUser != 0 }
+
+// NoExec reports the XD bit.
+func (e Entry) NoExec() bool { return e.Raw&BitNoExecute != 0 }
+
+// Global reports the G bit (meaningful on leaves only).
+func (e Entry) Global() bool { return e.Raw&BitGlobal != 0 }
+
+// Accessed reports the A bit.
+func (e Entry) Accessed() bool { return e.Raw&BitAccessed != 0 }
+
+// Dirty reports the D bit.
+func (e Entry) Dirty() bool { return e.Raw&BitDirty != 0 }
+
+// IsLeaf reports whether the present entry maps a page directly rather
+// than pointing at a lower-level table. Level-1 entries are always
+// leaves; level-2/3 entries are leaves when PS is set; level-4 entries
+// are never leaves.
+func (e Entry) IsLeaf() bool {
+	if !e.Present() {
+		return false
+	}
+	switch e.Level {
+	case 1:
+		return true
+	case 2, 3:
+		return e.Raw&BitPageSize != 0
+	default:
+		return false
+	}
+}
+
+// Addr returns the physical address payload: the mapped frame base for a
+// leaf, or the next-level table base otherwise.
+func (e Entry) Addr() mem.PAddr { return mem.PAddr(e.Raw & addrMask) }
+
+// Valid reports whether a present entry is architecturally well formed:
+// the payload address must be aligned to the mapped page size for leaves
+// (the hardware treats misaligned huge-page bases as reserved-bit
+// faults), and level-4 entries must not set PS.
+func (e Entry) Valid() bool {
+	if !e.Present() {
+		return true // non-present entries are ignored entirely
+	}
+	if e.Level == 4 && e.Raw&BitPageSize != 0 {
+		return false
+	}
+	if e.IsLeaf() {
+		size := PageSizeAtLevel(e.Level)
+		return uint64(e.Addr())%size == 0
+	}
+	return true
+}
+
+func (e Entry) String() string {
+	if !e.Present() {
+		return fmt.Sprintf("L%d[not present]", e.Level)
+	}
+	flags := ""
+	for _, f := range []struct {
+		bit  uint64
+		name string
+	}{
+		{BitWritable, "W"}, {BitUser, "U"}, {BitAccessed, "A"},
+		{BitDirty, "D"}, {BitPageSize, "PS"}, {BitGlobal, "G"},
+		{BitNoExecute, "XD"},
+	} {
+		if e.Raw&f.bit != 0 {
+			flags += f.name
+		}
+	}
+	return fmt.Sprintf("L%d[%v %s]", e.Level, e.Addr(), flags)
+}
+
+// Flags is the portable permission set used by the page-table API; the
+// implementation encodes it into architectural bits and the walk decodes
+// it back.
+type Flags struct {
+	Writable bool
+	User     bool
+	NoExec   bool
+	Global   bool
+}
+
+// MakeLeaf builds a present leaf entry at the given level mapping the
+// (suitably aligned) frame with the given flags.
+func MakeLeaf(level int, frame mem.PAddr, f Flags) Entry {
+	raw := uint64(frame) & addrMask
+	raw |= BitPresent
+	if level == 2 || level == 3 {
+		raw |= BitPageSize
+	}
+	if f.Writable {
+		raw |= BitWritable
+	}
+	if f.User {
+		raw |= BitUser
+	}
+	if f.NoExec {
+		raw |= BitNoExecute
+	}
+	if f.Global {
+		raw |= BitGlobal
+	}
+	return Entry{Raw: raw, Level: level}
+}
+
+// MakeTable builds a present non-leaf entry at the given level pointing
+// at a lower-level table frame. Directory entries are maximally
+// permissive (writable + user); effective permissions are the AND along
+// the walk, so leaves carry the real policy. This matches how NrOS
+// builds its tables and keeps the interpretation function simple.
+func MakeTable(level int, table mem.PAddr) Entry {
+	raw := uint64(table) & addrMask
+	raw |= BitPresent | BitWritable | BitUser
+	return Entry{Raw: raw, Level: level}
+}
+
+// LeafFlags extracts the portable flags from a leaf entry.
+func (e Entry) LeafFlags() Flags {
+	return Flags{
+		Writable: e.Writable(),
+		User:     e.User(),
+		NoExec:   e.NoExec(),
+		Global:   e.Global(),
+	}
+}

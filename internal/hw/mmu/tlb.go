@@ -1,0 +1,138 @@
+package mmu
+
+import (
+	"sync"
+
+	"github.com/verified-os/vnros/internal/hw/mem"
+)
+
+// TLB models a translation lookaside buffer: a bounded cache of page
+// translations keyed by (address-space tag, virtual page base). It
+// captures the property that matters for correctness arguments — a
+// translation may be served from the TLB until explicitly invalidated —
+// rather than any particular associativity.
+//
+// The unmap path of the page-table implementation must invalidate before
+// it can assume the mapping is gone; the hardware-spec VCs include a
+// "stale TLB" scenario showing the MMU really does keep serving cached
+// translations after the PTE bits are cleared.
+type TLB struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[tlbKey]*tlbEntry
+	clock   uint64 // for FIFO-ish eviction
+
+	hits   uint64
+	misses uint64
+}
+
+type tlbKey struct {
+	asid uint16
+	base VAddr
+}
+
+type tlbEntry struct {
+	tr    Translation
+	stamp uint64
+}
+
+// DefaultTLBSize is the default number of cached translations, roughly a
+// contemporary L2 STLB.
+const DefaultTLBSize = 1536
+
+// NewTLB returns a TLB holding at most capacity translations.
+// A non-positive capacity selects DefaultTLBSize.
+func NewTLB(capacity int) *TLB {
+	if capacity <= 0 {
+		capacity = DefaultTLBSize
+	}
+	return &TLB{cap: capacity, entries: make(map[tlbKey]*tlbEntry)}
+}
+
+// Lookup returns the cached translation covering va in the given address
+// space, if any. The caller must still perform permission checks; the
+// TLB caches the translation including its permission bits, as hardware
+// does.
+func (t *TLB) Lookup(asid uint16, va VAddr) (Translation, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Probe each supported page size: hardware probes set-indexed by
+	// page size; three map probes model that faithfully enough.
+	for _, size := range []uint64{L1PageSize, L2PageSize, L3PageSize} {
+		if e, ok := t.entries[tlbKey{asid, va.PageBase(size)}]; ok && e.tr.PageSize == size {
+			t.hits++
+			tr := e.tr
+			tr.PAddr = tr.Frame + mem.PAddr(va.PageOffset(size))
+			return tr, true
+		}
+	}
+	t.misses++
+	return Translation{}, false
+}
+
+// Insert caches a translation for the given address space.
+func (t *TLB) Insert(asid uint16, tr Translation) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.entries) >= t.cap {
+		t.evictLocked()
+	}
+	t.clock++
+	t.entries[tlbKey{asid, tr.Base}] = &tlbEntry{tr: tr, stamp: t.clock}
+}
+
+// evictLocked removes the oldest entry.
+func (t *TLB) evictLocked() {
+	var victim tlbKey
+	var oldest uint64 = ^uint64(0)
+	for k, e := range t.entries {
+		if e.stamp < oldest {
+			oldest = e.stamp
+			victim = k
+		}
+	}
+	delete(t.entries, victim)
+}
+
+// Invalidate drops any cached translation covering va in the given
+// address space (the invlpg instruction).
+func (t *TLB) Invalidate(asid uint16, va VAddr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, size := range []uint64{L1PageSize, L2PageSize, L3PageSize} {
+		delete(t.entries, tlbKey{asid, va.PageBase(size)})
+	}
+}
+
+// InvalidateASID drops all non-global translations for one address space
+// (a CR3 write without PCID preservation).
+func (t *TLB) InvalidateASID(asid uint16) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, e := range t.entries {
+		if k.asid == asid && !e.tr.Global {
+			delete(t.entries, k)
+		}
+	}
+}
+
+// Flush drops everything, including global entries (CR4.PGE toggle).
+func (t *TLB) Flush() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = make(map[tlbKey]*tlbEntry)
+}
+
+// Len returns the number of cached translations.
+func (t *TLB) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// HitRate returns hits and misses since creation.
+func (t *TLB) HitRate() (hits, misses uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hits, t.misses
+}

@@ -1,0 +1,148 @@
+// Package mmu is the hardware specification of the simulated x86-64
+// memory management unit (§5 of the paper).
+//
+// It defines the architectural page-table entry bit layout, a 4-level
+// page-walk interpreter that reads page-table bits out of simulated
+// physical memory exactly as the hardware would, and a TLB model with
+// explicit invalidation. The page-table implementation in internal/pt is
+// proven (by the refinement obligations in internal/pt and the VC engine)
+// to produce memory states that this interpreter decodes to the intended
+// abstract map from virtual addresses to page mappings.
+package mmu
+
+import (
+	"fmt"
+
+	"github.com/verified-os/vnros/internal/hw/mem"
+)
+
+// VAddr is a virtual byte address.
+type VAddr uint64
+
+// Virtual address geometry for 4-level (48-bit) x86-64 paging.
+const (
+	// Levels is the depth of the page-table tree (PML4, PDPT, PD, PT).
+	Levels = 4
+	// IndexBits is the number of virtual address bits consumed per level.
+	IndexBits = 9
+	// EntriesPerTable is the number of entries in one table frame.
+	EntriesPerTable = 1 << IndexBits
+	// VABits is the number of translated virtual address bits.
+	VABits = 48
+	// L1PageSize is the bytes mapped by one level-1 (PT) entry: 4 KiB.
+	L1PageSize = 1 << 12
+	// L2PageSize is the bytes mapped by one level-2 (PD) huge entry: 2 MiB.
+	L2PageSize = 1 << 21
+	// L3PageSize is the bytes mapped by one level-3 (PDPT) huge entry: 1 GiB.
+	L3PageSize = 1 << 30
+)
+
+// PageSizeAtLevel returns the bytes mapped by a leaf entry at the given
+// level (1, 2 or 3). Level 4 entries can never be leaves.
+func PageSizeAtLevel(level int) uint64 {
+	switch level {
+	case 1:
+		return L1PageSize
+	case 2:
+		return L2PageSize
+	case 3:
+		return L3PageSize
+	}
+	panic(fmt.Sprintf("mmu: no leaf pages at level %d", level))
+}
+
+// Index returns the 9-bit table index used at the given level (4 = PML4
+// down to 1 = PT), mirroring the hardware's bit slicing.
+func (v VAddr) Index(level int) uint64 {
+	shift := uint(12 + IndexBits*(level-1))
+	return (uint64(v) >> shift) & (EntriesPerTable - 1)
+}
+
+// PageOffset returns the offset of v within a page of the given size.
+func (v VAddr) PageOffset(pageSize uint64) uint64 { return uint64(v) & (pageSize - 1) }
+
+// PageBase returns v rounded down to a multiple of pageSize.
+func (v VAddr) PageBase(pageSize uint64) VAddr { return v &^ VAddr(pageSize-1) }
+
+// IsCanonical reports whether v is a canonical 48-bit virtual address:
+// bits 63..47 must all equal bit 47. Non-canonical addresses fault in
+// hardware before translation begins.
+func (v VAddr) IsCanonical() bool {
+	top := uint64(v) >> (VABits - 1)
+	return top == 0 || top == (1<<(64-VABits+1))-1
+}
+
+func (v VAddr) String() string { return fmt.Sprintf("va:%#x", uint64(v)) }
+
+// Access is the kind of memory access being translated; it selects which
+// permission bits the MMU checks.
+type Access int
+
+// Access kinds.
+const (
+	AccessRead Access = iota
+	AccessWrite
+	AccessExec
+	AccessUserRead
+	AccessUserWrite
+	AccessUserExec
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	case AccessUserRead:
+		return "user-read"
+	case AccessUserWrite:
+		return "user-write"
+	case AccessUserExec:
+		return "user-exec"
+	}
+	return fmt.Sprintf("access(%d)", int(a))
+}
+
+// isUser reports whether the access originates from CPL 3.
+func (a Access) isUser() bool { return a >= AccessUserRead }
+
+// isWrite reports whether the access stores to memory.
+func (a Access) isWrite() bool { return a == AccessWrite || a == AccessUserWrite }
+
+// isExec reports whether the access fetches an instruction.
+func (a Access) isExec() bool { return a == AccessExec || a == AccessUserExec }
+
+// Fault is a simulated page fault: the architectural error information
+// the CPU would push for this failed translation.
+type Fault struct {
+	Addr    VAddr
+	Access  Access
+	Present bool // fault on a present entry (permission) vs non-present
+	Reason  string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mmu: page fault at %v during %v (present=%t): %s",
+		f.Addr, f.Access, f.Present, f.Reason)
+}
+
+// Translation is the successful result of a page walk: the physical
+// address plus the mapping's page geometry and effective permissions, as
+// cached by the TLB.
+type Translation struct {
+	PAddr    mem.PAddr // translated physical address for the probed VAddr
+	Base     VAddr     // virtual base of the containing page
+	Frame    mem.PAddr // physical base of the containing page
+	PageSize uint64
+	Writable bool
+	User     bool
+	NoExec   bool
+	Global   bool
+	// Dirty records whether the hardware has already set the leaf's
+	// dirty bit for this cached translation; a write through a clean
+	// cached translation forces a re-walk to set it, as hardware does.
+	Dirty bool
+}

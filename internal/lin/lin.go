@@ -1,0 +1,282 @@
+// Package lin checks linearizability of concurrent histories against a
+// sequential model — the Go analog of IronSync's node-replication
+// theorem (§4.3): "a sequential data structure replicated with NR
+// remains linearizable".
+//
+// The checker implements the Wing–Gong search with Lowe-style
+// memoization: it looks for a total order of the observed operations
+// that (a) respects real-time order (an operation that returned before
+// another was invoked must precede it) and (b) yields exactly the
+// observed responses when replayed against the sequential model.
+//
+// Histories are recorded with Recorder during concurrent test runs; the
+// NR verification conditions record histories of randomized workloads
+// and require them to be linearizable.
+package lin
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Op is one completed operation in a history.
+type Op[O any, R any] struct {
+	Thread int
+	Input  O
+	Output R
+	// Invoke and Return are logical timestamps from the recorder's
+	// global clock; Invoke < Return.
+	Invoke int64
+	Return int64
+}
+
+// History is a set of completed operations.
+type History[O any, R any] struct {
+	Ops []Op[O, R]
+}
+
+// Recorder builds a history from a concurrent run. Safe for concurrent
+// use.
+type Recorder[O any, R any] struct {
+	clock atomic.Int64
+	mu    sync.Mutex
+	ops   []Op[O, R]
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder[O any, R any]() *Recorder[O, R] {
+	return &Recorder[O, R]{}
+}
+
+// Invoke notes the start of an operation and returns a token to pass to
+// Return.
+func (r *Recorder[O, R]) Invoke(thread int, in O) *PendingOp[O, R] {
+	return &PendingOp[O, R]{rec: r, op: Op[O, R]{Thread: thread, Input: in, Invoke: r.clock.Add(1)}}
+}
+
+// PendingOp is an invoked-but-not-returned operation.
+type PendingOp[O any, R any] struct {
+	rec *Recorder[O, R]
+	op  Op[O, R]
+}
+
+// Return completes the operation with its observed output.
+func (p *PendingOp[O, R]) Return(out R) {
+	p.op.Output = out
+	p.op.Return = p.rec.clock.Add(1)
+	p.rec.mu.Lock()
+	p.rec.ops = append(p.rec.ops, p.op)
+	p.rec.mu.Unlock()
+}
+
+// History returns the completed operations recorded so far.
+func (r *Recorder[O, R]) History() History[O, R] {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ops := make([]Op[O, R], len(r.ops))
+	copy(ops, r.ops)
+	return History[O, R]{Ops: ops}
+}
+
+// Model is the sequential specification the history is checked against.
+type Model[S any, O any, R any] struct {
+	// Init returns the initial state.
+	Init func() S
+	// Apply executes one operation sequentially.
+	Apply func(s S, in O) (S, R)
+	// Key fingerprints a state for memoization. States with equal keys
+	// must be observably equal.
+	Key func(s S) string
+	// EqualResp compares an observed response with the model's.
+	EqualResp func(a, b R) bool
+}
+
+// MaxOps bounds the history size the exhaustive checker accepts; the
+// search is exponential in the worst case and the bitmask memoization
+// uses one bit per operation.
+const MaxOps = 64
+
+// ErrTooLarge is returned for histories exceeding MaxOps.
+var ErrTooLarge = errors.New("lin: history too large for exhaustive check")
+
+// ErrNotLinearizable is returned when no valid linearization exists.
+var ErrNotLinearizable = errors.New("lin: history is not linearizable")
+
+// Check searches for a linearization of h under m. It returns nil if
+// one exists, ErrNotLinearizable if provably none exists, or ErrTooLarge.
+func Check[S any, O any, R any](m Model[S, O, R], h History[O, R]) error {
+	n := len(h.Ops)
+	if n == 0 {
+		return nil
+	}
+	if n > MaxOps {
+		return fmt.Errorf("%w: %d ops (max %d)", ErrTooLarge, n, MaxOps)
+	}
+	ops := make([]Op[O, R], n)
+	copy(ops, h.Ops)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+
+	c := &checker[S, O, R]{m: m, ops: ops, visited: make(map[string]bool)}
+	if c.search(fullMask(n), m.Init()) {
+		return nil
+	}
+	return fmt.Errorf("%w: %d ops, no valid total order", ErrNotLinearizable, n)
+}
+
+type checker[S any, O any, R any] struct {
+	m       Model[S, O, R]
+	ops     []Op[O, R]
+	visited map[string]bool
+}
+
+func fullMask(n int) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << n) - 1
+}
+
+// search tries to linearize the operations in mask starting from state s.
+func (c *checker[S, O, R]) search(mask uint64, s S) bool {
+	if mask == 0 {
+		return true
+	}
+	key := fmt.Sprintf("%x|%s", mask, c.m.Key(s))
+	if c.visited[key] {
+		return false
+	}
+	c.visited[key] = true
+
+	// An operation is a candidate for the next linearization slot if no
+	// other remaining operation returned before it was invoked.
+	minReturn := int64(1) << 62
+	for i := 0; i < len(c.ops); i++ {
+		if mask&(1<<uint(i)) != 0 && c.ops[i].Return < minReturn {
+			minReturn = c.ops[i].Return
+		}
+	}
+	for i := 0; i < len(c.ops); i++ {
+		bit := uint64(1) << uint(i)
+		if mask&bit == 0 {
+			continue
+		}
+		op := c.ops[i]
+		if op.Invoke > minReturn {
+			// Some remaining operation returned before this one was
+			// invoked; real-time order forbids linearizing this first.
+			// ops are sorted by Invoke, so no later op qualifies either.
+			break
+		}
+		s2, resp := c.m.Apply(s, op.Input)
+		if !c.m.EqualResp(resp, op.Output) {
+			continue
+		}
+		if c.search(mask&^bit, s2) {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckChunked splits a large history into windows of at most MaxOps
+// operations (ordered by invocation) and checks each window against the
+// model state produced by linearizing the previous windows. This is
+// sound for histories whose windows do not overlap in real time beyond
+// the window boundary; the recorder's workloads use barriers between
+// windows to guarantee that. It returns the first failure.
+func CheckChunked[S any, O any, R any](m Model[S, O, R], h History[O, R], window int) error {
+	if window <= 0 || window > MaxOps {
+		window = MaxOps
+	}
+	ops := make([]Op[O, R], len(h.Ops))
+	copy(ops, h.Ops)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+
+	state := m.Init()
+	for start := 0; start < len(ops); start += window {
+		end := start + window
+		if end > len(ops) {
+			end = len(ops)
+		}
+		chunk := History[O, R]{Ops: ops[start:end]}
+		mm := m
+		mm.Init = func() S { return state }
+		if err := Check(mm, chunk); err != nil {
+			return fmt.Errorf("window [%d,%d): %w", start, end, err)
+		}
+		// Advance the state along one witnessed linearization: replay in
+		// linearized order. Re-run the search capturing the order.
+		order, ok := linearization(mm, chunk)
+		if !ok {
+			return fmt.Errorf("window [%d,%d): %w", start, end, ErrNotLinearizable)
+		}
+		for _, op := range order {
+			state, _ = m.Apply(state, op.Input)
+		}
+	}
+	return nil
+}
+
+// linearization returns a witnessed linear order for a checkable history.
+func linearization[S any, O any, R any](m Model[S, O, R], h History[O, R]) ([]Op[O, R], bool) {
+	n := len(h.Ops)
+	if n == 0 {
+		return nil, true
+	}
+	ops := make([]Op[O, R], n)
+	copy(ops, h.Ops)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+	c := &witnessChecker[S, O, R]{checker[S, O, R]{m: m, ops: ops, visited: make(map[string]bool)}, nil}
+	if c.search(fullMask(n), m.Init(), &c.order) {
+		// order was built in reverse unwinding; reverse it.
+		for i, j := 0, len(c.order)-1; i < j; i, j = i+1, j-1 {
+			c.order[i], c.order[j] = c.order[j], c.order[i]
+		}
+		return c.order, true
+	}
+	return nil, false
+}
+
+type witnessChecker[S any, O any, R any] struct {
+	checker[S, O, R]
+	order []Op[O, R]
+}
+
+func (c *witnessChecker[S, O, R]) search(mask uint64, s S, out *[]Op[O, R]) bool {
+	if mask == 0 {
+		return true
+	}
+	key := fmt.Sprintf("%x|%s", mask, c.m.Key(s))
+	if c.visited[key] {
+		return false
+	}
+	c.visited[key] = true
+	minReturn := int64(1) << 62
+	for i := 0; i < len(c.ops); i++ {
+		if mask&(1<<uint(i)) != 0 && c.ops[i].Return < minReturn {
+			minReturn = c.ops[i].Return
+		}
+	}
+	for i := 0; i < len(c.ops); i++ {
+		bit := uint64(1) << uint(i)
+		if mask&bit == 0 {
+			continue
+		}
+		op := c.ops[i]
+		if op.Invoke > minReturn {
+			break
+		}
+		s2, resp := c.m.Apply(s, op.Input)
+		if !c.m.EqualResp(resp, op.Output) {
+			continue
+		}
+		if c.search(mask&^bit, s2, out) {
+			*out = append(*out, op)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+package lin
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerMoreObligations adds the chunked-checker VCs: windowed
+// checking accepts long valid histories and still catches a violation
+// planted in any window.
+func registerMoreObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "lin", Name: "chunked-accepts-long-histories", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				h := generateValidHistory(r, 200)
+				if err := CheckChunked(regModel(), h, 40); err != nil {
+					return fmt.Errorf("valid 200-op history rejected: %w", err)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "lin", Name: "chunked-catches-violation-any-window", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				for trial := 0; trial < 10; trial++ {
+					h := generateValidHistory(r, 150)
+					// Corrupt one read in a random window to a value no
+					// write ever produced.
+					idx := r.Intn(len(h.Ops))
+					for i := 0; i < len(h.Ops); i++ {
+						j := (idx + i) % len(h.Ops)
+						if !h.Ops[j].Input.write {
+							h.Ops[j].Output.v = 777_777
+							idx = j
+							break
+						}
+					}
+					if err := CheckChunked(regModel(), h, 30); err == nil {
+						return fmt.Errorf("trial %d: corruption at op %d escaped windowed check", trial, idx)
+					}
+				}
+				return nil
+			}},
+	)
+}

@@ -1,0 +1,238 @@
+package lin
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// regModel is a single register with read/write/cas operations.
+type regOp struct {
+	kind      string // "read", "write", "cas"
+	arg, arg2 int
+}
+
+type regResp struct {
+	val int
+	ok  bool
+}
+
+func regM() Model[int, regOp, regResp] {
+	return Model[int, regOp, regResp]{
+		Init: func() int { return 0 },
+		Apply: func(s int, in regOp) (int, regResp) {
+			switch in.kind {
+			case "read":
+				return s, regResp{val: s, ok: true}
+			case "write":
+				return in.arg, regResp{ok: true}
+			case "cas":
+				if s == in.arg {
+					return in.arg2, regResp{ok: true}
+				}
+				return s, regResp{ok: false}
+			}
+			return s, regResp{}
+		},
+		Key:       func(s int) string { return fmt.Sprint(s) },
+		EqualResp: func(a, b regResp) bool { return a == b },
+	}
+}
+
+func op(thread int, in regOp, out regResp, inv, ret int64) Op[regOp, regResp] {
+	return Op[regOp, regResp]{Thread: thread, Input: in, Output: out, Invoke: inv, Return: ret}
+}
+
+func TestEmptyHistoryLinearizable(t *testing.T) {
+	if err := Check(regM(), History[regOp, regResp]{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialHistory(t *testing.T) {
+	h := History[regOp, regResp]{Ops: []Op[regOp, regResp]{
+		op(0, regOp{kind: "write", arg: 5}, regResp{ok: true}, 1, 2),
+		op(0, regOp{kind: "read"}, regResp{val: 5, ok: true}, 3, 4),
+		op(0, regOp{kind: "cas", arg: 5, arg2: 7}, regResp{ok: true}, 5, 6),
+		op(0, regOp{kind: "read"}, regResp{val: 7, ok: true}, 7, 8),
+	}}
+	if err := Check(regM(), h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleReadNotLinearizable(t *testing.T) {
+	// write(5) completes strictly before read() begins, yet read
+	// observed 0: no linearization exists.
+	h := History[regOp, regResp]{Ops: []Op[regOp, regResp]{
+		op(0, regOp{kind: "write", arg: 5}, regResp{ok: true}, 1, 2),
+		op(1, regOp{kind: "read"}, regResp{val: 0, ok: true}, 3, 4),
+	}}
+	err := Check(regM(), h)
+	if !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOverlappingReadMayGoEitherWay(t *testing.T) {
+	// read overlaps the write: observing either 0 or 5 is legal.
+	for _, val := range []int{0, 5} {
+		h := History[regOp, regResp]{Ops: []Op[regOp, regResp]{
+			op(0, regOp{kind: "write", arg: 5}, regResp{ok: true}, 1, 4),
+			op(1, regOp{kind: "read"}, regResp{val: val, ok: true}, 2, 3),
+		}}
+		if err := Check(regM(), h); err != nil {
+			t.Fatalf("val=%d: %v", val, err)
+		}
+	}
+}
+
+func TestDoubleCASOnlyOneSucceeds(t *testing.T) {
+	// Two concurrent cas(0->x): both claiming success is not
+	// linearizable.
+	bad := History[regOp, regResp]{Ops: []Op[regOp, regResp]{
+		op(0, regOp{kind: "cas", arg: 0, arg2: 1}, regResp{ok: true}, 1, 4),
+		op(1, regOp{kind: "cas", arg: 0, arg2: 2}, regResp{ok: true}, 2, 3),
+	}}
+	if err := Check(regM(), bad); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("err = %v", err)
+	}
+	good := History[regOp, regResp]{Ops: []Op[regOp, regResp]{
+		op(0, regOp{kind: "cas", arg: 0, arg2: 1}, regResp{ok: true}, 1, 4),
+		op(1, regOp{kind: "cas", arg: 0, arg2: 2}, regResp{ok: false}, 2, 3),
+	}}
+	if err := Check(regM(), good); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	h := History[regOp, regResp]{}
+	for i := 0; i < MaxOps+1; i++ {
+		h.Ops = append(h.Ops, op(0, regOp{kind: "read"}, regResp{val: 0, ok: true}, int64(2*i+1), int64(2*i+2)))
+	}
+	if err := Check(regM(), h); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRecorderOrdersTimestamps(t *testing.T) {
+	rec := NewRecorder[regOp, regResp]()
+	p := rec.Invoke(0, regOp{kind: "write", arg: 1})
+	p.Return(regResp{ok: true})
+	p2 := rec.Invoke(1, regOp{kind: "read"})
+	p2.Return(regResp{val: 1, ok: true})
+	h := rec.History()
+	if len(h.Ops) != 2 {
+		t.Fatalf("ops = %d", len(h.Ops))
+	}
+	for _, o := range h.Ops {
+		if o.Invoke >= o.Return {
+			t.Errorf("op has Invoke %d >= Return %d", o.Invoke, o.Return)
+		}
+	}
+	if err := Check(regM(), h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentMutexCounter records a real concurrent history from a
+// mutex-protected counter and checks it linearizes.
+func TestConcurrentMutexCounter(t *testing.T) {
+	type incOp struct{}
+	type incResp struct{ old int }
+	m := Model[int, incOp, incResp]{
+		Init:      func() int { return 0 },
+		Apply:     func(s int, _ incOp) (int, incResp) { return s + 1, incResp{old: s} },
+		Key:       func(s int) string { return fmt.Sprint(s) },
+		EqualResp: func(a, b incResp) bool { return a == b },
+	}
+	rec := NewRecorder[incOp, incResp]()
+	var mu sync.Mutex
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				p := rec.Invoke(g, incOp{})
+				mu.Lock()
+				old := counter
+				counter++
+				mu.Unlock()
+				p.Return(incResp{old: old})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := Check(m, rec.History()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBrokenCounterDetected records a racy counter (lost updates) and
+// expects non-linearizability for some seed. We construct the broken
+// history deterministically instead of relying on a data race: two
+// increments both observing old=0 and a later read observing 1.
+func TestBrokenCounterDetected(t *testing.T) {
+	type incOp struct{ read bool }
+	type incResp struct{ val int }
+	m := Model[int, incOp, incResp]{
+		Init: func() int { return 0 },
+		Apply: func(s int, in incOp) (int, incResp) {
+			if in.read {
+				return s, incResp{val: s}
+			}
+			return s + 1, incResp{val: s}
+		},
+		Key:       func(s int) string { return fmt.Sprint(s) },
+		EqualResp: func(a, b incResp) bool { return a == b },
+	}
+	h := History[incOp, incResp]{Ops: []Op[incOp, incResp]{
+		{Thread: 0, Input: incOp{}, Output: incResp{val: 0}, Invoke: 1, Return: 3},
+		{Thread: 1, Input: incOp{}, Output: incResp{val: 0}, Invoke: 2, Return: 4},
+		{Thread: 0, Input: incOp{read: true}, Output: incResp{val: 1}, Invoke: 5, Return: 6},
+	}}
+	if err := Check(m, h); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("lost update not detected: %v", err)
+	}
+}
+
+func TestCheckChunked(t *testing.T) {
+	// 150 sequential increments split into windows must pass and thread
+	// state across windows.
+	type incOp struct{}
+	type incResp struct{ old int }
+	m := Model[int, incOp, incResp]{
+		Init:      func() int { return 0 },
+		Apply:     func(s int, _ incOp) (int, incResp) { return s + 1, incResp{old: s} },
+		Key:       func(s int) string { return fmt.Sprint(s) },
+		EqualResp: func(a, b incResp) bool { return a == b },
+	}
+	var h History[incOp, incResp]
+	for i := 0; i < 150; i++ {
+		h.Ops = append(h.Ops, Op[incOp, incResp]{
+			Input: incOp{}, Output: incResp{old: i}, Invoke: int64(2*i + 1), Return: int64(2*i + 2)})
+	}
+	if err := CheckChunked(m, h, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one response in the third window.
+	h.Ops[120].Output = incResp{old: 999}
+	if err := CheckChunked(m, h, 50); err == nil {
+		t.Fatal("corrupted window passed")
+	}
+}
+
+func TestObligationsAllPass(t *testing.T) {
+	g := &verifier.Registry{}
+	RegisterObligations(g)
+	rep := g.Run(verifier.Options{Seed: 107})
+	for _, f := range rep.Failed() {
+		t.Errorf("VC %s failed: %v", f.Obligation.ID(), f.Err)
+	}
+}

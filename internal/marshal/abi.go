@@ -1,0 +1,53 @@
+package marshal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SyscallFrame models the register state transferred by the hardware
+// syscall instruction: the syscall number plus the six argument
+// registers of the x86-64 SysV syscall convention (rdi, rsi, rdx, r10,
+// r8, r9). The paper's §3 notes that "for systems where some of the
+// arguments are passed in registers, we would need to model the ABI as
+// an assumption of the serialization library, and an unverified shim
+// that unpacks the values from registers" — this type is that model,
+// and PackArgs/UnpackArgs are the shim, written so the round-trip is a
+// checkable lemma rather than an assumption.
+type SyscallFrame struct {
+	Num  uint64
+	Args [6]uint64
+}
+
+// ErrTooManyArgs reports more than six register arguments.
+var ErrTooManyArgs = errors.New("marshal: more than 6 register arguments")
+
+// PackArgs builds a frame from a syscall number and scalar arguments.
+func PackArgs(num uint64, args ...uint64) (SyscallFrame, error) {
+	if len(args) > 6 {
+		return SyscallFrame{}, fmt.Errorf("%w: %d", ErrTooManyArgs, len(args))
+	}
+	f := SyscallFrame{Num: num}
+	copy(f.Args[:], args)
+	return f, nil
+}
+
+// UnpackArgs extracts n scalar arguments from the frame.
+func UnpackArgs(f SyscallFrame, n int) ([]uint64, error) {
+	if n > 6 {
+		return nil, fmt.Errorf("%w: %d", ErrTooManyArgs, n)
+	}
+	out := make([]uint64, n)
+	copy(out, f.Args[:n])
+	return out, nil
+}
+
+// RetFrame models the register state on syscall return: rax (value) and
+// a kernel-defined errno word.
+type RetFrame struct {
+	Value uint64
+	Errno uint64
+}
+
+// OK reports whether the call succeeded (errno 0).
+func (r RetFrame) OK() bool { return r.Errno == 0 }

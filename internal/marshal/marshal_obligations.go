@@ -1,0 +1,107 @@
+package marshal
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// RegisterObligations registers the §3 marshalling round-trip lemmas.
+func RegisterObligations(g *verifier.Registry) {
+	registerMoreObligations(g)
+	g.Register(
+		verifier.Obligation{Module: "marshal", Name: "scalar-round-trip", Kind: verifier.KindRoundTrip,
+			Check: func(r *rand.Rand) error {
+				for i := 0; i < 5000; i++ {
+					a, b16, c32, d64 := uint8(r.Uint32()), uint16(r.Uint32()), r.Uint32(), r.Uint64()
+					i64 := int64(r.Uint64())
+					bl := r.Intn(2) == 0
+					e := NewEncoder(nil)
+					e.U8(a).U16(b16).U32(c32).U64(d64).I64(i64).Bool(bl)
+					d := NewDecoder(e.Bytes())
+					if d.U8() != a || d.U16() != b16 || d.U32() != c32 || d.U64() != d64 ||
+						d.I64() != i64 || d.Bool() != bl {
+						return fmt.Errorf("scalar round trip mismatch at iter %d", i)
+					}
+					if err := d.Finish(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "marshal", Name: "bytes-round-trip", Kind: verifier.KindRoundTrip,
+			Check: func(r *rand.Rand) error {
+				for i := 0; i < 500; i++ {
+					p := make([]byte, r.Intn(4096))
+					r.Read(p)
+					s := fmt.Sprintf("path-%d-\x00-unicode-✓", r.Intn(100))
+					e := NewEncoder(nil)
+					e.BytesField(p).String(s)
+					d := NewDecoder(e.Bytes())
+					if !bytes.Equal(d.BytesField(), p) || d.String() != s {
+						return fmt.Errorf("bytes round trip mismatch at iter %d", i)
+					}
+					if err := d.Finish(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "marshal", Name: "decode-rejects-truncation", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				e := NewEncoder(nil)
+				e.U64(12345).BytesField([]byte("hello")).U32(7)
+				full := e.Bytes()
+				for cut := 0; cut < len(full); cut++ {
+					d := NewDecoder(full[:cut])
+					_ = d.U64()
+					_ = d.BytesField()
+					_ = d.U32()
+					if d.Err() == nil {
+						return fmt.Errorf("truncation at %d/%d not detected", cut, len(full))
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "marshal", Name: "decode-rejects-oversized-length", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// A hostile length prefix must not cause a huge copy.
+				e := NewEncoder(nil)
+				e.U32(MaxBytes + 1)
+				d := NewDecoder(e.Bytes())
+				if d.BytesField() != nil || d.Err() == nil {
+					return fmt.Errorf("oversized length accepted")
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "marshal", Name: "abi-register-round-trip", Kind: verifier.KindRoundTrip,
+			Check: func(r *rand.Rand) error {
+				for i := 0; i < 2000; i++ {
+					n := r.Intn(7)
+					args := make([]uint64, n)
+					for j := range args {
+						args[j] = r.Uint64()
+					}
+					f, err := PackArgs(uint64(r.Intn(64)), args...)
+					if err != nil {
+						return err
+					}
+					got, err := UnpackArgs(f, n)
+					if err != nil {
+						return err
+					}
+					for j := range args {
+						if got[j] != args[j] {
+							return fmt.Errorf("register %d mismatch", j)
+						}
+					}
+				}
+				if _, err := PackArgs(1, 1, 2, 3, 4, 5, 6, 7); err == nil {
+					return fmt.Errorf("7 register args accepted")
+				}
+				return nil
+			}},
+	)
+}

@@ -1,0 +1,167 @@
+package marshal
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerMoreObligations is the second wave of marshalling VCs: codec
+// composition (any random sequence of field writes decodes with the
+// same schedule), encoder buffer reuse safety, wire-format stability
+// (golden bytes), and adversarial-input robustness (random bytes never
+// panic and always either decode or error).
+func registerMoreObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "marshal", Name: "random-schema-round-trip", Kind: verifier.KindRoundTrip,
+			Check: func(r *rand.Rand) error {
+				for trial := 0; trial < 300; trial++ {
+					// Build a random schema of 1..12 fields.
+					n := 1 + r.Intn(12)
+					kinds := make([]int, n)
+					vals := make([]any, n)
+					e := NewEncoder(nil)
+					for i := 0; i < n; i++ {
+						kinds[i] = r.Intn(6)
+						switch kinds[i] {
+						case 0:
+							v := uint8(r.Uint32())
+							vals[i] = v
+							e.U8(v)
+						case 1:
+							v := uint16(r.Uint32())
+							vals[i] = v
+							e.U16(v)
+						case 2:
+							v := r.Uint32()
+							vals[i] = v
+							e.U32(v)
+						case 3:
+							v := r.Uint64()
+							vals[i] = v
+							e.U64(v)
+						case 4:
+							v := make([]byte, r.Intn(64))
+							r.Read(v)
+							vals[i] = v
+							e.BytesField(v)
+						default:
+							v := r.Intn(2) == 0
+							vals[i] = v
+							e.Bool(v)
+						}
+					}
+					d := NewDecoder(e.Bytes())
+					for i := 0; i < n; i++ {
+						var ok bool
+						switch kinds[i] {
+						case 0:
+							ok = d.U8() == vals[i].(uint8)
+						case 1:
+							ok = d.U16() == vals[i].(uint16)
+						case 2:
+							ok = d.U32() == vals[i].(uint32)
+						case 3:
+							ok = d.U64() == vals[i].(uint64)
+						case 4:
+							ok = bytes.Equal(d.BytesField(), vals[i].([]byte))
+						default:
+							ok = d.Bool() == vals[i].(bool)
+						}
+						if !ok {
+							return fmt.Errorf("trial %d field %d (kind %d) mismatched", trial, i, kinds[i])
+						}
+					}
+					if err := d.Finish(); err != nil {
+						return fmt.Errorf("trial %d: %w", trial, err)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "marshal", Name: "wire-format-golden-bytes", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// The format is an ABI: these exact bytes must never
+				// change, or persisted filesystems and cross-version
+				// messages break.
+				e := NewEncoder(nil)
+				e.U8(0x12).U16(0x3456).U32(0x789abcde).U64(0x0123456789abcdef)
+				e.Bool(true).String("ab").BytesField([]byte{0xff})
+				want := []byte{
+					0x12,       // u8
+					0x56, 0x34, // u16 LE
+					0xde, 0xbc, 0x9a, 0x78, // u32 LE
+					0xef, 0xcd, 0xab, 0x89, 0x67, 0x45, 0x23, 0x01, // u64 LE
+					0x01,                   // bool
+					0x02, 0x00, 0x00, 0x00, // len("ab")
+					'a', 'b',
+					0x01, 0x00, 0x00, 0x00, // len(bytes)
+					0xff,
+				}
+				if !bytes.Equal(e.Bytes(), want) {
+					return fmt.Errorf("wire format changed:\n got %x\nwant %x", e.Bytes(), want)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "marshal", Name: "adversarial-input-never-panics", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) (err error) {
+				defer func() {
+					if p := recover(); p != nil {
+						err = fmt.Errorf("decoder panicked on random input: %v", p)
+					}
+				}()
+				for trial := 0; trial < 1000; trial++ {
+					buf := make([]byte, r.Intn(64))
+					r.Read(buf)
+					d := NewDecoder(buf)
+					// Drain with a random schedule; must terminate and
+					// either consume cleanly or set Err.
+					for i := 0; i < 10; i++ {
+						switch r.Intn(6) {
+						case 0:
+							d.U8()
+						case 1:
+							d.U16()
+						case 2:
+							d.U32()
+						case 3:
+							d.U64()
+						case 4:
+							_ = d.BytesField()
+						default:
+							_ = d.String()
+						}
+					}
+					_ = d.Finish()
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "marshal", Name: "encoder-reuse-no-aliasing", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// Reusing a buffer for a second message must not corrupt
+				// a decoded copy of the first.
+				e1 := NewEncoder(nil)
+				e1.String("first message")
+				wire1 := append([]byte(nil), e1.Bytes()...)
+				e2 := NewEncoder(e1.Bytes()) // reuse storage
+				e2.String("SECOND")
+				d := NewDecoder(wire1)
+				if got := d.String(); got != "first message" {
+					return fmt.Errorf("copied wire corrupted by encoder reuse: %q", got)
+				}
+				// And decoded byte fields are copies (no aliasing into
+				// the wire).
+				e3 := NewEncoder(nil)
+				e3.BytesField([]byte("payload"))
+				wire := e3.Bytes()
+				d3 := NewDecoder(wire)
+				got := d3.BytesField()
+				wire[5] ^= 0xff
+				if string(got) != "payload" {
+					return fmt.Errorf("decoded bytes alias the wire")
+				}
+				return nil
+			}},
+	)
+}

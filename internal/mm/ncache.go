@@ -1,0 +1,97 @@
+package mm
+
+import (
+	"fmt"
+
+	"github.com/verified-os/vnros/internal/hw/mem"
+)
+
+// NCache is the NrOS-style per-node frame cache: a small stack of
+// single frames refilled from (and spilled to) the buddy allocator in
+// batches. It implements pt.FrameSource (zeroed single frames) and is
+// what each kernel replica hands to its page tables and slab-style
+// consumers. Like Buddy, it is sequential; NR provides the concurrency.
+type NCache struct {
+	buddy *Buddy
+	m     *mem.PhysMem
+	cap   int
+	cache []mem.PAddr
+
+	// grabbed tracks frames handed out, so FreeFrame can reject foreign
+	// addresses (a cheap memory-safety obligation).
+	grabbed map[mem.PAddr]bool
+
+	refills, spills uint64
+}
+
+// DefaultNCacheCap is the default cache capacity (matching NrOS's
+// per-node 4 KiB caches order of magnitude, scaled down).
+const DefaultNCacheCap = 64
+
+// NewNCache wraps a buddy allocator.
+func NewNCache(m *mem.PhysMem, buddy *Buddy, capacity int) *NCache {
+	if capacity <= 0 {
+		capacity = DefaultNCacheCap
+	}
+	return &NCache{buddy: buddy, m: m, cap: capacity, grabbed: make(map[mem.PAddr]bool)}
+}
+
+// AllocFrame implements pt.FrameSource: returns a zeroed 4 KiB frame.
+func (c *NCache) AllocFrame() (mem.PAddr, error) {
+	if len(c.cache) == 0 {
+		// Refill half the capacity in one buddy pass.
+		c.refills++
+		for i := 0; i < c.cap/2; i++ {
+			f, err := c.buddy.AllocOrder(0)
+			if err != nil {
+				if i == 0 {
+					return 0, err
+				}
+				break
+			}
+			c.cache = append(c.cache, f)
+		}
+	}
+	f := c.cache[len(c.cache)-1]
+	c.cache = c.cache[:len(c.cache)-1]
+	if err := c.m.ZeroFrame(f); err != nil {
+		return 0, err
+	}
+	c.grabbed[f] = true
+	return f, nil
+}
+
+// FreeFrame implements pt.FrameSource.
+func (c *NCache) FreeFrame(f mem.PAddr) error {
+	if !c.grabbed[f] {
+		return fmt.Errorf("%w: frame %v not allocated from this cache", ErrBadFree, f)
+	}
+	delete(c.grabbed, f)
+	if len(c.cache) >= c.cap {
+		// Spill the cache's older half back to the buddy. The spill
+		// list must be copied out before compacting: both slices share
+		// the backing array, and the in-place copy would overwrite the
+		// spill entries with the kept ones (freeing frames that are
+		// still in the cache — a double-handout bug the
+		// mm:ncache-ownership-discipline VC catches).
+		c.spills++
+		spill := append([]mem.PAddr(nil), c.cache[:c.cap/2]...)
+		c.cache = append(c.cache[:0], c.cache[c.cap/2:]...)
+		for _, s := range spill {
+			if err := c.buddy.Free(s); err != nil {
+				return err
+			}
+		}
+	}
+	c.cache = append(c.cache, f)
+	return nil
+}
+
+// Outstanding returns the number of frames handed out and not returned.
+func (c *NCache) Outstanding() int { return len(c.grabbed) }
+
+// CacheLen returns the number of frames parked in the cache.
+func (c *NCache) CacheLen() int { return len(c.cache) }
+
+// RefillSpillCounts reports refill/spill batch counts (for tests).
+func (c *NCache) RefillSpillCounts() (refills, spills uint64) { return c.refills, c.spills }

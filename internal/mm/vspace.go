@@ -1,0 +1,152 @@
+package mm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/verified-os/vnros/internal/hw/mmu"
+)
+
+// VSpace manages a process's virtual address-space layout: which ranges
+// are reserved (and for what), independent of the page-table bits. This
+// is the "address space management logic" the paper notes prior verified
+// kernels push to user space unverified (§2); here it is a first-class
+// component with its own invariants.
+type VSpace struct {
+	lo, hi  mmu.VAddr // managed range [lo, hi)
+	regions []Region  // sorted by Base, non-overlapping
+}
+
+// Region is one reserved virtual range.
+type Region struct {
+	Base mmu.VAddr
+	Len  uint64
+	Tag  string // e.g. "heap", "stack", "mmap", "text"
+}
+
+// End returns one past the region's last byte.
+func (r Region) End() mmu.VAddr { return r.Base + mmu.VAddr(r.Len) }
+
+// Errors returned by VSpace.
+var (
+	// ErrVSpaceFull reports no free range of the requested size.
+	ErrVSpaceFull = errors.New("mm: no free virtual range")
+	// ErrVSpaceOverlap reports an explicit reservation overlapping an
+	// existing region.
+	ErrVSpaceOverlap = errors.New("mm: virtual range overlaps reservation")
+	// ErrVSpaceBadRange reports an unmanaged or malformed range.
+	ErrVSpaceBadRange = errors.New("mm: bad virtual range")
+)
+
+// NewVSpace manages [lo, hi). Both bounds must be page aligned and
+// canonical.
+func NewVSpace(lo, hi mmu.VAddr) (*VSpace, error) {
+	if uint64(lo)%mmu.L1PageSize != 0 || uint64(hi)%mmu.L1PageSize != 0 || lo >= hi {
+		return nil, fmt.Errorf("%w: [%v, %v)", ErrVSpaceBadRange, lo, hi)
+	}
+	if !lo.IsCanonical() || !(hi - 1).IsCanonical() {
+		return nil, fmt.Errorf("%w: non-canonical bounds", ErrVSpaceBadRange)
+	}
+	return &VSpace{lo: lo, hi: hi}, nil
+}
+
+// insertAt returns the index where a region with the given base would
+// be inserted.
+func (v *VSpace) insertAt(base mmu.VAddr) int {
+	return sort.Search(len(v.regions), func(i int) bool { return v.regions[i].Base >= base })
+}
+
+// ReserveAt reserves the explicit range [base, base+length).
+func (v *VSpace) ReserveAt(base mmu.VAddr, length uint64, tag string) error {
+	if length == 0 || uint64(base)%mmu.L1PageSize != 0 || length%mmu.L1PageSize != 0 {
+		return fmt.Errorf("%w: base %v len %#x", ErrVSpaceBadRange, base, length)
+	}
+	if base < v.lo || base+mmu.VAddr(length) > v.hi {
+		return fmt.Errorf("%w: outside managed range", ErrVSpaceBadRange)
+	}
+	i := v.insertAt(base)
+	if i > 0 && v.regions[i-1].End() > base {
+		return fmt.Errorf("%w: with %q at %v", ErrVSpaceOverlap, v.regions[i-1].Tag, v.regions[i-1].Base)
+	}
+	if i < len(v.regions) && v.regions[i].Base < base+mmu.VAddr(length) {
+		return fmt.Errorf("%w: with %q at %v", ErrVSpaceOverlap, v.regions[i].Tag, v.regions[i].Base)
+	}
+	v.regions = append(v.regions, Region{})
+	copy(v.regions[i+1:], v.regions[i:])
+	v.regions[i] = Region{Base: base, Len: length, Tag: tag}
+	return nil
+}
+
+// Reserve finds and reserves a free range of the given length (first
+// fit), returning its base.
+func (v *VSpace) Reserve(length uint64, tag string) (mmu.VAddr, error) {
+	if length == 0 || length%mmu.L1PageSize != 0 {
+		return 0, fmt.Errorf("%w: len %#x", ErrVSpaceBadRange, length)
+	}
+	prev := v.lo
+	for _, r := range v.regions {
+		if uint64(r.Base-prev) >= length {
+			if err := v.ReserveAt(prev, length, tag); err != nil {
+				return 0, err
+			}
+			return prev, nil
+		}
+		prev = r.End()
+	}
+	if uint64(v.hi-prev) >= length {
+		if err := v.ReserveAt(prev, length, tag); err != nil {
+			return 0, err
+		}
+		return prev, nil
+	}
+	return 0, fmt.Errorf("%w: %#x bytes", ErrVSpaceFull, length)
+}
+
+// Release removes the reservation whose base is base.
+func (v *VSpace) Release(base mmu.VAddr) (Region, error) {
+	i := v.insertAt(base)
+	if i >= len(v.regions) || v.regions[i].Base != base {
+		return Region{}, fmt.Errorf("%w: no reservation at %v", ErrVSpaceBadRange, base)
+	}
+	r := v.regions[i]
+	v.regions = append(v.regions[:i], v.regions[i+1:]...)
+	return r, nil
+}
+
+// Lookup returns the region containing va.
+func (v *VSpace) Lookup(va mmu.VAddr) (Region, bool) {
+	i := v.insertAt(va)
+	if i < len(v.regions) && v.regions[i].Base == va {
+		return v.regions[i], true
+	}
+	if i > 0 && v.regions[i-1].End() > va {
+		return v.regions[i-1], true
+	}
+	return Region{}, false
+}
+
+// Regions returns a copy of the reservation list.
+func (v *VSpace) Regions() []Region {
+	out := make([]Region, len(v.regions))
+	copy(out, v.regions)
+	return out
+}
+
+// CheckInvariant validates ordering, alignment, bounds and disjointness.
+func (v *VSpace) CheckInvariant() error {
+	prev := v.lo
+	for i, r := range v.regions {
+		if r.Len == 0 || uint64(r.Base)%mmu.L1PageSize != 0 || r.Len%mmu.L1PageSize != 0 {
+			return fmt.Errorf("mm: region %d malformed: %+v", i, r)
+		}
+		if r.Base < prev {
+			return fmt.Errorf("mm: region %d overlaps predecessor", i)
+		}
+		if r.End() > v.hi {
+			return fmt.Errorf("mm: region %d exceeds managed range", i)
+		}
+		prev = r.End()
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package netstack
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// RegisterObligations registers the network-stack verification
+// conditions: header round trips, checksum detection, end-to-end
+// delivery with no cross-talk, and loss tolerance of the drop path.
+func RegisterObligations(g *verifier.Registry) {
+	registerMoreObligations(g)
+	registerEvenMoreObligations(g)
+	g.Register(
+		verifier.Obligation{Module: "netstack", Name: "frame-round-trip", Kind: verifier.KindRoundTrip,
+			Check: func(r *rand.Rand) error {
+				for i := 0; i < 2000; i++ {
+					f := Frame{
+						Dst:  Addr(r.Uint64()),
+						Src:  Addr(r.Uint64()),
+						Type: uint16(r.Uint32()),
+					}
+					f.Payload = make([]byte, r.Intn(256))
+					r.Read(f.Payload)
+					got, err := DecodeFrame(EncodeFrame(f))
+					if err != nil {
+						return err
+					}
+					if got.Dst != f.Dst || got.Src != f.Src || got.Type != f.Type ||
+						!bytes.Equal(got.Payload, f.Payload) {
+						return fmt.Errorf("frame round trip mismatch at %d", i)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "netstack", Name: "datagram-round-trip", Kind: verifier.KindRoundTrip,
+			Check: func(r *rand.Rand) error {
+				for i := 0; i < 2000; i++ {
+					gm := Datagram{SrcPort: uint16(r.Uint32()), DstPort: uint16(r.Uint32())}
+					gm.Payload = make([]byte, r.Intn(512))
+					r.Read(gm.Payload)
+					got, err := DecodeDatagram(EncodeDatagram(gm))
+					if err != nil {
+						return err
+					}
+					if got.SrcPort != gm.SrcPort || got.DstPort != gm.DstPort ||
+						!bytes.Equal(got.Payload, gm.Payload) {
+						return fmt.Errorf("datagram round trip mismatch at %d", i)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "netstack", Name: "checksum-detects-corruption", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				for i := 0; i < 500; i++ {
+					gm := Datagram{SrcPort: 1, DstPort: 2, Payload: make([]byte, 16+r.Intn(64))}
+					r.Read(gm.Payload)
+					wire := EncodeDatagram(gm)
+					// Flip a payload bit (header length corruption is
+					// caught by the length check instead).
+					wire[dgramHeaderLen+r.Intn(len(wire)-dgramHeaderLen)] ^= 1 << uint(r.Intn(8))
+					if _, err := DecodeDatagram(wire); err == nil {
+						return fmt.Errorf("payload corruption undetected at %d", i)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "netstack", Name: "end-to-end-no-crosstalk", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// 3 hosts, 2 sockets each; random sends; every datagram
+				// arrives exactly at its addressed socket.
+				net := NewNetwork()
+				var stacks []*Stack
+				socks := make(map[[2]int]*Socket)
+				for h := 0; h < 3; h++ {
+					d := newLoopDevice(uint64(h + 1))
+					net.Attach(d)
+					st := NewStack(d)
+					stacks = append(stacks, st)
+					for p := 0; p < 2; p++ {
+						s, err := st.Bind(uint16(1000 + p))
+						if err != nil {
+							return err
+						}
+						socks[[2]int{h, p}] = s
+					}
+				}
+				type expect struct{ host, port, seq int }
+				sent := map[expect]bool{}
+				for i := 0; i < 200; i++ {
+					fromH, toH := r.Intn(3), r.Intn(3)
+					toP := r.Intn(2)
+					payload := []byte(fmt.Sprintf("msg-%d", i))
+					if err := socks[[2]int{fromH, 0}].SendTo(Addr(toH+1), uint16(1000+toP), payload); err != nil {
+						return err
+					}
+					sent[expect{toH, toP, i}] = true
+				}
+				// Drain every socket; check each message landed where
+				// addressed.
+				got := 0
+				for h := 0; h < 3; h++ {
+					for p := 0; p < 2; p++ {
+						for {
+							rcv, err := socks[[2]int{h, p}].TryRecv()
+							if errors.Is(err, ErrWouldBlock) {
+								break
+							}
+							if err != nil {
+								return err
+							}
+							var seq int
+							if _, err := fmt.Sscanf(string(rcv.Payload), "msg-%d", &seq); err != nil {
+								return fmt.Errorf("garbled payload %q", rcv.Payload)
+							}
+							if !sent[expect{h, p, seq}] {
+								return fmt.Errorf("msg %d crossed to host %d port %d", seq, h, p)
+							}
+							delete(sent, expect{h, p, seq})
+							got++
+						}
+					}
+				}
+				if got != 200 || len(sent) != 0 {
+					return fmt.Errorf("delivered %d/200, %d missing", got, len(sent))
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "netstack", Name: "corrupted-frames-dropped-not-delivered", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				net := NewNetwork()
+				net.SetCorruption(3) // every 3rd frame corrupted
+				da := newLoopDevice(1)
+				db := newLoopDevice(2)
+				net.Attach(da)
+				net.Attach(db)
+				sa := NewStack(da)
+				sb := NewStack(db)
+				src, err := sa.Bind(100)
+				if err != nil {
+					return err
+				}
+				dst, err := sb.Bind(200)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < 90; i++ {
+					if err := src.SendTo(2, 200, []byte(fmt.Sprintf("payload-%04d", i))); err != nil {
+						return err
+					}
+				}
+				delivered := 0
+				for {
+					rcv, err := dst.TryRecv()
+					if errors.Is(err, ErrWouldBlock) {
+						break
+					}
+					if err != nil {
+						return err
+					}
+					// Every delivered payload must be intact.
+					var seq int
+					if _, err := fmt.Sscanf(string(rcv.Payload), "payload-%04d", &seq); err != nil {
+						return fmt.Errorf("corrupt payload delivered: %q", rcv.Payload)
+					}
+					delivered++
+				}
+				_, _, badSums := sb.Stats()
+				if badSums == 0 {
+					return fmt.Errorf("no checksum failures recorded despite corruption")
+				}
+				if delivered+int(badSums) != 90 {
+					return fmt.Errorf("delivered %d + bad %d != 90", delivered, badSums)
+				}
+				return nil
+			}},
+	)
+}
+
+// loopDevice is an in-process Device for obligations and tests.
+type loopDevice struct {
+	addr uint64
+	mu   sync.Mutex
+	h    func([]byte)
+	tx   func([]byte)
+}
+
+func newLoopDevice(addr uint64) *loopDevice { return &loopDevice{addr: addr} }
+
+func (d *loopDevice) Addr() uint64 { return d.addr }
+
+func (d *loopDevice) Send(frame []byte) error {
+	d.mu.Lock()
+	tx := d.tx
+	d.mu.Unlock()
+	if tx != nil {
+		tx(frame)
+	}
+	return nil
+}
+
+func (d *loopDevice) SetHandler(h func([]byte)) {
+	d.mu.Lock()
+	d.h = h
+	d.mu.Unlock()
+}
+
+// AttachWire implements NICLike.
+func (d *loopDevice) AttachWire(tx func([]byte)) {
+	d.mu.Lock()
+	d.tx = tx
+	d.mu.Unlock()
+}
+
+// Deliver implements NICLike.
+func (d *loopDevice) Deliver(frame []byte) {
+	d.mu.Lock()
+	h := d.h
+	d.mu.Unlock()
+	if h != nil {
+		h(frame)
+	}
+}

@@ -1,0 +1,170 @@
+package netstack
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerMoreObligations is the second wave of network VCs: FIFO
+// delivery per flow, ephemeral-port uniqueness, queue-overflow drops
+// (never blocking the interrupt path), close-wakes-receivers, and
+// loss-model accounting.
+func registerMoreObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "netstack", Name: "per-flow-fifo-delivery", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				net := NewNetwork()
+				da, db := newLoopDevice(1), newLoopDevice(2)
+				net.Attach(da)
+				net.Attach(db)
+				sa, sb := NewStack(da), NewStack(db)
+				src, err := sa.Bind(10)
+				if err != nil {
+					return err
+				}
+				dst, err := sb.Bind(20)
+				if err != nil {
+					return err
+				}
+				// Stay below the receive-queue cap so nothing drops.
+				const n = DefaultSocketQueue - 16
+				for i := 0; i < n; i++ {
+					if err := src.SendTo(2, 20, []byte{byte(i >> 8), byte(i)}); err != nil {
+						return err
+					}
+				}
+				for i := 0; i < n; i++ {
+					got, err := dst.TryRecv()
+					if err != nil {
+						return fmt.Errorf("at %d: %w", i, err)
+					}
+					seq := int(got.Payload[0])<<8 | int(got.Payload[1])
+					if seq != i {
+						return fmt.Errorf("reordered: got %d at position %d", seq, i)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "netstack", Name: "ephemeral-ports-unique", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				st := NewStack(newLoopDevice(1))
+				seen := map[uint16]bool{}
+				for i := 0; i < 500; i++ {
+					s, err := st.Bind(0)
+					if err != nil {
+						return err
+					}
+					if seen[s.Port()] {
+						return fmt.Errorf("ephemeral port %d reused while bound", s.Port())
+					}
+					seen[s.Port()] = true
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "netstack", Name: "queue-overflow-drops-not-blocks", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				net := NewNetwork()
+				da, db := newLoopDevice(1), newLoopDevice(2)
+				net.Attach(da)
+				net.Attach(db)
+				sa, sb := NewStack(da), NewStack(db)
+				src, err := sa.Bind(1)
+				if err != nil {
+					return err
+				}
+				dst, err := sb.Bind(2)
+				if err != nil {
+					return err
+				}
+				// Overfill the receive queue; sends must complete (the
+				// input path never blocks) and the queue must cap.
+				for i := 0; i < DefaultSocketQueue+100; i++ {
+					if err := src.SendTo(2, 2, []byte{1}); err != nil {
+						return err
+					}
+				}
+				n := 0
+				for {
+					if _, err := dst.TryRecv(); err != nil {
+						break
+					}
+					n++
+				}
+				if n != DefaultSocketQueue {
+					return fmt.Errorf("queued %d, want cap %d", n, DefaultSocketQueue)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "netstack", Name: "close-wakes-blocked-receivers", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				st := NewStack(newLoopDevice(1))
+				s, err := st.Bind(5)
+				if err != nil {
+					return err
+				}
+				const waiters = 4
+				var wg sync.WaitGroup
+				results := make(chan error, waiters)
+				for i := 0; i < waiters; i++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						_, err := s.Recv()
+						results <- err
+					}()
+				}
+				if err := s.Close(); err != nil {
+					return err
+				}
+				wg.Wait()
+				for i := 0; i < waiters; i++ {
+					if err := <-results; !errors.Is(err, ErrNoSocket) {
+						return fmt.Errorf("waiter %d got %v, want ErrNoSocket", i, err)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "netstack", Name: "loss-model-accounting", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// With dropEvery=k, exactly floor(n/k) of n frames vanish
+				// and the rest arrive intact.
+				k := uint64(2 + r.Intn(5))
+				net := NewNetwork()
+				net.SetLoss(k)
+				da, db := newLoopDevice(1), newLoopDevice(2)
+				net.Attach(da)
+				net.Attach(db)
+				sa, sb := NewStack(da), NewStack(db)
+				src, err := sa.Bind(1)
+				if err != nil {
+					return err
+				}
+				dst, err := sb.Bind(2)
+				if err != nil {
+					return err
+				}
+				const n = 200
+				for i := 0; i < n; i++ {
+					if err := src.SendTo(2, 2, []byte{byte(i)}); err != nil {
+						return err
+					}
+				}
+				got := 0
+				for {
+					if _, err := dst.TryRecv(); err != nil {
+						break
+					}
+					got++
+				}
+				want := n - n/int(k)
+				if got != want {
+					return fmt.Errorf("delivered %d of %d with 1/%d loss, want %d", got, n, k, want)
+				}
+				return nil
+			}},
+	)
+}

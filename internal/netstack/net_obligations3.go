@@ -1,0 +1,79 @@
+package netstack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerEvenMoreObligations: link-layer echo reflection, addressing
+// (frames for other hosts are ignored even when physically delivered),
+// and rebinding semantics.
+func registerEvenMoreObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "netstack", Name: "echo-frames-reflected", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				net := NewNetwork()
+				da, db := newLoopDevice(1), newLoopDevice(2)
+				net.Attach(da)
+				net.Attach(db)
+				sa, sb := NewStack(da), NewStack(db)
+				_ = sb
+				s, err := sa.Bind(9)
+				if err != nil {
+					return err
+				}
+				// Hand-craft a link-layer echo to host 2; its stack
+				// reflects it back as a datagram to our port.
+				payload := EncodeDatagram(Datagram{SrcPort: 9, DstPort: 9, Payload: []byte("echo me")})
+				frame := EncodeFrame(Frame{Dst: 2, Src: 1, Type: TypeEcho, Payload: payload})
+				if err := da.Send(frame); err != nil {
+					return err
+				}
+				got, err := s.TryRecv()
+				if err != nil {
+					return fmt.Errorf("echo not reflected: %w", err)
+				}
+				if string(got.Payload) != "echo me" || got.From != 2 {
+					return fmt.Errorf("echo payload = %q from %d", got.Payload, got.From)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "netstack", Name: "foreign-frames-ignored", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// A frame addressed to host 3, delivered to host 2's NIC
+				// (e.g. by a hub), must not reach host 2's sockets.
+				d := newLoopDevice(2)
+				st := NewStack(d)
+				s, err := st.Bind(7)
+				if err != nil {
+					return err
+				}
+				payload := EncodeDatagram(Datagram{SrcPort: 7, DstPort: 7, Payload: []byte("not yours")})
+				d.Deliver(EncodeFrame(Frame{Dst: 3, Src: 1, Type: TypeDatagram, Payload: payload}))
+				if _, err := s.TryRecv(); err == nil {
+					return fmt.Errorf("foreign frame delivered to socket")
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "netstack", Name: "rebind-after-close", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				st := NewStack(newLoopDevice(1))
+				for i := 0; i < 200; i++ {
+					port := uint16(1 + r.Intn(1000))
+					s, err := st.Bind(port)
+					if err != nil {
+						return fmt.Errorf("bind %d (iter %d): %v", port, i, err)
+					}
+					if _, err := st.Bind(port); err == nil {
+						return fmt.Errorf("double bind of %d accepted", port)
+					}
+					if err := s.Close(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+	)
+}

@@ -1,0 +1,103 @@
+package netstack
+
+import (
+	"sync"
+)
+
+// Network is the virtual switch: it connects Ports (NIC-like endpoints)
+// and forwards frames by destination address, flooding broadcasts. It
+// can inject loss and corruption for the fault-injection obligations.
+type Network struct {
+	mu    sync.Mutex
+	ports map[Addr]func(frame []byte)
+
+	// fault injection (0 disables). dropEvery drops every Nth frame;
+	// corruptEvery flips a bit in every Nth frame.
+	dropEvery    uint64
+	corruptEvery uint64
+	counter      uint64
+}
+
+// NewNetwork returns an empty switch.
+func NewNetwork() *Network {
+	return &Network{ports: make(map[Addr]func([]byte))}
+}
+
+// AttachFunc connects a raw delivery function at addr. Most callers use
+// Attach with a machine NIC; tests use this directly.
+func (n *Network) AttachFunc(addr Addr, deliver func(frame []byte)) func(frame []byte) {
+	n.mu.Lock()
+	n.ports[addr] = deliver
+	n.mu.Unlock()
+	return func(frame []byte) { n.forward(addr, frame) }
+}
+
+// NICLike is the subset of machine.NIC the switch needs; declared here
+// to avoid importing hw from the protocol layer.
+type NICLike interface {
+	Addr() uint64
+	AttachWire(func(frame []byte))
+	Deliver(frame []byte)
+}
+
+// Attach wires a NIC into the switch.
+func (n *Network) Attach(nic NICLike) {
+	tx := n.AttachFunc(Addr(nic.Addr()), nic.Deliver)
+	nic.AttachWire(tx)
+}
+
+// SetLoss configures frame dropping: every dropEvery-th forwarded frame
+// is discarded (0 disables).
+func (n *Network) SetLoss(dropEvery uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropEvery = dropEvery
+}
+
+// SetCorruption flips one bit in every corruptEvery-th frame (0
+// disables).
+func (n *Network) SetCorruption(corruptEvery uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.corruptEvery = corruptEvery
+}
+
+// forward routes one frame from src.
+func (n *Network) forward(src Addr, frame []byte) {
+	f, err := DecodeFrame(frame)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	n.counter++
+	if n.dropEvery != 0 && n.counter%n.dropEvery == 0 {
+		n.mu.Unlock()
+		return
+	}
+	if n.corruptEvery != 0 && n.counter%n.corruptEvery == 0 && len(frame) > frameHeaderLen {
+		frame[frameHeaderLen+(len(frame)-frameHeaderLen)/2] ^= 0x10
+	}
+	var dests []func([]byte)
+	if f.Dst == Broadcast {
+		for a, d := range n.ports {
+			if a != src {
+				dests = append(dests, d)
+			}
+		}
+	} else if d, ok := n.ports[f.Dst]; ok {
+		dests = append(dests, d)
+	}
+	n.mu.Unlock()
+	for _, d := range dests {
+		cp := make([]byte, len(frame))
+		copy(cp, frame)
+		d(cp)
+	}
+}
+
+// Ports returns the number of attached endpoints.
+func (n *Network) Ports() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.ports)
+}

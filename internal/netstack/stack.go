@@ -1,0 +1,213 @@
+package netstack
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Device is the link the stack drives — implemented by dev.NICDriver
+// (production) and by test doubles.
+type Device interface {
+	Addr() uint64
+	Send(frame []byte) error
+	SetHandler(func([]byte))
+}
+
+// Received is one delivered datagram with its source.
+type Received struct {
+	From     Addr
+	FromPort uint16
+	Payload  []byte
+}
+
+// Socket is a bound datagram endpoint.
+type Socket struct {
+	st     *Stack
+	port   uint16
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []Received
+	closed bool
+	// cap bounds the receive queue; overflow drops (UDP semantics).
+	cap int
+}
+
+// Stack is one machine's network stack.
+type Stack struct {
+	dev Device
+
+	mu      sync.Mutex
+	sockets map[uint16]*Socket
+	nextEph uint16
+
+	// stats
+	rxFrames, rxDrops, rxBadSum uint64
+}
+
+// DefaultSocketQueue is the default per-socket receive queue depth.
+const DefaultSocketQueue = 256
+
+// NewStack binds a stack to a device.
+func NewStack(dev Device) *Stack {
+	s := &Stack{dev: dev, sockets: make(map[uint16]*Socket), nextEph: 49152}
+	dev.SetHandler(s.input)
+	return s
+}
+
+// Addr returns the stack's link address.
+func (s *Stack) Addr() Addr { return Addr(s.dev.Addr()) }
+
+// Bind creates a socket on the given port (0 picks an ephemeral port).
+func (s *Stack) Bind(port uint16) (*Socket, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if port == 0 {
+		for i := 0; i < 1<<14; i++ {
+			cand := s.nextEph
+			s.nextEph++
+			if s.nextEph == 0 {
+				s.nextEph = 49152
+			}
+			if _, used := s.sockets[cand]; !used && cand != 0 {
+				port = cand
+				break
+			}
+		}
+		if port == 0 {
+			return nil, fmt.Errorf("%w: no ephemeral ports", ErrPortInUse)
+		}
+	} else if _, used := s.sockets[port]; used {
+		return nil, fmt.Errorf("%w: %d", ErrPortInUse, port)
+	}
+	sock := &Socket{st: s, port: port, cap: DefaultSocketQueue}
+	sock.cond = sync.NewCond(&sock.mu)
+	s.sockets[port] = sock
+	return sock, nil
+}
+
+// input is the device receive path.
+func (s *Stack) input(raw []byte) {
+	f, err := DecodeFrame(raw)
+	if err != nil {
+		s.mu.Lock()
+		s.rxDrops++
+		s.mu.Unlock()
+		return
+	}
+	if f.Dst != s.Addr() && f.Dst != Broadcast {
+		return // not ours; a real NIC filters in hardware
+	}
+	switch f.Type {
+	case TypeEcho:
+		// Reflect echoes (unless we sent it).
+		if f.Src != s.Addr() {
+			_ = s.dev.Send(EncodeFrame(Frame{Dst: f.Src, Src: s.Addr(), Type: TypeDatagram, Payload: f.Payload}))
+		}
+		return
+	case TypeDatagram:
+	default:
+		return
+	}
+	g, err := DecodeDatagram(f.Payload)
+	if err != nil {
+		s.mu.Lock()
+		if err == ErrChecksum {
+			s.rxBadSum++
+		}
+		s.rxDrops++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	s.rxFrames++
+	sock := s.sockets[g.DstPort]
+	s.mu.Unlock()
+	if sock == nil {
+		return // no listener: dropped, as UDP does
+	}
+	payload := make([]byte, len(g.Payload))
+	copy(payload, g.Payload)
+	sock.deliver(Received{From: f.Src, FromPort: g.SrcPort, Payload: payload})
+}
+
+func (k *Socket) deliver(r Received) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed || len(k.q) >= k.cap {
+		return
+	}
+	k.q = append(k.q, r)
+	k.cond.Signal()
+}
+
+// Port returns the bound port.
+func (k *Socket) Port() uint16 { return k.port }
+
+// SendTo transmits payload to (dst, dstPort).
+func (k *Socket) SendTo(dst Addr, dstPort uint16, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrTooBig, len(payload))
+	}
+	k.mu.Lock()
+	closed := k.closed
+	k.mu.Unlock()
+	if closed {
+		return ErrNoSocket
+	}
+	g := EncodeDatagram(Datagram{SrcPort: k.port, DstPort: dstPort, Payload: payload})
+	return k.st.dev.Send(EncodeFrame(Frame{Dst: dst, Src: k.st.Addr(), Type: TypeDatagram, Payload: g}))
+}
+
+// Recv blocks until a datagram arrives or the socket closes.
+func (k *Socket) Recv() (Received, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for len(k.q) == 0 && !k.closed {
+		k.cond.Wait()
+	}
+	if len(k.q) == 0 {
+		return Received{}, ErrNoSocket
+	}
+	r := k.q[0]
+	k.q = k.q[1:]
+	return r, nil
+}
+
+// TryRecv returns a datagram without blocking.
+func (k *Socket) TryRecv() (Received, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		return Received{}, ErrNoSocket
+	}
+	if len(k.q) == 0 {
+		return Received{}, ErrWouldBlock
+	}
+	r := k.q[0]
+	k.q = k.q[1:]
+	return r, nil
+}
+
+// Close unbinds the socket and wakes blocked receivers.
+func (k *Socket) Close() error {
+	k.mu.Lock()
+	if k.closed {
+		k.mu.Unlock()
+		return ErrNoSocket
+	}
+	k.closed = true
+	k.cond.Broadcast()
+	k.mu.Unlock()
+
+	k.st.mu.Lock()
+	delete(k.st.sockets, k.port)
+	k.st.mu.Unlock()
+	return nil
+}
+
+// Stats reports receive-path counters.
+func (s *Stack) Stats() (frames, drops, badSums uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rxFrames, s.rxDrops, s.rxBadSum
+}

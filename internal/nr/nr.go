@@ -1,0 +1,307 @@
+package nr
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DataStructure is the sequential data structure being replicated. Rd
+// and Wr are the read-only and mutating operation types, Resp the
+// response type. Implementations need no internal synchronization — NR
+// provides it — but must be deterministic: applying the same operations
+// in the same order to two copies must yield equal states and responses,
+// since that is what keeps replicas consistent.
+type DataStructure[Rd any, Wr any, Resp any] interface {
+	// DispatchRead executes a read-only operation.
+	DispatchRead(op Rd) Resp
+	// DispatchWrite executes a mutating operation.
+	DispatchWrite(op Wr) Resp
+}
+
+// MaxThreadsPerReplica bounds the flat-combining slots per replica.
+const MaxThreadsPerReplica = 256
+
+// opState values for a thread context's pending operation.
+const (
+	slotEmpty uint32 = iota
+	slotPending
+	slotDone
+)
+
+// ThreadContext is a per-thread handle onto one replica. Each OS "core"
+// registers once and then funnels its operations through the handle;
+// the combiner uses the slot to pick up pending writes and deposit
+// responses (flat combining).
+type ThreadContext[Rd any, Wr any, Resp any] struct {
+	r    *Replica[Rd, Wr, Resp]
+	id   uint32
+	op   Wr
+	resp Resp
+	st   atomic.Uint32
+}
+
+// Replica is one node-local copy of the data structure plus the
+// combiner machinery.
+type Replica[Rd any, Wr any, Resp any] struct {
+	nr *NR[Rd, Wr, Resp]
+	id uint32
+
+	// lock protects ds: readers hold RLock, the combiner holds Lock
+	// while applying log entries.
+	lock sync.RWMutex
+	ds   DataStructure[Rd, Wr, Resp]
+
+	// combiner serializes log application for this replica.
+	combiner sync.Mutex
+
+	// applied is the replica's applied tail: all log entries below it
+	// have been executed against ds.
+	applied atomic.Uint64
+
+	mu   sync.Mutex // guards ctxs registration
+	ctxs []*ThreadContext[Rd, Wr, Resp]
+
+	// combined counts batched operations, for the flat-combining stats
+	// exposed to the ablation bench.
+	combined atomic.Uint64
+	batches  atomic.Uint64
+}
+
+// NR is a node-replicated instance of a sequential data structure.
+type NR[Rd any, Wr any, Resp any] struct {
+	log      *log[Wr]
+	replicas []*Replica[Rd, Wr, Resp]
+}
+
+// Options configures an NR instance.
+type Options struct {
+	// Replicas is the number of replicas (NUMA nodes). Minimum 1.
+	Replicas int
+	// LogSize is the number of slots in the shared log ring.
+	LogSize int
+}
+
+// New creates an NR instance with one data-structure copy per replica.
+// create is called once per replica and must produce identical initial
+// states.
+func New[Rd any, Wr any, Resp any](opts Options, create func() DataStructure[Rd, Wr, Resp]) *NR[Rd, Wr, Resp] {
+	if opts.Replicas < 1 {
+		opts.Replicas = 1
+	}
+	n := &NR[Rd, Wr, Resp]{log: newLog[Wr](opts.LogSize)}
+	for i := 0; i < opts.Replicas; i++ {
+		r := &Replica[Rd, Wr, Resp]{nr: n, id: uint32(i), ds: create()}
+		n.replicas = append(n.replicas, r)
+		n.log.appliedTails = append(n.log.appliedTails, &r.applied)
+		n.log.helpers = append(n.log.helpers, r.helpSync)
+	}
+	return n
+}
+
+// helpSync opportunistically applies log entries up to target on behalf
+// of another thread (log garbage collection assistance).
+func (r *Replica[Rd, Wr, Resp]) helpSync(target uint64) {
+	if r.applied.Load() >= target {
+		return
+	}
+	if r.combiner.TryLock() {
+		r.applyUpTo(target)
+		r.combiner.Unlock()
+	}
+}
+
+// NumReplicas returns the replica count.
+func (n *NR[Rd, Wr, Resp]) NumReplicas() int { return len(n.replicas) }
+
+// Replica returns replica i.
+func (n *NR[Rd, Wr, Resp]) Replica(i int) *Replica[Rd, Wr, Resp] { return n.replicas[i] }
+
+// Register attaches a new thread to replica i and returns its context.
+func (n *NR[Rd, Wr, Resp]) Register(i int) (*ThreadContext[Rd, Wr, Resp], error) {
+	r := n.replicas[i]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ctxs) >= MaxThreadsPerReplica {
+		return nil, fmt.Errorf("nr: replica %d has %d threads registered (max %d)",
+			i, len(r.ctxs), MaxThreadsPerReplica)
+	}
+	// A combiner batch (at most one op per thread) must be smaller than
+	// half the log ring, or the log could fill with a single batch and
+	// reclamation could not keep ahead of publication.
+	if (len(r.ctxs)+1)*2 > len(n.log.slots) {
+		return nil, fmt.Errorf("nr: log ring (%d slots) too small for %d threads on replica %d",
+			len(n.log.slots), len(r.ctxs)+1, i)
+	}
+	c := &ThreadContext[Rd, Wr, Resp]{r: r, id: uint32(len(r.ctxs))}
+	r.ctxs = append(r.ctxs, c)
+	return c, nil
+}
+
+// MustRegister is Register, panicking on error (for tests and setup
+// paths where exceeding the thread bound is a programming error).
+func (n *NR[Rd, Wr, Resp]) MustRegister(i int) *ThreadContext[Rd, Wr, Resp] {
+	c, err := n.Register(i)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Execute performs a mutating operation and returns its response once
+// the operation has been applied at this thread's replica. The
+// linearization point is the operation's position in the shared log.
+func (c *ThreadContext[Rd, Wr, Resp]) Execute(op Wr) Resp {
+	r := c.r
+	c.op = op
+	c.st.Store(slotPending)
+	for {
+		if r.combiner.TryLock() {
+			r.combine()
+			r.combiner.Unlock()
+			if c.st.Load() == slotDone {
+				break
+			}
+			// Our slot can only be batched by our own combiner pass
+			// while we hold the pending flag, so reaching here means a
+			// concurrent combiner picked us up... which cannot happen:
+			// combine() always drains every pending slot. Loop for
+			// defense in depth.
+			continue
+		}
+		// Another thread is combining on our behalf; wait for it.
+		if c.st.Load() == slotDone {
+			break
+		}
+		runtime.Gosched()
+	}
+	c.st.Store(slotEmpty)
+	return c.resp
+}
+
+// ExecuteRead performs a read-only operation against the local replica
+// after syncing it to the log tail observed at invocation — the NR
+// linearizability condition for reads.
+func (c *ThreadContext[Rd, Wr, Resp]) ExecuteRead(op Rd) Resp {
+	r := c.r
+	horizon := r.nr.log.Tail()
+	for r.applied.Load() < horizon {
+		// Replica is behind: help by combining (which applies
+		// outstanding log entries) or wait for the active combiner.
+		if r.combiner.TryLock() {
+			r.combine()
+			r.combiner.Unlock()
+		} else {
+			runtime.Gosched()
+		}
+	}
+	r.lock.RLock()
+	resp := r.ds.DispatchRead(op)
+	r.lock.RUnlock()
+	return resp
+}
+
+// combine is the flat-combining pass. Caller holds r.combiner.
+//
+// It (1) collects the pending operations of all threads registered on
+// this replica, (2) reserves and publishes them as a contiguous batch in
+// the shared log, and (3) applies every unapplied log entry — foreign
+// and local — to the local data structure in log order, depositing
+// responses into local slots.
+func (r *Replica[Rd, Wr, Resp]) combine() {
+	r.mu.Lock()
+	ctxs := r.ctxs
+	r.mu.Unlock()
+
+	var batch []*ThreadContext[Rd, Wr, Resp]
+	for _, c := range ctxs {
+		if c.st.Load() == slotPending {
+			batch = append(batch, c)
+		}
+	}
+
+	lg := r.nr.log
+	var last uint64
+	if len(batch) > 0 {
+		first := lg.reserve(uint64(len(batch)))
+		// selfHelp: we hold our own combiner lock, so when the ring is
+		// full and we are the laggard, apply entries ourselves. The
+		// target is capped below `first`, so we never try to apply our
+		// own still-unpublished batch.
+		selfHelp := func(target uint64) {
+			if target > first {
+				target = first
+			}
+			r.applyUpTo(target)
+		}
+		for i, c := range batch {
+			lg.publish(first+uint64(i), c.op, r.id, c.id, selfHelp)
+		}
+		last = first + uint64(len(batch))
+		r.batches.Add(1)
+		r.combined.Add(uint64(len(batch)))
+	} else {
+		last = lg.Tail()
+	}
+
+	// Apply everything up to (at least) our batch's end.
+	r.applyUpTo(last)
+}
+
+// applyUpTo applies log entries [applied, target) to the local replica.
+// Caller holds r.combiner.
+func (r *Replica[Rd, Wr, Resp]) applyUpTo(target uint64) {
+	cur := r.applied.Load()
+	if cur >= target {
+		return
+	}
+	lg := r.nr.log
+	r.mu.Lock()
+	ctxs := r.ctxs
+	r.mu.Unlock()
+	r.lock.Lock()
+	for ; cur < target; cur++ {
+		op, rep, ctx := lg.read(cur)
+		resp := r.ds.DispatchWrite(op)
+		if rep == r.id {
+			c := ctxs[ctx]
+			c.resp = resp
+			c.st.Store(slotDone)
+		}
+	}
+	r.applied.Store(cur)
+	r.lock.Unlock()
+}
+
+// Sync forces the replica to catch up with the current log tail. Used
+// by checkers that compare replica states.
+func (r *Replica[Rd, Wr, Resp]) Sync() {
+	target := r.nr.log.Tail()
+	for r.applied.Load() < target {
+		if r.combiner.TryLock() {
+			r.applyUpTo(target)
+			r.combiner.Unlock()
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Inspect runs f with the replica's data structure under the read lock,
+// after syncing to the current tail. Only checkers and tests use it.
+func (r *Replica[Rd, Wr, Resp]) Inspect(f func(ds DataStructure[Rd, Wr, Resp])) {
+	r.Sync()
+	r.lock.RLock()
+	defer r.lock.RUnlock()
+	f(r.ds)
+}
+
+// CombinerStats reports flat-combining effectiveness: total batched
+// operations and number of batches.
+func (r *Replica[Rd, Wr, Resp]) CombinerStats() (ops, batches uint64) {
+	return r.combined.Load(), r.batches.Load()
+}
+
+// Tail exposes the log tail (for tests).
+func (n *NR[Rd, Wr, Resp]) Tail() uint64 { return n.log.Tail() }

@@ -1,0 +1,135 @@
+package nr
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerMoreObligations is the second wave of NR VCs: reads never
+// miss their linearization horizon under concurrent writers, combiner
+// batching accounts for every operation exactly once, registration
+// bounds are enforced, and an idle replica's state is reconstructible
+// at any time (the helper path keeps it serviceable).
+func registerMoreObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "nr", Name: "read-horizon-respected-under-writers", Kind: verifier.KindLinearizability,
+			Check: func(r *rand.Rand) error {
+				// A reader that observed its own write N must observe at
+				// least N on every subsequent read while another thread
+				// keeps writing (monotone reads across replicas).
+				n := New(Options{Replicas: 2}, newOblKV)
+				stop := make(chan struct{})
+				var writerErr error
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					c := n.MustRegister(0)
+					for i := uint64(1); ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+							c.Execute(oblW{k: 1, v: i})
+						}
+					}
+				}()
+				rd := n.MustRegister(1)
+				var last uint64
+				for i := 0; i < 2000; i++ {
+					got := rd.ExecuteRead(oblR{k: 1})
+					if got.ok && got.v < last {
+						writerErr = fmt.Errorf("reads went backwards: %d after %d", got.v, last)
+						break
+					}
+					if got.ok {
+						last = got.v
+					}
+				}
+				close(stop)
+				wg.Wait()
+				return writerErr
+			}},
+		verifier.Obligation{Module: "nr", Name: "combiner-accounts-every-op", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				n := New(Options{Replicas: 2}, newOblKV)
+				const threads, iters = 4, 500
+				var wg sync.WaitGroup
+				var issued atomic.Uint64
+				for t := 0; t < threads; t++ {
+					wg.Add(1)
+					go func(t int) {
+						defer wg.Done()
+						c := n.MustRegister(t % 2)
+						for i := 0; i < iters; i++ {
+							c.Execute(oblW{k: uint64(t), v: uint64(i)})
+							issued.Add(1)
+						}
+					}(t)
+				}
+				wg.Wait()
+				var combined uint64
+				for i := 0; i < 2; i++ {
+					ops, _ := n.Replica(i).CombinerStats()
+					combined += ops
+				}
+				if combined != issued.Load() {
+					return fmt.Errorf("combined %d ops, issued %d", combined, issued.Load())
+				}
+				if n.Tail() != issued.Load() {
+					return fmt.Errorf("log tail %d, issued %d", n.Tail(), issued.Load())
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "nr", Name: "registration-bounds", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				n := New(Options{Replicas: 1}, newOblKV)
+				for i := 0; i < MaxThreadsPerReplica; i++ {
+					if _, err := n.Register(0); err != nil {
+						return fmt.Errorf("register %d: %v", i, err)
+					}
+				}
+				if _, err := n.Register(0); err == nil {
+					return fmt.Errorf("registration beyond %d accepted", MaxThreadsPerReplica)
+				}
+				// Tiny logs reject thread counts they cannot sustain.
+				small := New(Options{Replicas: 1, LogSize: 8}, newOblKV)
+				accepted := 0
+				for i := 0; i < 16; i++ {
+					if _, err := small.Register(0); err == nil {
+						accepted++
+					}
+				}
+				if accepted*2 > 8 {
+					return fmt.Errorf("8-slot log accepted %d threads (batch could fill the ring)", accepted)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "nr", Name: "idle-replica-always-serviceable", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// Writers hammer replica 0 through several ring laps; a
+				// reader that registers late on replica 1 must observe a
+				// complete, consistent state immediately.
+				n := New(Options{Replicas: 2, LogSize: 128}, newOblKV)
+				c := n.MustRegister(0)
+				const keys = 10
+				for lap := 0; lap < 50; lap++ {
+					for k := uint64(0); k < keys; k++ {
+						c.Execute(oblW{k: k, v: uint64(lap)})
+					}
+				}
+				late := n.MustRegister(1)
+				for k := uint64(0); k < keys; k++ {
+					got := late.ExecuteRead(oblR{k: k})
+					if !got.ok || got.v != 49 {
+						return fmt.Errorf("late reader key %d = %+v, want 49", k, got)
+					}
+				}
+				return nil
+			}},
+	)
+}

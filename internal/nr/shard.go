@@ -1,0 +1,65 @@
+package nr
+
+// Sharded partitions the state space over several independent NR
+// instances, each with its own log — the paper's "NrOS shards kernel
+// state into multiple NR instances and replicates them over independent
+// logs" (§4.1). Operations carry a shard key; cross-shard consistency is
+// the caller's concern (NrOS shards state that is naturally partitioned,
+// e.g. the file-system namespace by inode).
+type Sharded[Rd any, Wr any, Resp any] struct {
+	shards []*NR[Rd, Wr, Resp]
+}
+
+// ShardedThread is a thread's handle across every shard.
+type ShardedThread[Rd any, Wr any, Resp any] struct {
+	s    *Sharded[Rd, Wr, Resp]
+	ctxs []*ThreadContext[Rd, Wr, Resp]
+}
+
+// NewSharded creates n independent NR instances.
+func NewSharded[Rd any, Wr any, Resp any](shards int, opts Options, create func() DataStructure[Rd, Wr, Resp]) *Sharded[Rd, Wr, Resp] {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &Sharded[Rd, Wr, Resp]{}
+	for i := 0; i < shards; i++ {
+		s.shards = append(s.shards, New(opts, create))
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Sharded[Rd, Wr, Resp]) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i.
+func (s *Sharded[Rd, Wr, Resp]) Shard(i int) *NR[Rd, Wr, Resp] { return s.shards[i] }
+
+// Register attaches a thread to replica `replica` of every shard.
+func (s *Sharded[Rd, Wr, Resp]) Register(replica int) (*ShardedThread[Rd, Wr, Resp], error) {
+	t := &ShardedThread[Rd, Wr, Resp]{s: s}
+	for _, sh := range s.shards {
+		c, err := sh.Register(replica)
+		if err != nil {
+			return nil, err
+		}
+		t.ctxs = append(t.ctxs, c)
+	}
+	return t, nil
+}
+
+// shardOf maps a key to a shard index.
+func (s *Sharded[Rd, Wr, Resp]) shardOf(key uint64) int {
+	// Fibonacci hashing spreads sequential keys (inode numbers, page
+	// indices) across shards.
+	return int((key * 0x9e3779b97f4a7c15) >> 32 % uint64(len(s.shards)))
+}
+
+// Execute runs a mutating operation on the shard owning key.
+func (t *ShardedThread[Rd, Wr, Resp]) Execute(key uint64, op Wr) Resp {
+	return t.ctxs[t.s.shardOf(key)].Execute(op)
+}
+
+// ExecuteRead runs a read-only operation on the shard owning key.
+func (t *ShardedThread[Rd, Wr, Resp]) ExecuteRead(key uint64, op Rd) Resp {
+	return t.ctxs[t.s.shardOf(key)].ExecuteRead(op)
+}

@@ -1,0 +1,170 @@
+package proc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// RegisterObligations registers the process-management verification
+// conditions: tree invariants under random lifecycles, zombie-reap
+// accounting, orphan reparenting, and signal semantics.
+func RegisterObligations(g *verifier.Registry) {
+	registerMoreObligations(g)
+	g.Register(
+		verifier.Obligation{Module: "proc", Name: "tree-invariant-random", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				t := NewTable()
+				live := []PID{InitPID}
+				for i := 0; i < 3000; i++ {
+					switch r.Intn(4) {
+					case 0, 1:
+						parent := live[r.Intn(len(live))]
+						if pid, err := t.Spawn(parent, fmt.Sprintf("p%d", i)); err == nil {
+							live = append(live, pid)
+						}
+					case 2:
+						if len(live) > 1 {
+							j := 1 + r.Intn(len(live)-1)
+							if err := t.Exit(live[j], r.Intn(256)); err == nil {
+								live = append(live[:j], live[j+1:]...)
+							}
+						}
+					case 3:
+						parent := live[r.Intn(len(live))]
+						_, _ = t.Wait(parent)
+					}
+					if i%100 == 0 {
+						if err := t.CheckInvariant(); err != nil {
+							return fmt.Errorf("iter %d: %w", i, err)
+						}
+					}
+				}
+				return t.CheckInvariant()
+			}},
+		verifier.Obligation{Module: "proc", Name: "no-zombie-leak-after-wait", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				t := NewTable()
+				var kids []PID
+				for i := 0; i < 50; i++ {
+					pid, err := t.Spawn(InitPID, "w")
+					if err != nil {
+						return err
+					}
+					kids = append(kids, pid)
+				}
+				for _, pid := range kids {
+					if err := t.Exit(pid, int(pid)); err != nil {
+						return err
+					}
+				}
+				got := map[PID]int{}
+				for range kids {
+					res, err := t.Wait(InitPID)
+					if err != nil {
+						return err
+					}
+					got[res.PID] = res.ExitCode
+				}
+				for _, pid := range kids {
+					if got[pid] != int(pid) {
+						return fmt.Errorf("exit code for %d = %d", pid, got[pid])
+					}
+				}
+				if t.Len() != 1 {
+					return fmt.Errorf("%d entries after reaping all, want 1", t.Len())
+				}
+				if _, err := t.Wait(InitPID); !errors.Is(err, ErrNoChildren) {
+					return fmt.Errorf("wait with no children: %v", err)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "proc", Name: "orphans-reparent-to-init", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				t := NewTable()
+				mid, _ := t.Spawn(InitPID, "mid")
+				grand, _ := t.Spawn(mid, "grand")
+				if err := t.Exit(mid, 0); err != nil {
+					return err
+				}
+				g2, err := t.Get(grand)
+				if err != nil {
+					return err
+				}
+				if g2.Parent != InitPID {
+					return fmt.Errorf("orphan parent = %d", g2.Parent)
+				}
+				// init can wait for both: mid (zombie) now, grand later.
+				res, err := t.Wait(InitPID)
+				if err != nil || res.PID != mid {
+					return fmt.Errorf("wait = %+v, %v", res, err)
+				}
+				if err := t.Exit(grand, 7); err != nil {
+					return err
+				}
+				res, err = t.Wait(InitPID)
+				if err != nil || res.PID != grand || res.ExitCode != 7 {
+					return fmt.Errorf("wait grand = %+v, %v", res, err)
+				}
+				return t.CheckInvariant()
+			}},
+		verifier.Obligation{Module: "proc", Name: "signal-semantics", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				t := NewTable()
+				pid, _ := t.Spawn(InitPID, "victim")
+				if err := t.Kill(pid, SIGTERM); err != nil {
+					return err
+				}
+				if err := t.Kill(pid, SIGUSR1); err != nil {
+					return err
+				}
+				// Pending signals consumed lowest-first.
+				s, ok, err := t.TakeSignal(pid)
+				if err != nil || !ok || s != SIGUSR1 {
+					return fmt.Errorf("take 1 = %v %t %v", s, ok, err)
+				}
+				s, ok, _ = t.TakeSignal(pid)
+				if !ok || s != SIGTERM {
+					return fmt.Errorf("take 2 = %v %t", s, ok)
+				}
+				if _, ok, _ := t.TakeSignal(pid); ok {
+					return fmt.Errorf("phantom signal")
+				}
+				// SIGKILL terminates immediately.
+				if err := t.Kill(pid, SIGKILL); err != nil {
+					return err
+				}
+				p, _ := t.Get(pid)
+				if p.State != StateZombie || p.ExitCode != 128+int(SIGKILL) {
+					return fmt.Errorf("after SIGKILL: %+v", p)
+				}
+				// init is immune to SIGKILL.
+				if err := t.Kill(InitPID, SIGKILL); !errors.Is(err, ErrInit) {
+					return fmt.Errorf("kill init: %v", err)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "proc", Name: "pid-uniqueness", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				t := NewTable()
+				seen := map[PID]bool{InitPID: true}
+				for i := 0; i < 500; i++ {
+					pid, err := t.Spawn(InitPID, "u")
+					if err != nil {
+						return err
+					}
+					if seen[pid] {
+						return fmt.Errorf("pid %d reused", pid)
+					}
+					seen[pid] = true
+					if r.Intn(2) == 0 {
+						_ = t.Exit(pid, 0)
+						_, _ = t.Wait(InitPID)
+					}
+				}
+				return nil
+			}},
+	)
+}

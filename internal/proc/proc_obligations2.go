@@ -1,0 +1,162 @@
+package proc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerMoreObligations is the second wave of process-management VCs:
+// exit-code fidelity through deep trees, SIGCHLD delivery, wait-order
+// determinism, zombie-state immutability, and signal conservation.
+func registerMoreObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "proc", Name: "exit-codes-survive-reparenting", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// Build a chain init -> a -> b -> c; kill the middle;
+				// the grandchildren's exit codes must still reach init.
+				t := NewTable()
+				a, _ := t.Spawn(InitPID, "a")
+				b, _ := t.Spawn(a, "b")
+				c, _ := t.Spawn(b, "c")
+				codeB, codeC := r.Intn(250), r.Intn(250)
+				if err := t.Exit(a, 1); err != nil {
+					return err
+				}
+				if err := t.Exit(b, codeB); err != nil {
+					return err
+				}
+				if err := t.Exit(c, codeC); err != nil {
+					return err
+				}
+				got := map[PID]int{}
+				for i := 0; i < 3; i++ {
+					res, err := t.Wait(InitPID)
+					if err != nil {
+						return fmt.Errorf("wait %d: %w", i, err)
+					}
+					got[res.PID] = res.ExitCode
+				}
+				if got[b] != codeB || got[c] != codeC || got[a] != 1 {
+					return fmt.Errorf("codes = %v, want a=1 b=%d c=%d", got, codeB, codeC)
+				}
+				return t.CheckInvariant()
+			}},
+		verifier.Obligation{Module: "proc", Name: "sigchld-on-every-exit", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				t := NewTable()
+				parent, _ := t.Spawn(InitPID, "parent")
+				for i := 0; i < 20; i++ {
+					kid, err := t.Spawn(parent, "kid")
+					if err != nil {
+						return err
+					}
+					if err := t.Exit(kid, 0); err != nil {
+						return err
+					}
+					sig, ok, err := t.TakeSignal(parent)
+					if err != nil || !ok || sig != SIGCHLD {
+						return fmt.Errorf("exit %d: signal = %v %t %v", i, sig, ok, err)
+					}
+					if _, err := t.Wait(parent); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "proc", Name: "wait-order-deterministic", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				// Two tables fed the same spawn/exit sequence reap in
+				// the same order (the NR determinism requirement).
+				t1, t2 := NewTable(), NewTable()
+				var pids []PID
+				for i := 0; i < 30; i++ {
+					p1, e1 := t1.Spawn(InitPID, "x")
+					p2, e2 := t2.Spawn(InitPID, "x")
+					if e1 != nil || e2 != nil || p1 != p2 {
+						return fmt.Errorf("spawn diverged: %v/%v %v/%v", p1, e1, p2, e2)
+					}
+					pids = append(pids, p1)
+				}
+				perm := r.Perm(len(pids))
+				for _, j := range perm {
+					if err := t1.Exit(pids[j], j); err != nil {
+						return err
+					}
+					if err := t2.Exit(pids[j], j); err != nil {
+						return err
+					}
+				}
+				for i := 0; i < len(pids); i++ {
+					r1, e1 := t1.Wait(InitPID)
+					r2, e2 := t2.Wait(InitPID)
+					if e1 != nil || e2 != nil || r1 != r2 {
+						return fmt.Errorf("wait %d diverged: %+v/%v %+v/%v", i, r1, e1, r2, e2)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "proc", Name: "zombie-state-immutable", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				t := NewTable()
+				pid, _ := t.Spawn(InitPID, "z")
+				code := r.Intn(256)
+				if err := t.Exit(pid, code); err != nil {
+					return err
+				}
+				// Nothing may change a zombie except Wait.
+				if err := t.Exit(pid, code+1); !errors.Is(err, ErrZombie) {
+					return fmt.Errorf("re-exit: %v", err)
+				}
+				if err := t.Kill(pid, SIGTERM); !errors.Is(err, ErrZombie) {
+					return fmt.Errorf("signal zombie: %v", err)
+				}
+				if err := t.Kill(pid, SIGKILL); !errors.Is(err, ErrZombie) {
+					return fmt.Errorf("SIGKILL zombie: %v", err)
+				}
+				if _, err := t.Spawn(pid, "child"); !errors.Is(err, ErrZombie) {
+					return fmt.Errorf("spawn from zombie: %v", err)
+				}
+				p, err := t.Get(pid)
+				if err != nil || p.ExitCode != code {
+					return fmt.Errorf("exit code mutated: %+v, %v", p, err)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "proc", Name: "signal-conservation", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				// Distinct pending signals are a set: delivering the same
+				// signal twice then taking yields it once; distinct
+				// signals all arrive.
+				t := NewTable()
+				pid, _ := t.Spawn(InitPID, "s")
+				sigs := []Signal{SIGTERM, SIGUSR1, SIGCHLD}
+				for _, s := range sigs {
+					for i := 0; i < 1+r.Intn(3); i++ {
+						if err := t.Kill(pid, s); err != nil {
+							return err
+						}
+					}
+				}
+				got := map[Signal]int{}
+				for {
+					s, ok, err := t.TakeSignal(pid)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						break
+					}
+					got[s]++
+				}
+				for _, s := range sigs {
+					if got[s] != 1 {
+						return fmt.Errorf("signal %d delivered %d times, want 1 (set semantics)", s, got[s])
+					}
+				}
+				return nil
+			}},
+	)
+}

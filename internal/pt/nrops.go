@@ -1,0 +1,142 @@
+package pt
+
+import (
+	"fmt"
+
+	"github.com/verified-os/vnros/internal/hw/mem"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/nr"
+)
+
+// This file packages an AddressSpace as an NR data structure, matching
+// how NrOS replicates its address-space state per NUMA node (§4.1). Each
+// replica owns a full page-table tree in its own region of (or its own)
+// physical memory; NR keeps the replicas consistent by applying the
+// same map/unmap log everywhere, and resolves run replica-locally.
+//
+// These are the exact objects the Figure 1b/1c benchmarks drive.
+
+// ASRead is a read-only address-space operation.
+type ASRead struct {
+	Kind string // "resolve"
+	VA   mmu.VAddr
+}
+
+// ASWrite is a mutating address-space operation.
+type ASWrite struct {
+	Kind  string // "map", "unmap", "protect"
+	VA    mmu.VAddr
+	Frame mem.PAddr
+	Size  uint64
+	Flags mmu.Flags
+}
+
+// ASResp is the response to either kind.
+type ASResp struct {
+	Outcome Outcome
+	Frame   mem.PAddr
+	Mapping Mapping
+	OK      bool
+}
+
+// asDS adapts one AddressSpace replica to nr.DataStructure.
+type asDS struct {
+	as AddressSpace
+}
+
+// DispatchRead implements nr.DataStructure.
+func (d *asDS) DispatchRead(op ASRead) ASResp {
+	switch op.Kind {
+	case "resolve":
+		m, ok := d.as.Resolve(op.VA)
+		return ASResp{Mapping: m, OK: ok, Outcome: OutcomeOK}
+	}
+	return ASResp{Outcome: Outcome("unknown-read:" + op.Kind)}
+}
+
+// DispatchWrite implements nr.DataStructure.
+func (d *asDS) DispatchWrite(op ASWrite) ASResp {
+	switch op.Kind {
+	case "map":
+		err := d.as.Map(op.VA, op.Frame, op.Size, op.Flags)
+		return ASResp{Outcome: ClassifyError(err)}
+	case "unmap":
+		frame, err := d.as.Unmap(op.VA)
+		return ASResp{Outcome: ClassifyError(err), Frame: frame}
+	case "protect":
+		type protector interface {
+			Protect(mmu.VAddr, mmu.Flags) error
+		}
+		if p, ok := d.as.(protector); ok {
+			return ASResp{Outcome: ClassifyError(p.Protect(op.VA, op.Flags))}
+		}
+		return ASResp{Outcome: Outcome("protect-unsupported")}
+	}
+	return ASResp{Outcome: Outcome("unknown-write:" + op.Kind)}
+}
+
+// Variant selects an implementation for replicated address spaces.
+type Variant int
+
+// Address-space implementation variants.
+const (
+	VariantVerified Variant = iota
+	VariantUnverified
+)
+
+func (v Variant) String() string {
+	if v == VariantVerified {
+		return "verified"
+	}
+	return "unverified"
+}
+
+// ReplicatedOptions configures NewReplicated.
+type ReplicatedOptions struct {
+	Variant  Variant
+	Replicas int
+	LogSize  int
+	// MemPerReplica is the simulated physical memory per replica
+	// (default 256 MiB).
+	MemPerReplica mem.PAddr
+}
+
+// ReplicatedAS is an NR-replicated address space.
+type ReplicatedAS struct {
+	NR *nr.NR[ASRead, ASWrite, ASResp]
+}
+
+// NewReplicated builds an NR instance whose replicas are independent
+// page-table trees of the chosen variant. Replica creation is
+// deterministic, so identical op sequences keep them bit-equivalent.
+func NewReplicated(opts ReplicatedOptions) (*ReplicatedAS, error) {
+	if opts.MemPerReplica == 0 {
+		opts.MemPerReplica = 256 << 20
+	}
+	var createErr error
+	n := nr.New(nr.Options{Replicas: opts.Replicas, LogSize: opts.LogSize},
+		func() nr.DataStructure[ASRead, ASWrite, ASResp] {
+			pm := mem.New(opts.MemPerReplica)
+			src := NewSimpleFrameSource(pm, 0x1000, opts.MemPerReplica/4)
+			var as AddressSpace
+			var err error
+			if opts.Variant == VariantVerified {
+				as, err = NewVerified(pm, src, nil)
+			} else {
+				as, err = NewUnverified(pm, src, nil)
+			}
+			if err != nil && createErr == nil {
+				createErr = err
+			}
+			return &asDS{as: as}
+		})
+	if createErr != nil {
+		return nil, fmt.Errorf("pt: replica creation failed: %w", createErr)
+	}
+	return &ReplicatedAS{NR: n}, nil
+}
+
+// Register attaches a thread ("core") to the given replica ("node").
+func (r *ReplicatedAS) Register(replica int) (*nr.ThreadContext[ASRead, ASWrite, ASResp], error) {
+	return r.NR.Register(replica)
+}

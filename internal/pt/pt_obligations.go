@@ -1,0 +1,306 @@
+package pt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/hw/mem"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/lin"
+	"github.com/verified-os/vnros/internal/nr"
+	"github.com/verified-os/vnros/internal/spec/sm"
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// RegisterObligations registers the page-table verification conditions
+// with the VC engine. These are the §5 proof, decomposed: spec sanity,
+// implementation invariants, the refinement simulation through the MMU
+// interpretation function, baseline equivalence, and linearizability of
+// the NR-replicated structure.
+func RegisterObligations(g *verifier.Registry) {
+	registerMoreObligations(g)
+	registerEvenMoreObligations(g)
+	g.Register(
+		verifier.Obligation{Module: "pt", Name: "spec-explore-finite", Kind: verifier.KindModelCheck,
+			Check: func(r *rand.Rand) error {
+				res, err := sm.Explore(FiniteSpec(3, 2), 200_000)
+				if err != nil {
+					return err
+				}
+				if res.Truncated {
+					return fmt.Errorf("finite spec should be exhaustible, saw %d states", res.States)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "pt", Name: "spec-invariant-random", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				// Random walks over the pure spec keep its invariant.
+				spec := Spec()
+				s := AbstractState{}
+				for i := 0; i < 2000; i++ {
+					va := mmu.VAddr(uint64(r.Intn(64)) * mmu.L1PageSize)
+					if r.Intn(2) == 0 {
+						s, _ = SpecMap(s, va, mem.PAddr(uint64(r.Intn(16))*mmu.L1PageSize),
+							mmu.L1PageSize, mmu.Flags{Writable: true})
+					} else {
+						s, _, _ = SpecUnmap(s, va)
+					}
+					if err := spec.Invariant(s); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "pt", Name: "map-unmap-refines-spec-verified", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error { return RunRandomTrace(r, true, 400) }},
+		verifier.Obligation{Module: "pt", Name: "map-unmap-refines-spec-unverified", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error { return RunRandomTrace(r, false, 400) }},
+		verifier.Obligation{Module: "pt", Name: "verified-equals-baseline", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error { return CheckEquivalence(r, 600) }},
+		verifier.Obligation{Module: "pt", Name: "well-formedness-invariant", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				pm := mem.New(64 << 20)
+				src := NewSimpleFrameSource(pm, 0x1000, 32<<20)
+				v, err := NewVerified(pm, src, nil)
+				if err != nil {
+					return err
+				}
+				for _, op := range GenTrace(r, 300) {
+					switch op.Kind {
+					case "map":
+						_ = v.Map(op.VA, op.Frame, op.Size, op.Flags)
+					case "unmap":
+						_, _ = v.Unmap(op.VA)
+					}
+					if err := v.CheckInvariant(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "pt", Name: "resolve-agrees-with-mmu-walk", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				// The software walk (Resolve) and the hardware walk
+				// (mmu.Walker) must agree on every probed address.
+				pm := mem.New(64 << 20)
+				src := NewSimpleFrameSource(pm, 0x1000, 32<<20)
+				v, err := NewVerified(pm, src, nil)
+				if err != nil {
+					return err
+				}
+				w := mmu.Walker{Mem: pm}
+				for _, op := range GenTrace(r, 300) {
+					switch op.Kind {
+					case "map":
+						_ = v.Map(op.VA, op.Frame, op.Size, op.Flags)
+					case "unmap":
+						_, _ = v.Unmap(op.VA)
+					}
+					probe := op.VA + mmu.VAddr(r.Intn(mmu.L1PageSize))
+					m, ok := v.Resolve(probe)
+					res := w.Walk(v.Root(), probe, mmu.AccessRead)
+					if ok != (res.Fault == nil) {
+						return fmt.Errorf("resolve(%v)=%t but hardware walk fault=%v", probe, ok, res.Fault)
+					}
+					if ok {
+						wantPA := mem.PAddr(uint64(m.Frame) + uint64(probe)%m.PageSize)
+						if res.Translation.PAddr != wantPA {
+							return fmt.Errorf("resolve(%v) frame %v disagrees with walk PA %v",
+								probe, m.Frame, res.Translation.PAddr)
+						}
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "pt", Name: "unmap-invalidates-tlb", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// End-to-end shootdown: with the MMU's TLB warm, unmap
+				// through the Verified space (wired to Invlpg) must make
+				// subsequent translations fault.
+				pm := mem.New(64 << 20)
+				src := NewSimpleFrameSource(pm, 0x1000, 16<<20)
+				var u *mmu.MMU
+				v, err := NewVerified(pm, src, func(va mmu.VAddr) { u.Invlpg(va) })
+				if err != nil {
+					return err
+				}
+				u = mmu.New(pm)
+				u.SetRoot(v.Root(), 1)
+				va := mmu.VAddr(0x4000_0000)
+				frame := mem.PAddr(0x80_0000)
+				if err := v.Map(va, frame, mmu.L1PageSize, mmu.Flags{Writable: true}); err != nil {
+					return err
+				}
+				if _, f := u.Translate(va, mmu.AccessRead); f != nil {
+					return fmt.Errorf("translate after map faulted: %v", f)
+				}
+				if _, err := v.Unmap(va); err != nil {
+					return err
+				}
+				if _, f := u.Translate(va, mmu.AccessRead); f == nil {
+					return fmt.Errorf("translation survived unmap: TLB shootdown missing")
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "pt", Name: "directory-frames-reclaimed", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// Mapping then unmapping everything must return the
+				// frame source to exactly the root frame outstanding.
+				pm := mem.New(64 << 20)
+				src := NewSimpleFrameSource(pm, 0x1000, 32<<20)
+				v, err := NewVerified(pm, src, nil)
+				if err != nil {
+					return err
+				}
+				var vas []mmu.VAddr
+				for i := 0; i < 50; i++ {
+					va := mmu.VAddr(uint64(r.Intn(1<<20)) * mmu.L1PageSize)
+					if err := v.Map(va, mem.PAddr(0x100000), mmu.L1PageSize, mmu.Flags{}); err == nil {
+						vas = append(vas, va)
+					}
+				}
+				for _, va := range vas {
+					if _, err := v.Unmap(va); err != nil {
+						return err
+					}
+				}
+				if got := src.Outstanding(); got != 1 {
+					return fmt.Errorf("outstanding frames after full unmap = %d, want 1 (root)", got)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "pt", Name: "nr-replicated-linearizable", Kind: verifier.KindLinearizability,
+			Check: func(r *rand.Rand) error { return checkNRLinearizable(r) }},
+		verifier.Obligation{Module: "pt", Name: "nr-replicas-bit-identical", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error { return checkNRReplicasAgree(r) }},
+	)
+}
+
+// checkNRLinearizable drives a replicated address space from concurrent
+// goroutines, records the history, and checks it against the sequential
+// spec.
+func checkNRLinearizable(r *rand.Rand) error {
+	ras, err := NewReplicated(ReplicatedOptions{Variant: VariantVerified, Replicas: 2, MemPerReplica: 64 << 20})
+	if err != nil {
+		return err
+	}
+	type opIn struct {
+		write bool
+		w     ASWrite
+		rd    ASRead
+	}
+	rec := lin.NewRecorder[opIn, ASResp]()
+	done := make(chan error, 4)
+	// Pre-generate per-thread ops from r (deterministic).
+	mkOps := func() []opIn {
+		ops := make([]opIn, 12)
+		for i := range ops {
+			va := mmu.VAddr(uint64(r.Intn(4)) * mmu.L1PageSize)
+			switch r.Intn(3) {
+			case 0:
+				ops[i] = opIn{write: true, w: ASWrite{Kind: "map", VA: va,
+					Frame: mem.PAddr(uint64(1+r.Intn(4)) * mmu.L1PageSize), Size: mmu.L1PageSize}}
+			case 1:
+				ops[i] = opIn{write: true, w: ASWrite{Kind: "unmap", VA: va}}
+			default:
+				ops[i] = opIn{rd: ASRead{Kind: "resolve", VA: va}}
+			}
+		}
+		return ops
+	}
+	perThread := [][]opIn{mkOps(), mkOps(), mkOps(), mkOps()}
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			c, err := ras.Register(g % 2)
+			if err != nil {
+				done <- err
+				return
+			}
+			for _, op := range perThread[g] {
+				p := rec.Invoke(g, op)
+				var resp ASResp
+				if op.write {
+					resp = c.Execute(op.w)
+				} else {
+					resp = c.ExecuteRead(op.rd)
+				}
+				p.Return(resp)
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			return err
+		}
+	}
+	model := lin.Model[AbstractState, opIn, ASResp]{
+		Init: func() AbstractState { return AbstractState{} },
+		Apply: func(s AbstractState, in opIn) (AbstractState, ASResp) {
+			if in.write {
+				switch in.w.Kind {
+				case "map":
+					post, out := SpecMap(s, in.w.VA, in.w.Frame, in.w.Size, in.w.Flags)
+					return post, ASResp{Outcome: out}
+				case "unmap":
+					post, frame, out := SpecUnmap(s, in.w.VA)
+					return post, ASResp{Outcome: out, Frame: frame}
+				}
+				return s, ASResp{}
+			}
+			m, ok := SpecResolve(s, in.rd.VA)
+			return s, ASResp{Mapping: m, OK: ok, Outcome: OutcomeOK}
+		},
+		Key:       func(s AbstractState) string { return s.Key() },
+		EqualResp: func(a, b ASResp) bool { return a == b },
+	}
+	return lin.Check(model, rec.History())
+}
+
+// checkNRReplicasAgree runs a workload and verifies all replicas
+// interpret to the same abstract state.
+func checkNRReplicasAgree(r *rand.Rand) error {
+	ras, err := NewReplicated(ReplicatedOptions{Variant: VariantVerified, Replicas: 3, MemPerReplica: 64 << 20})
+	if err != nil {
+		return err
+	}
+	c, err := ras.Register(0)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 200; i++ {
+		va := mmu.VAddr(uint64(r.Intn(32)) * mmu.L1PageSize)
+		if r.Intn(2) == 0 {
+			c.Execute(ASWrite{Kind: "map", VA: va,
+				Frame: mem.PAddr(uint64(1+r.Intn(8)) * mmu.L1PageSize), Size: mmu.L1PageSize})
+		} else {
+			c.Execute(ASWrite{Kind: "unmap", VA: va})
+		}
+	}
+	var states []AbstractState
+	var ierr error
+	for i := 0; i < ras.NR.NumReplicas(); i++ {
+		ras.NR.Replica(i).Inspect(func(d nr.DataStructure[ASRead, ASWrite, ASResp]) {
+			a := d.(*asDS)
+			type memer interface {
+				Mem() *mem.PhysMem
+				Root() mem.PAddr
+			}
+			m := a.as.(memer)
+			st, e := Interpret(m.Mem(), m.Root())
+			if e != nil && ierr == nil {
+				ierr = e
+			}
+			states = append(states, st)
+		})
+	}
+	if ierr != nil {
+		return ierr
+	}
+	for i := 1; i < len(states); i++ {
+		if !states[0].Equal(states[i]) {
+			return fmt.Errorf("replica %d abstraction differs from replica 0", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package pt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/hw/mem"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/nr"
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerMoreObligations is the second wave of page-table VCs: the
+// protect path, huge-page semantics, out-of-memory atomicity, interior
+// probes, frame-source discipline, and cross-replica TLB shootdown.
+func registerMoreObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "pt", Name: "protect-changes-only-flags", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				pm := mem.New(64 << 20)
+				src := NewSimpleFrameSource(pm, 0x1000, 32<<20)
+				v, err := NewVerified(pm, src, nil)
+				if err != nil {
+					return err
+				}
+				va := mmu.VAddr(0x4000_0000)
+				frame := mem.PAddr(0x80_0000)
+				if err := v.Map(va, frame, mmu.L1PageSize, mmu.Flags{Writable: true, User: true}); err != nil {
+					return err
+				}
+				pre, err := Interpret(pm, v.Root())
+				if err != nil {
+					return err
+				}
+				newFlags := mmu.Flags{User: true, NoExec: true}
+				if err := v.Protect(va, newFlags); err != nil {
+					return err
+				}
+				post, err := Interpret(pm, v.Root())
+				if err != nil {
+					return err
+				}
+				if len(post) != len(pre) {
+					return fmt.Errorf("protect changed mapping count")
+				}
+				m := post[va]
+				if m.Frame != frame || m.PageSize != mmu.L1PageSize {
+					return fmt.Errorf("protect moved the mapping: %+v", m)
+				}
+				if m.Flags != newFlags {
+					return fmt.Errorf("flags = %+v, want %+v", m.Flags, newFlags)
+				}
+				// Protect of unmapped and interior addresses fails clean.
+				if err := v.Protect(va+mmu.L1PageSize, newFlags); !errors.Is(err, ErrNotMapped) {
+					return fmt.Errorf("protect unmapped: %v", err)
+				}
+				return v.CheckInvariant()
+			}},
+		verifier.Obligation{Module: "pt", Name: "huge-page-refinement", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				pm := mem.New(256 << 20)
+				src := NewSimpleFrameSource(pm, 0x1000, 64<<20)
+				v, err := NewVerified(pm, src, nil)
+				if err != nil {
+					return err
+				}
+				h, err := NewHarness(v, pm)
+				if err != nil {
+					return err
+				}
+				base := mmu.VAddr(0x8000_0000)
+				ops := []TraceOp{
+					{Kind: "map", VA: base, Frame: 0x40_0000, Size: mmu.L2PageSize, Flags: mmu.Flags{Writable: true}},
+					{Kind: "resolve", VA: base + 0x12345},
+					{Kind: "map", VA: base + mmu.L1PageSize, Frame: 0x80_0000, Size: mmu.L1PageSize}, // conflicts
+					{Kind: "map", VA: base + mmu.L2PageSize, Frame: 0x80_0000, Size: mmu.L1PageSize}, // adjacent ok
+					{Kind: "unmap", VA: base},
+					{Kind: "map", VA: base, Frame: 0x80_0000, Size: mmu.L1PageSize}, // now fits
+				}
+				for i, op := range ops {
+					if err := h.Apply(op); err != nil {
+						return fmt.Errorf("huge op %d: %w", i, err)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "pt", Name: "oom-leaves-state-unchanged", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// A frame source with almost no capacity: map must fail
+				// with ErrOutOfMemory and leave the abstraction unchanged
+				// (no half-installed directories visible to the MMU).
+				pm := mem.New(16 << 20)
+				src := NewSimpleFrameSource(pm, 0x1000, 0x1000+2*mem.PageSize) // root + 1 table
+				v, err := NewVerified(pm, src, nil)
+				if err != nil {
+					return err
+				}
+				pre, err := Interpret(pm, v.Root())
+				if err != nil {
+					return err
+				}
+				err = v.Map(0x4000_0000, 0x80_0000, mmu.L1PageSize, mmu.Flags{})
+				if !errors.Is(err, ErrOutOfMemory) {
+					return fmt.Errorf("map with exhausted frames: %v", err)
+				}
+				post, err := Interpret(pm, v.Root())
+				if err != nil {
+					return err
+				}
+				if !pre.Equal(post) {
+					return fmt.Errorf("failed map changed the abstraction")
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "pt", Name: "unmap-interior-rejected", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				pm := mem.New(64 << 20)
+				src := NewSimpleFrameSource(pm, 0x1000, 32<<20)
+				v, err := NewVerified(pm, src, nil)
+				if err != nil {
+					return err
+				}
+				if err := v.Map(0x4000_0000, 0x40_0000, mmu.L2PageSize, mmu.Flags{}); err != nil {
+					return err
+				}
+				for i := 0; i < 50; i++ {
+					off := mmu.VAddr(1+r.Intn(mmu.L2PageSize-1)) &^ 0 // any interior byte
+					if _, err := v.Unmap(0x4000_0000 + off); err == nil {
+						return fmt.Errorf("interior unmap at +%#x succeeded", uint64(off))
+					}
+					// State unchanged.
+					if m, ok := v.Resolve(0x4000_0000); !ok || m.PageSize != mmu.L2PageSize {
+						return fmt.Errorf("huge mapping damaged by rejected unmap")
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "pt", Name: "frame-source-discipline", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// Table frames are never double-allocated or leaked over
+				// a long random workload: outstanding == root + live
+				// directory count derivable from the tree.
+				pm := mem.New(128 << 20)
+				src := NewSimpleFrameSource(pm, 0x1000, 64<<20)
+				v, err := NewVerified(pm, src, nil)
+				if err != nil {
+					return err
+				}
+				live := map[mmu.VAddr]bool{}
+				for i := 0; i < 600; i++ {
+					va := mmu.VAddr(uint64(r.Intn(128)) * mmu.L1PageSize * 512) // spread across directories
+					if r.Intn(2) == 0 {
+						if err := v.Map(va, 0x80_0000, mmu.L1PageSize, mmu.Flags{}); err == nil {
+							live[va] = true
+						}
+					} else if live[va] {
+						if _, err := v.Unmap(va); err != nil {
+							return err
+						}
+						delete(live, va)
+					}
+				}
+				if err := v.CheckInvariant(); err != nil {
+					return err
+				}
+				// Unmap everything; outstanding must return to 1 (root).
+				for va := range live {
+					if _, err := v.Unmap(va); err != nil {
+						return err
+					}
+				}
+				if got := src.Outstanding(); got != 1 {
+					return fmt.Errorf("outstanding = %d after full teardown, want 1", got)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "pt", Name: "replicated-unmap-shoots-down-all-mmus", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// Per-replica page tables with per-core MMUs: after an
+				// unmap through NR, no core's MMU may still translate —
+				// the multi-core version of the §5 shootdown obligation.
+				ras, hws, err := newHWReplicated(2)
+				if err != nil {
+					return err
+				}
+				c0, err := ras.Register(0)
+				if err != nil {
+					return err
+				}
+				va := mmu.VAddr(0x4000_0000)
+				if resp := c0.Execute(ASWrite{Kind: "map", VA: va, Frame: 0x100_0000,
+					Size: mmu.L1PageSize, Flags: mmu.Flags{Writable: true, User: true}}); resp.Outcome != OutcomeOK {
+					return fmt.Errorf("map: %s", resp.Outcome)
+				}
+				// Warm both replicas' MMUs (sync replica 1 via a read).
+				c1, err := ras.Register(1)
+				if err != nil {
+					return err
+				}
+				c1.ExecuteRead(ASRead{Kind: "resolve", VA: va})
+				for i, hw := range hws {
+					hw.mmu.SetRoot(hw.as.Root(), 1)
+					if _, f := hw.mmu.Translate(va, mmu.AccessRead); f != nil {
+						return fmt.Errorf("replica %d MMU cannot translate after map: %v", i, f)
+					}
+				}
+				if resp := c0.Execute(ASWrite{Kind: "unmap", VA: va}); resp.Outcome != OutcomeOK {
+					return fmt.Errorf("unmap: %s", resp.Outcome)
+				}
+				c1.ExecuteRead(ASRead{Kind: "resolve", VA: va}) // sync replica 1
+				for i, hw := range hws {
+					if _, f := hw.mmu.Translate(va, mmu.AccessRead); f == nil {
+						return fmt.Errorf("replica %d MMU still translates after unmap (no shootdown)", i)
+					}
+				}
+				return nil
+			}},
+	)
+}
+
+// hwReplica bundles one replica's private memory, MMU, and address
+// space for the cross-replica shootdown obligation.
+type hwReplica struct {
+	pm  *mem.PhysMem
+	mmu *mmu.MMU
+	as  *Verified
+}
+
+// newHWReplicated builds an NR-replicated address space where each
+// replica's unmap path invalidates that replica's MMU — the NrOS
+// arrangement of per-node page tables and per-core TLBs.
+func newHWReplicated(replicas int) (*ReplicatedAS, []*hwReplica, error) {
+	var hws []*hwReplica
+	var createErr error
+	n := nr.New(nr.Options{Replicas: replicas},
+		func() nr.DataStructure[ASRead, ASWrite, ASResp] {
+			pm := mem.New(256 << 20)
+			src := NewSimpleFrameSource(pm, 0x1000, 64<<20)
+			u := mmu.New(pm)
+			as, err := NewVerified(pm, src, func(va mmu.VAddr) { u.Invlpg(va) })
+			if err != nil && createErr == nil {
+				createErr = err
+			}
+			hws = append(hws, &hwReplica{pm: pm, mmu: u, as: as})
+			return &asDS{as: as}
+		})
+	if createErr != nil {
+		return nil, nil, createErr
+	}
+	return &ReplicatedAS{NR: n}, hws, nil
+}

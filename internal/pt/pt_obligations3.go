@@ -1,0 +1,102 @@
+package pt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/hw/mem"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerEvenMoreObligations: resolve is observationally pure, and the
+// ghost-check configuration does not change behavior (only cost).
+func registerEvenMoreObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "pt", Name: "resolve-is-pure", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				pm := mem.New(64 << 20)
+				src := NewSimpleFrameSource(pm, 0x1000, 32<<20)
+				v, err := NewVerified(pm, src, nil)
+				if err != nil {
+					return err
+				}
+				for _, op := range GenTrace(r, 100) {
+					if op.Kind == "map" {
+						_ = v.Map(op.VA, op.Frame, op.Size, op.Flags)
+					}
+				}
+				pre, err := Interpret(pm, v.Root())
+				if err != nil {
+					return err
+				}
+				preWrites := pm.Stats().Writes
+				for i := 0; i < 500; i++ {
+					v.Resolve(mmu.VAddr(r.Uint64()) & 0x7fff_ffff_f000)
+				}
+				if pm.Stats().Writes != preWrites {
+					return fmt.Errorf("resolve wrote to physical memory")
+				}
+				post, err := Interpret(pm, v.Root())
+				if err != nil {
+					return err
+				}
+				if !pre.Equal(post) {
+					return fmt.Errorf("resolve changed the abstraction")
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "pt", Name: "ghost-checks-behavior-neutral", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				// The same trace with ghost checks on and off produces
+				// identical outcomes and final abstractions — the checks
+				// observe, never steer.
+				mk := func(ghost bool) (*Verified, *mem.PhysMem, error) {
+					pm := mem.New(128 << 20)
+					src := NewSimpleFrameSource(pm, 0x1000, 64<<20)
+					v, err := NewVerified(pm, src, nil)
+					if err != nil {
+						return nil, nil, err
+					}
+					v.EnableGhostChecks(ghost)
+					return v, pm, nil
+				}
+				vOn, pmOn, err := mk(true)
+				if err != nil {
+					return err
+				}
+				vOff, pmOff, err := mk(false)
+				if err != nil {
+					return err
+				}
+				for i, op := range GenTrace(r, 300) {
+					switch op.Kind {
+					case "map":
+						a := ClassifyError(vOn.Map(op.VA, op.Frame, op.Size, op.Flags))
+						b := ClassifyError(vOff.Map(op.VA, op.Frame, op.Size, op.Flags))
+						if a != b {
+							return fmt.Errorf("op %d map diverged: %s vs %s", i, a, b)
+						}
+					case "unmap":
+						fa, ea := vOn.Unmap(op.VA)
+						fb, eb := vOff.Unmap(op.VA)
+						if ClassifyError(ea) != ClassifyError(eb) || fa != fb {
+							return fmt.Errorf("op %d unmap diverged", i)
+						}
+					}
+				}
+				a, err := Interpret(pmOn, vOn.Root())
+				if err != nil {
+					return err
+				}
+				b, err := Interpret(pmOff, vOff.Root())
+				if err != nil {
+					return err
+				}
+				if !a.Equal(b) {
+					return fmt.Errorf("ghost checks changed final state")
+				}
+				return nil
+			}},
+	)
+}

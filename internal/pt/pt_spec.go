@@ -1,0 +1,327 @@
+package pt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/verified-os/vnros/internal/hw/mem"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/spec/sm"
+)
+
+// This file is the §5 "high-level spec": the page table as a
+// mathematical map from virtual page base to mapping, with map, unmap
+// and resolve as state-machine transitions. It is pure — no physical
+// memory, no bits — and is what the implementation is checked against
+// through the MMU interpretation function (pt_refine.go).
+
+// AbstractState is the high-level view: virtual page base -> mapping.
+type AbstractState map[mmu.VAddr]Mapping
+
+// Clone copies the state.
+func (s AbstractState) Clone() AbstractState {
+	out := make(AbstractState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Equal reports deep equality.
+func (s AbstractState) Equal(o AbstractState) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k, v := range s {
+		if ov, ok := o[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical fingerprint.
+func (s AbstractState) Key() string {
+	keys := make([]uint64, 0, len(s))
+	for k := range s {
+		keys = append(keys, uint64(k))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var b strings.Builder
+	for _, k := range keys {
+		m := s[mmu.VAddr(k)]
+		fmt.Fprintf(&b, "%x>%x.%x.%v;", k, uint64(m.Frame), m.PageSize, m.Flags)
+	}
+	return b.String()
+}
+
+// overlaps reports whether mapping a page of `size` at va would overlap
+// an existing mapping (in either direction: the new page contains an
+// existing base, or an existing huge page contains va).
+func (s AbstractState) overlaps(va mmu.VAddr, size uint64) bool {
+	for base, m := range s {
+		if uint64(va) < uint64(base)+m.PageSize && uint64(base) < uint64(va)+size {
+			return true
+		}
+	}
+	return false
+}
+
+// Outcome is the spec-level result class of an operation; implementation
+// errors are folded into these classes for comparison.
+type Outcome string
+
+// Outcome classes.
+const (
+	OutcomeOK            Outcome = "ok"
+	OutcomeAlreadyMapped Outcome = "already-mapped"
+	OutcomeNotMapped     Outcome = "not-mapped"
+	OutcomeMisaligned    Outcome = "misaligned"
+	OutcomeNonCanonical  Outcome = "non-canonical"
+	OutcomeBadSize       Outcome = "bad-size"
+	OutcomeNoMem         Outcome = "no-mem"
+)
+
+// ClassifyError maps an implementation error to its outcome class.
+func ClassifyError(err error) Outcome {
+	switch {
+	case err == nil:
+		return OutcomeOK
+	case errors.Is(err, ErrAlreadyMapped), errors.Is(err, ErrHugeConflict):
+		return OutcomeAlreadyMapped
+	case errors.Is(err, ErrNotMapped):
+		return OutcomeNotMapped
+	case errors.Is(err, ErrMisaligned):
+		return OutcomeMisaligned
+	case errors.Is(err, ErrNonCanonical):
+		return OutcomeNonCanonical
+	case errors.Is(err, ErrBadPageSize):
+		return OutcomeBadSize
+	case errors.Is(err, ErrOutOfMemory):
+		return OutcomeNoMem
+	default:
+		return Outcome("unknown:" + err.Error())
+	}
+}
+
+// SpecMap is the high-level map transition (the paper's map spec fn):
+// the precondition classification plus the state update. It is pure.
+func SpecMap(pre AbstractState, va mmu.VAddr, frame mem.PAddr, size uint64, flags mmu.Flags) (AbstractState, Outcome) {
+	switch {
+	case size != mmu.L1PageSize && size != mmu.L2PageSize:
+		return pre, OutcomeBadSize
+	case !va.IsCanonical():
+		return pre, OutcomeNonCanonical
+	case uint64(va)%size != 0 || uint64(frame)%size != 0:
+		return pre, OutcomeMisaligned
+	case pre.overlaps(va, size):
+		return pre, OutcomeAlreadyMapped
+	}
+	post := pre.Clone()
+	post[va] = Mapping{Frame: frame, PageSize: size, Flags: flags}
+	return post, OutcomeOK
+}
+
+// SpecUnmap is the high-level unmap transition.
+func SpecUnmap(pre AbstractState, va mmu.VAddr) (AbstractState, mem.PAddr, Outcome) {
+	if !va.IsCanonical() {
+		return pre, 0, OutcomeNonCanonical
+	}
+	m, ok := pre[va]
+	if !ok {
+		return pre, 0, OutcomeNotMapped
+	}
+	post := pre.Clone()
+	delete(post, va)
+	return post, m.Frame, OutcomeOK
+}
+
+// SpecResolve is the high-level resolve function: pure lookup covering
+// interior addresses of huge pages.
+func SpecResolve(s AbstractState, va mmu.VAddr) (Mapping, bool) {
+	if !va.IsCanonical() {
+		return Mapping{}, false
+	}
+	for _, size := range []uint64{mmu.L1PageSize, mmu.L2PageSize, mmu.L3PageSize} {
+		if m, ok := s[va.PageBase(size)]; ok && m.PageSize == size {
+			return m, true
+		}
+	}
+	return Mapping{}, false
+}
+
+// Event constructors. The event string is a canonical encoding of the
+// operation and its observed outcome; Allows decodes it and replays the
+// spec transition.
+
+// EvMap labels a map operation.
+func EvMap(va mmu.VAddr, frame mem.PAddr, size uint64, flags mmu.Flags, out Outcome) sm.Event {
+	return sm.Eventf("map %#x %#x %#x %s %s", uint64(va), uint64(frame), size, flagStr(flags), out)
+}
+
+// EvUnmap labels an unmap operation.
+func EvUnmap(va mmu.VAddr, frame mem.PAddr, out Outcome) sm.Event {
+	return sm.Eventf("unmap %#x %#x %s", uint64(va), uint64(frame), out)
+}
+
+// EvResolve labels a resolve operation (a read: state must not change).
+func EvResolve(va mmu.VAddr, m Mapping, ok bool) sm.Event {
+	return sm.Eventf("resolve %#x %#x %#x %s %t", uint64(va), uint64(m.Frame), m.PageSize, flagStr(m.Flags), ok)
+}
+
+func flagStr(f mmu.Flags) string {
+	s := ""
+	if f.Writable {
+		s += "W"
+	}
+	if f.User {
+		s += "U"
+	}
+	if f.NoExec {
+		s += "X"
+	}
+	if f.Global {
+		s += "G"
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// parseU64 decodes a decimal or 0x-prefixed event field.
+func parseU64(s string) (uint64, bool) {
+	v, err := strconv.ParseUint(s, 0, 64)
+	return v, err == nil
+}
+
+func parseFlags(s string) mmu.Flags {
+	return mmu.Flags{
+		Writable: strings.Contains(s, "W"),
+		User:     strings.Contains(s, "U"),
+		NoExec:   strings.Contains(s, "X"),
+		Global:   strings.Contains(s, "G"),
+	}
+}
+
+// Spec returns the high-level page-table specification as an sm.Spec.
+// Allows replays the pure spec transition for the decoded event and
+// compares outcome and post-state — the spec is the single source of
+// truth; the event is just its serialization.
+func Spec() *sm.Spec[AbstractState] {
+	return &sm.Spec[AbstractState]{
+		Name:  "pagetable",
+		Init:  func() []AbstractState { return []AbstractState{{}} },
+		Equal: func(a, b AbstractState) bool { return a.Equal(b) },
+		Key:   func(s AbstractState) string { return s.Key() },
+		Allows: func(from AbstractState, ev sm.Event, to AbstractState) bool {
+			fields := strings.Fields(string(ev))
+			if len(fields) == 0 {
+				return false
+			}
+			switch fields[0] {
+			case "map":
+				if len(fields) != 6 {
+					return false
+				}
+				va, ok1 := parseU64(fields[1])
+				frame, ok2 := parseU64(fields[2])
+				size, ok3 := parseU64(fields[3])
+				if !ok1 || !ok2 || !ok3 {
+					return false
+				}
+				post, out := SpecMap(from, mmu.VAddr(va), mem.PAddr(frame), size, parseFlags(fields[4]))
+				return string(out) == fields[5] && post.Equal(to)
+			case "unmap":
+				if len(fields) != 4 {
+					return false
+				}
+				va, ok1 := parseU64(fields[1])
+				frame, ok2 := parseU64(fields[2])
+				if !ok1 || !ok2 {
+					return false
+				}
+				post, gotFrame, out := SpecUnmap(from, mmu.VAddr(va))
+				if string(out) != fields[3] || !post.Equal(to) {
+					return false
+				}
+				return out != OutcomeOK || uint64(gotFrame) == frame
+			case "resolve":
+				if len(fields) != 6 {
+					return false
+				}
+				va, ok1 := parseU64(fields[1])
+				frame, ok2 := parseU64(fields[2])
+				size, ok3 := parseU64(fields[3])
+				if !ok1 || !ok2 || !ok3 {
+					return false
+				}
+				m, ok := SpecResolve(from, mmu.VAddr(va))
+				if fmt.Sprint(ok) != fields[5] {
+					return false
+				}
+				if ok && (uint64(m.Frame) != frame || m.PageSize != size || flagStr(m.Flags) != fields[4]) {
+					return false
+				}
+				return from.Equal(to) // reads never change state
+			}
+			return false
+		},
+		Invariant: func(s AbstractState) error {
+			// No two mappings overlap; all bases aligned; frames aligned.
+			for va, m := range s {
+				if uint64(va)%m.PageSize != 0 {
+					return fmt.Errorf("base %v misaligned for size %d", va, m.PageSize)
+				}
+				if uint64(m.Frame)%m.PageSize != 0 {
+					return fmt.Errorf("frame %v misaligned for size %d", m.Frame, m.PageSize)
+				}
+				if m.PageSize != mmu.L1PageSize && m.PageSize != mmu.L2PageSize {
+					return fmt.Errorf("bad page size %d", m.PageSize)
+				}
+			}
+			bases := make([]mmu.VAddr, 0, len(s))
+			for va := range s {
+				bases = append(bases, va)
+			}
+			sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+			for i := 1; i < len(bases); i++ {
+				prev, cur := bases[i-1], bases[i]
+				if uint64(prev)+s[prev].PageSize > uint64(cur) {
+					return fmt.Errorf("mappings %v and %v overlap", prev, cur)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// FiniteSpec returns a tiny finite instance of the page-table spec for
+// exhaustive exploration: `slots` 4-KiB pages over `frames` frames, all
+// flags fixed. Exploring it validates the spec itself (the paper's spec
+// sanity obligation).
+func FiniteSpec(slots, frames int) *sm.Spec[AbstractState] {
+	base := Spec()
+	sp := *base
+	sp.Name = "pagetable-finite"
+	sp.Next = func(s AbstractState) []sm.Step[AbstractState] {
+		var out []sm.Step[AbstractState]
+		fl := mmu.Flags{Writable: true}
+		for i := 0; i < slots; i++ {
+			va := mmu.VAddr(uint64(i) * mmu.L1PageSize)
+			for f := 0; f < frames; f++ {
+				frame := mem.PAddr(uint64(f) * mmu.L1PageSize)
+				post, outc := SpecMap(s, va, frame, mmu.L1PageSize, fl)
+				out = append(out, sm.Step[AbstractState]{
+					Event: EvMap(va, frame, mmu.L1PageSize, fl, outc), To: post})
+			}
+			post, frame, outc := SpecUnmap(s, va)
+			out = append(out, sm.Step[AbstractState]{Event: EvUnmap(va, frame, outc), To: post})
+		}
+		return out
+	}
+	return &sp
+}

@@ -1,0 +1,277 @@
+// Package relwork reproduces the paper's §2 comparison tables:
+//
+//	Table 1 — Comparison of OS verification projects
+//	Table 2 — Verified OS components
+//
+// The literature columns are data transcribed from the paper. The
+// vnros column is NOT hand-written: it is derived from the component
+// registry that internal/core populates and from the VC ledger, so the
+// table row this repository claims for itself is computed from what is
+// actually built and checked.
+package relwork
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mark is a table cell.
+type Mark int
+
+// Cell values, matching the paper's ✓ / (✓) / ✗ notation.
+const (
+	No Mark = iota
+	Partial
+	Yes
+)
+
+func (m Mark) String() string {
+	switch m {
+	case Yes:
+		return "Y"
+	case Partial:
+		return "(Y)"
+	default:
+		return "-"
+	}
+}
+
+// Table1Properties are the rows of Table 1.
+var Table1Properties = []string{
+	"Kernel memory safety",
+	"Specification refinement",
+	"Security properties",
+	"Multi-processor support",
+	"Process-centric spec",
+}
+
+// Table2Components are the rows of Table 2 (the §1 component list).
+var Table2Components = []string{
+	"Scheduler",
+	"Memory management",
+	"Filesystem",
+	"Complex drivers",
+	"Process management",
+	"Threads and synchronization",
+	"Network stack",
+	"System libraries",
+}
+
+// Project is one column of the tables.
+type Project struct {
+	Name   string
+	Table1 map[string]Mark
+	Table2 map[string]Mark
+}
+
+// Published returns the literature columns exactly as the paper prints
+// them (Tables 1 and 2).
+func Published() []Project {
+	return []Project{
+		{
+			Name: "seL4",
+			Table1: map[string]Mark{
+				"Kernel memory safety":     Yes,
+				"Specification refinement": Yes,
+				"Security properties":      Yes,
+				"Multi-processor support":  No,
+				"Process-centric spec":     No,
+			},
+			Table2: map[string]Mark{
+				"Scheduler":                   Yes,
+				"Memory management":           Yes,
+				"Filesystem":                  No,
+				"Complex drivers":             No,
+				"Process management":          Yes,
+				"Threads and synchronization": No,
+				"Network stack":               No,
+				"System libraries":            No,
+			},
+		},
+		{
+			Name: "Verve",
+			Table1: map[string]Mark{
+				"Kernel memory safety":     Yes,
+				"Specification refinement": Yes,
+				"Security properties":      No,
+				"Multi-processor support":  No,
+				"Process-centric spec":     No,
+			},
+			Table2: map[string]Mark{
+				"Scheduler":                   Yes,
+				"Memory management":           Yes,
+				"Filesystem":                  No,
+				"Complex drivers":             Yes,
+				"Process management":          No,
+				"Threads and synchronization": Yes,
+				"Network stack":               No,
+				"System libraries":            No,
+			},
+		},
+		{
+			Name: "Hyperkernel",
+			Table1: map[string]Mark{
+				"Kernel memory safety":     Yes,
+				"Specification refinement": Yes,
+				"Security properties":      Yes,
+				"Multi-processor support":  No,
+				"Process-centric spec":     No,
+			},
+			Table2: map[string]Mark{
+				"Scheduler":                   Yes,
+				"Memory management":           Yes,
+				"Filesystem":                  Partial,
+				"Complex drivers":             No,
+				"Process management":          Yes,
+				"Threads and synchronization": No,
+				"Network stack":               No,
+				"System libraries":            No,
+			},
+		},
+		{
+			Name: "CertiKOS",
+			Table1: map[string]Mark{
+				"Kernel memory safety":     Yes,
+				"Specification refinement": Yes,
+				"Security properties":      Partial,
+				"Multi-processor support":  Yes,
+				"Process-centric spec":     No,
+			},
+			Table2: map[string]Mark{
+				"Scheduler":                   Yes,
+				"Memory management":           Yes,
+				"Filesystem":                  No,
+				"Complex drivers":             No,
+				"Process management":          Yes,
+				"Threads and synchronization": Yes,
+				"Network stack":               No,
+				"System libraries":            No,
+			},
+		},
+		{
+			Name: "seKVM+VRM",
+			Table1: map[string]Mark{
+				"Kernel memory safety":     Yes,
+				"Specification refinement": Yes,
+				"Security properties":      Yes,
+				"Multi-processor support":  Yes,
+				"Process-centric spec":     No,
+			},
+			Table2: map[string]Mark{
+				"Scheduler":                   Yes,
+				"Memory management":           Yes,
+				"Filesystem":                  No,
+				"Complex drivers":             Yes,
+				"Process management":          Yes,
+				"Threads and synchronization": No,
+				"Network stack":               No,
+				"System libraries":            No,
+			},
+		},
+	}
+}
+
+// Component is a self-reported vnros component for the derived column.
+type Component struct {
+	// Table2Row is the Table 2 row this component contributes to.
+	Table2Row string
+	// Package is the implementing package (documentation).
+	Package string
+	// Checked reports whether the component registers VC obligations
+	// (our criterion for a ✓ vs a (✓)).
+	Checked bool
+}
+
+// Registry accumulates the components internal/core wires up.
+type Registry struct {
+	comps []Component
+	// table1 overrides derived Table 1 marks (e.g. security: the paper
+	// itself defers isolation properties, so core registers Partial).
+	table1 map[string]Mark
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{table1: make(map[string]Mark)} }
+
+// AddComponent records a built component.
+func (r *Registry) AddComponent(c Component) { r.comps = append(r.comps, c) }
+
+// SetTable1 records a Table 1 property claim.
+func (r *Registry) SetTable1(property string, m Mark) { r.table1[property] = m }
+
+// Derive computes the vnros column from the registry.
+func (r *Registry) Derive(name string) Project {
+	p := Project{Name: name, Table1: map[string]Mark{}, Table2: map[string]Mark{}}
+	for _, row := range Table2Components {
+		p.Table2[row] = No
+	}
+	for _, c := range r.comps {
+		cur := p.Table2[c.Table2Row]
+		m := Partial
+		if c.Checked {
+			m = Yes
+		}
+		if m > cur {
+			p.Table2[c.Table2Row] = m
+		}
+	}
+	for _, prop := range Table1Properties {
+		p.Table1[prop] = No
+	}
+	for prop, m := range r.table1 {
+		p.Table1[prop] = m
+	}
+	return p
+}
+
+// RenderTable1 renders the Table 1 matrix (published + extra columns).
+func RenderTable1(extra ...Project) string {
+	return render("Table 1: Comparison of OS verification projects",
+		Table1Properties, func(p Project) map[string]Mark { return p.Table1 }, extra)
+}
+
+// RenderTable2 renders the Table 2 matrix.
+func RenderTable2(extra ...Project) string {
+	return render("Table 2: Verified OS components",
+		Table2Components, func(p Project) map[string]Mark { return p.Table2 }, extra)
+}
+
+func render(title string, rows []string, sel func(Project) map[string]Mark, extra []Project) string {
+	projects := append(Published(), extra...)
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	width := 0
+	for _, r := range rows {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "")
+	for _, p := range projects {
+		fmt.Fprintf(&b, "%12s", p.Name)
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-*s", width+2, row)
+		for _, p := range projects {
+			fmt.Fprintf(&b, "%12s", sel(p)[row])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Components returns the registered components sorted by row then
+// package (for the DESIGN/EXPERIMENTS inventory dump).
+func (r *Registry) Components() []Component {
+	out := make([]Component, len(r.comps))
+	copy(out, r.comps)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table2Row != out[j].Table2Row {
+			return out[i].Table2Row < out[j].Table2Row
+		}
+		return out[i].Package < out[j].Package
+	})
+	return out
+}

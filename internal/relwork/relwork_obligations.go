@@ -1,0 +1,130 @@
+package relwork
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// RegisterObligations registers the comparison-table VCs: the
+// literature transcription matches the paper's cells (spot-checked
+// against the printed tables), the derivation rules are monotone, and
+// the renderer includes every row and column.
+func RegisterObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "relwork", Name: "table1-matches-paper", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				byName := map[string]Project{}
+				for _, p := range Published() {
+					byName[p.Name] = p
+				}
+				// The cells the paper's argument hinges on.
+				checks := []struct {
+					proj, prop string
+					want       Mark
+				}{
+					{"seL4", "Multi-processor support", No},
+					{"Verve", "Security properties", No},
+					{"Hyperkernel", "Security properties", Yes},
+					{"CertiKOS", "Security properties", Partial},
+					{"CertiKOS", "Multi-processor support", Yes},
+					{"seKVM+VRM", "Multi-processor support", Yes},
+				}
+				for _, c := range checks {
+					if got := byName[c.proj].Table1[c.prop]; got != c.want {
+						return fmt.Errorf("%s/%s = %v, paper says %v", c.proj, c.prop, got, c.want)
+					}
+				}
+				for _, p := range Published() {
+					if p.Table1["Process-centric spec"] != No {
+						return fmt.Errorf("%s claims a process-centric spec; the paper's Table 1 has none", p.Name)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "relwork", Name: "table2-matches-paper", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				byName := map[string]Project{}
+				for _, p := range Published() {
+					byName[p.Name] = p
+				}
+				checks := []struct {
+					proj, comp string
+					want       Mark
+				}{
+					{"Hyperkernel", "Filesystem", Partial},
+					{"Verve", "Complex drivers", Yes},
+					{"seKVM+VRM", "Complex drivers", Yes},
+					{"CertiKOS", "Threads and synchronization", Yes},
+					{"Verve", "Threads and synchronization", Yes},
+					{"Verve", "Process management", No},
+				}
+				for _, c := range checks {
+					if got := byName[c.proj].Table2[c.comp]; got != c.want {
+						return fmt.Errorf("%s/%s = %v, paper says %v", c.proj, c.comp, got, c.want)
+					}
+				}
+				for _, p := range Published() {
+					if p.Table2["Network stack"] != No || p.Table2["System libraries"] != No {
+						return fmt.Errorf("%s: paper's Table 2 has ✗ for network/syslibs everywhere", p.Name)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "relwork", Name: "derivation-monotone", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				// Adding components never lowers a mark; Checked
+				// dominates unchecked.
+				for trial := 0; trial < 100; trial++ {
+					reg := NewRegistry()
+					rows := Table2Components
+					var added []Component
+					prev := reg.Derive("x")
+					for i := 0; i < 10; i++ {
+						c := Component{
+							Table2Row: rows[r.Intn(len(rows))],
+							Package:   fmt.Sprintf("pkg%d", i),
+							Checked:   r.Intn(2) == 0,
+						}
+						reg.AddComponent(c)
+						added = append(added, c)
+						cur := reg.Derive("x")
+						for _, row := range rows {
+							if cur.Table2[row] < prev.Table2[row] {
+								return fmt.Errorf("mark for %q decreased after adding %+v", row, c)
+							}
+						}
+						prev = cur
+					}
+					_ = added
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "relwork", Name: "render-complete", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				reg := NewRegistry()
+				reg.AddComponent(Component{Table2Row: "Scheduler", Package: "x", Checked: true})
+				self := reg.Derive("self-test")
+				t1 := RenderTable1(self)
+				t2 := RenderTable2(self)
+				for _, col := range []string{"seL4", "Verve", "Hyperkernel", "CertiKOS", "seKVM+VRM", "self-test"} {
+					if !strings.Contains(t1, col) || !strings.Contains(t2, col) {
+						return fmt.Errorf("renderer dropped column %q", col)
+					}
+				}
+				for _, row := range Table1Properties {
+					if !strings.Contains(t1, row) {
+						return fmt.Errorf("table 1 missing row %q", row)
+					}
+				}
+				for _, row := range Table2Components {
+					if !strings.Contains(t2, row) {
+						return fmt.Errorf("table 2 missing row %q", row)
+					}
+				}
+				return nil
+			}},
+	)
+}

@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/nr"
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// RegisterObligations registers the scheduler verification conditions:
+// structural invariants under random workloads, FIFO fairness within a
+// priority class, strict priority dispatch, and agreement of the
+// NR-replicated scheduler with a sequential twin.
+func RegisterObligations(g *verifier.Registry) {
+	registerMoreObligations(g)
+	g.Register(
+		verifier.Obligation{Module: "sched", Name: "runqueue-invariant-random", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				q := NewRunQueue()
+				var next TID = 1
+				running := map[TID]bool{}
+				for i := 0; i < 3000; i++ {
+					switch r.Intn(6) {
+					case 0:
+						_ = q.Add(next, Priority(r.Intn(NumPriorities)))
+						next++
+					case 1:
+						if tid, err := q.PickNext(r.Intn(4)); err == nil {
+							running[tid] = true
+						}
+					case 2:
+						for tid := range running {
+							_ = q.Yield(tid)
+							delete(running, tid)
+							break
+						}
+					case 3:
+						for tid := range running {
+							_ = q.Block(tid)
+							delete(running, tid)
+							break
+						}
+					case 4:
+						// Wake any blocked thread.
+						for tid, t := range q.Snapshot() {
+							if t.State == StateBlocked {
+								_ = q.Wake(tid)
+								break
+							}
+						}
+					case 5:
+						for tid := range running {
+							_ = q.Exit(tid)
+							_ = q.Reap(tid)
+							delete(running, tid)
+							break
+						}
+					}
+					if i%100 == 0 {
+						if err := q.CheckInvariant(); err != nil {
+							return fmt.Errorf("iter %d: %w", i, err)
+						}
+					}
+				}
+				return q.CheckInvariant()
+			}},
+		verifier.Obligation{Module: "sched", Name: "fifo-within-priority", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				q := NewRunQueue()
+				for tid := TID(1); tid <= 10; tid++ {
+					if err := q.Add(tid, 1); err != nil {
+						return err
+					}
+				}
+				for want := TID(1); want <= 10; want++ {
+					got, err := q.PickNext(0)
+					if err != nil {
+						return err
+					}
+					if got != want {
+						return fmt.Errorf("dispatch order %d, want %d", got, want)
+					}
+					if err := q.Yield(got); err != nil {
+						return err
+					}
+				}
+				// After one full rotation the order repeats: no
+				// starvation within the class.
+				got, err := q.PickNext(0)
+				if err != nil || got != 1 {
+					return fmt.Errorf("rotation broken: %d, %v", got, err)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "sched", Name: "strict-priority-dispatch", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				q := NewRunQueue()
+				_ = q.Add(1, 3) // low
+				_ = q.Add(2, 0) // high
+				_ = q.Add(3, 2) // mid
+				order := []TID{2, 3, 1}
+				for _, want := range order {
+					got, err := q.PickNext(0)
+					if err != nil || got != want {
+						return fmt.Errorf("priority dispatch %d, want %d (%v)", got, want, err)
+					}
+					_ = q.Block(got)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "sched", Name: "blocked-never-dispatched", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				q := NewRunQueue()
+				_ = q.Add(1, 0)
+				tid, _ := q.PickNext(0)
+				_ = q.Block(tid)
+				if _, err := q.PickNext(0); err == nil {
+					return fmt.Errorf("blocked thread dispatched")
+				}
+				_ = q.Wake(tid)
+				if got, err := q.PickNext(0); err != nil || got != tid {
+					return fmt.Errorf("woken thread not dispatched: %v", err)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "sched", Name: "nr-replicated-matches-sequential", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				// Apply an identical operation stream to a plain
+				// RunQueue and an NR-replicated one; every response must
+				// match (NR adds concurrency control, not behavior).
+				seq := NewRunQueue()
+				rep := nr.New(nr.Options{Replicas: 2},
+					func() nr.DataStructure[SchedRead, SchedWrite, SchedResp] {
+						return &NRQueue{Q: NewRunQueue()}
+					})
+				c := rep.MustRegister(0)
+				var next TID = 1
+				for i := 0; i < 500; i++ {
+					var op SchedWrite
+					switch r.Intn(5) {
+					case 0:
+						op = SchedWrite{Kind: "add", TID: next, Pri: Priority(r.Intn(NumPriorities))}
+						next++
+					case 1:
+						op = SchedWrite{Kind: "pick", Core: r.Intn(4)}
+					case 2:
+						op = SchedWrite{Kind: "yield", TID: TID(1 + r.Intn(int(next)))}
+					case 3:
+						op = SchedWrite{Kind: "block", TID: TID(1 + r.Intn(int(next)))}
+					default:
+						op = SchedWrite{Kind: "wake", TID: TID(1 + r.Intn(int(next)))}
+					}
+					want := applySeq(seq, op)
+					got := c.Execute(op)
+					if got != want {
+						return fmt.Errorf("op %d (%+v): NR %+v != sequential %+v", i, op, got, want)
+					}
+				}
+				return nil
+			}},
+	)
+}
+
+// SchedRead is a read-only scheduler operation for NR.
+type SchedRead struct {
+	Kind string // "get", "ready-count"
+	TID  TID
+}
+
+// SchedWrite is a mutating scheduler operation for NR.
+type SchedWrite struct {
+	Kind string // "add", "pick", "yield", "block", "wake", "exit", "reap"
+	TID  TID
+	Pri  Priority
+	Core int
+}
+
+// SchedResp is the NR response.
+type SchedResp struct {
+	TID   TID
+	TCB   TCB
+	Count int
+	Err   string
+}
+
+// NRQueue adapts RunQueue to nr.DataStructure.
+type NRQueue struct {
+	Q *RunQueue
+}
+
+// DispatchRead implements nr.DataStructure.
+func (n *NRQueue) DispatchRead(op SchedRead) SchedResp {
+	switch op.Kind {
+	case "get":
+		t, err := n.Q.Get(op.TID)
+		return SchedResp{TCB: t, Err: errStr(err)}
+	case "ready-count":
+		return SchedResp{Count: n.Q.ReadyCount()}
+	}
+	return SchedResp{Err: "unknown read " + op.Kind}
+}
+
+// DispatchWrite implements nr.DataStructure.
+func (n *NRQueue) DispatchWrite(op SchedWrite) SchedResp {
+	return applySeq(n.Q, op)
+}
+
+func applySeq(q *RunQueue, op SchedWrite) SchedResp {
+	switch op.Kind {
+	case "add":
+		return SchedResp{Err: errStr(q.Add(op.TID, op.Pri))}
+	case "pick":
+		tid, err := q.PickNext(op.Core)
+		return SchedResp{TID: tid, Err: errStr(err)}
+	case "yield":
+		return SchedResp{Err: errStr(q.Yield(op.TID))}
+	case "block":
+		return SchedResp{Err: errStr(q.Block(op.TID))}
+	case "wake":
+		return SchedResp{Err: errStr(q.Wake(op.TID))}
+	case "exit":
+		return SchedResp{Err: errStr(q.Exit(op.TID))}
+	case "reap":
+		return SchedResp{Err: errStr(q.Reap(op.TID))}
+	}
+	return SchedResp{Err: "unknown write " + op.Kind}
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

@@ -1,0 +1,310 @@
+// Package sm is the state-machine specification framework the rest of
+// the repository writes its specs in — the Go analog of Verus's
+// state-machine and refinement reasoning (§3, §4.4 of the paper).
+//
+// A Spec is a labeled transition system: states, initial states, and
+// transitions tagged with externally visible Events. An implementation
+// refines a spec through an abstraction function; the checkers in this
+// package discharge the refinement obligation either by explicit-state
+// exploration (finite instances) or by checking concrete execution
+// traces step by step (infinite-state systems such as the page table,
+// where the abstraction function is the MMU interpretation).
+//
+// "Refinement" here is the paper's §4.4 statement: for every behavior of
+// the implementation there exists a corresponding execution of the
+// abstract model with the same visible events. The checkers establish
+// this for the explored/executed behaviors; the VC engine
+// (internal/verifier) runs them as named verification conditions.
+package sm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Event is the externally visible label of a transition, e.g.
+// "map(va=0x1000,pa=0x9000)=ok". The empty event is a stutter step:
+// invisible to the spec, it must leave the abstract state unchanged.
+type Event string
+
+// Stutter is the invisible event.
+const Stutter Event = ""
+
+// Eventf builds an event label.
+func Eventf(format string, args ...any) Event {
+	return Event(fmt.Sprintf(format, args...))
+}
+
+// Step is one outgoing transition of a machine.
+type Step[S any] struct {
+	Event Event
+	To    S
+}
+
+// Spec is an abstract state machine. Next enumerates transitions (used
+// by the explicit-state explorer); Allows decides whether a specific
+// (from, event, to) triple is a transition (used by the trace checker —
+// for infinite-state specs it is usually much easier to write than
+// Next). At least one of the two must be set for the corresponding
+// checker to be usable.
+type Spec[S any] struct {
+	Name string
+	// Init enumerates the initial states.
+	Init func() []S
+	// Next enumerates the transitions from s. Optional.
+	Next func(s S) []Step[S]
+	// Allows reports whether from --ev--> to is a legal transition.
+	// Optional; derived from Next when nil.
+	Allows func(from S, ev Event, to S) bool
+	// Equal compares abstract states. Required.
+	Equal func(a, b S) bool
+	// Key returns a canonical fingerprint of a state for visited sets.
+	// Required for exploration; %#v is a reasonable default choice for
+	// small states.
+	Key func(s S) string
+	// Invariant, if set, must hold in every reachable state.
+	Invariant func(s S) error
+}
+
+// allows resolves the Allows decision procedure, deriving it from Next
+// if necessary.
+func (sp *Spec[S]) allows(from S, ev Event, to S) bool {
+	if sp.Allows != nil {
+		return sp.Allows(from, ev, to)
+	}
+	if sp.Next == nil {
+		return false
+	}
+	for _, st := range sp.Next(from) {
+		if st.Event == ev && sp.Equal(st.To, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// RefinementError reports a failed obligation with enough context to
+// debug the counterexample.
+type RefinementError struct {
+	Spec   string
+	Phase  string // "init", "step", "invariant"
+	Event  Event
+	Detail string
+}
+
+func (e *RefinementError) Error() string {
+	if e.Event != Stutter {
+		return fmt.Sprintf("sm: %s refinement failed in %s on event %q: %s", e.Spec, e.Phase, string(e.Event), e.Detail)
+	}
+	return fmt.Sprintf("sm: %s refinement failed in %s: %s", e.Spec, e.Phase, e.Detail)
+}
+
+// ErrLimit is wrapped by exploration results that hit the state limit
+// without finding a violation; callers may treat it as success with
+// bounded coverage or raise the limit.
+var ErrLimit = errors.New("sm: state limit reached")
+
+// TraceChecker incrementally verifies that a concrete execution refines
+// a spec: the caller feeds it the abstraction of the implementation
+// state after each operation, together with the operation's event.
+//
+// This is the workhorse for infinite-state refinement (the page table,
+// the file system, the syscall layer): the implementation runs for real,
+// the abstraction function is applied after every step, and the spec's
+// transition relation is checked between successive abstract states.
+type TraceChecker[S any] struct {
+	Spec    *Spec[S]
+	cur     S
+	started bool
+	steps   int
+}
+
+// Start seeds the checker with the abstraction of the initial
+// implementation state and checks it is a legal initial state (when the
+// spec enumerates them) and satisfies the invariant.
+func (tc *TraceChecker[S]) Start(a S) error {
+	sp := tc.Spec
+	if sp.Init != nil {
+		ok := false
+		for _, s0 := range sp.Init() {
+			if sp.Equal(s0, a) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return &RefinementError{Spec: sp.Name, Phase: "init",
+				Detail: fmt.Sprintf("abstract state %v is not an initial state", any(a))}
+		}
+	}
+	if sp.Invariant != nil {
+		if err := sp.Invariant(a); err != nil {
+			return &RefinementError{Spec: sp.Name, Phase: "invariant", Detail: err.Error()}
+		}
+	}
+	tc.cur = a
+	tc.started = true
+	return nil
+}
+
+// Step checks one transition: the implementation performed an operation
+// with visible event ev and its new abstraction is next.
+func (tc *TraceChecker[S]) Step(ev Event, next S) error {
+	sp := tc.Spec
+	if !tc.started {
+		return &RefinementError{Spec: sp.Name, Phase: "step", Event: ev, Detail: "Step before Start"}
+	}
+	tc.steps++
+	if ev == Stutter {
+		if !sp.Equal(tc.cur, next) {
+			return &RefinementError{Spec: sp.Name, Phase: "step", Event: ev,
+				Detail: fmt.Sprintf("stutter step changed abstract state at step %d", tc.steps)}
+		}
+	} else if !sp.allows(tc.cur, ev, next) {
+		return &RefinementError{Spec: sp.Name, Phase: "step", Event: ev,
+			Detail: fmt.Sprintf("spec does not allow transition at step %d: %v -> %v", tc.steps, any(tc.cur), any(next))}
+	}
+	if sp.Invariant != nil {
+		if err := sp.Invariant(next); err != nil {
+			return &RefinementError{Spec: sp.Name, Phase: "invariant", Event: ev, Detail: err.Error()}
+		}
+	}
+	tc.cur = next
+	return nil
+}
+
+// Steps returns the number of checked steps.
+func (tc *TraceChecker[S]) Steps() int { return tc.steps }
+
+// Current returns the current abstract state.
+func (tc *TraceChecker[S]) Current() S { return tc.cur }
+
+// ExploreResult summarizes an explicit-state exploration.
+type ExploreResult struct {
+	States      int
+	Transitions int
+	Truncated   bool // hit the state limit
+}
+
+// Explore exhaustively enumerates the reachable states of a spec (up to
+// limit states) and checks the invariant everywhere. It is used to
+// validate the specs themselves — a spec whose own invariant breaks is
+// not a usable verification target.
+func Explore[S any](sp *Spec[S], limit int) (ExploreResult, error) {
+	var res ExploreResult
+	if sp.Init == nil || sp.Next == nil || sp.Key == nil {
+		return res, fmt.Errorf("sm: spec %s is not explorable (needs Init, Next, Key)", sp.Name)
+	}
+	visited := make(map[string]bool)
+	var queue []S
+	for _, s := range sp.Init() {
+		k := sp.Key(s)
+		if !visited[k] {
+			visited[k] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		res.States++
+		if sp.Invariant != nil {
+			if err := sp.Invariant(s); err != nil {
+				return res, &RefinementError{Spec: sp.Name, Phase: "invariant", Detail: err.Error()}
+			}
+		}
+		if res.States >= limit {
+			res.Truncated = true
+			return res, nil
+		}
+		for _, st := range sp.Next(s) {
+			res.Transitions++
+			k := sp.Key(st.To)
+			if !visited[k] {
+				visited[k] = true
+				queue = append(queue, st.To)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Impl describes a concrete, explorable implementation machine together
+// with its abstraction function into spec states.
+type Impl[C any, A any] struct {
+	Name string
+	Init func() []C
+	Next func(c C) []Step[C]
+	Abs  func(c C) A
+	Key  func(c C) string
+}
+
+// CheckRefinement explores the implementation machine (up to limit
+// states) and checks the forward simulation: every implementation
+// transition maps to a spec transition on the same event, or is a
+// stutter that leaves the abstraction unchanged. This is the paper's
+// refinement theorem, discharged by explicit-state model checking on
+// finite instances.
+func CheckRefinement[C any, A any](impl *Impl[C, A], sp *Spec[A], limit int) (ExploreResult, error) {
+	var res ExploreResult
+	if impl.Init == nil || impl.Next == nil || impl.Abs == nil || impl.Key == nil {
+		return res, fmt.Errorf("sm: impl %s is not explorable", impl.Name)
+	}
+	visited := make(map[string]bool)
+	var queue []C
+	for _, c := range impl.Init() {
+		a := impl.Abs(c)
+		if sp.Init != nil {
+			ok := false
+			for _, s0 := range sp.Init() {
+				if sp.Equal(s0, a) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return res, &RefinementError{Spec: sp.Name, Phase: "init",
+					Detail: fmt.Sprintf("impl initial state %v abstracts to non-initial %v", any(c), any(a))}
+			}
+		}
+		k := impl.Key(c)
+		if !visited[k] {
+			visited[k] = true
+			queue = append(queue, c)
+		}
+	}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		res.States++
+		a := impl.Abs(c)
+		if sp.Invariant != nil {
+			if err := sp.Invariant(a); err != nil {
+				return res, &RefinementError{Spec: sp.Name, Phase: "invariant", Detail: err.Error()}
+			}
+		}
+		if res.States >= limit {
+			res.Truncated = true
+			return res, nil
+		}
+		for _, st := range impl.Next(c) {
+			res.Transitions++
+			a2 := impl.Abs(st.To)
+			if st.Event == Stutter {
+				if !sp.Equal(a, a2) {
+					return res, &RefinementError{Spec: sp.Name, Phase: "step", Event: st.Event,
+						Detail: fmt.Sprintf("impl stutter changed abstraction: %v -> %v", any(a), any(a2))}
+				}
+			} else if !sp.allows(a, st.Event, a2) {
+				return res, &RefinementError{Spec: sp.Name, Phase: "step", Event: st.Event,
+					Detail: fmt.Sprintf("no matching spec transition: %v -> %v", any(a), any(a2))}
+			}
+			k := impl.Key(st.To)
+			if !visited[k] {
+				visited[k] = true
+				queue = append(queue, st.To)
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package sm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// RegisterObligations registers the spec framework's self-checks: the
+// refinement checker must accept correct simulations and reject planted
+// bugs — a checker that accepts everything would make every downstream
+// "verified" claim vacuous, so its own discrimination is a VC.
+func RegisterObligations(g *verifier.Registry) {
+	registerMoreObligations(g)
+	g.Register(
+		verifier.Obligation{Module: "spec/sm", Name: "checker-accepts-valid-refinement", Kind: verifier.KindModelCheck,
+			Check: func(r *rand.Rand) error {
+				max := 10 + r.Intn(30)
+				res, err := CheckRefinement(oblImpl(max), oblSpec(max), 100_000)
+				if err != nil {
+					return err
+				}
+				if res.States != max+1 {
+					return fmt.Errorf("explored %d states, want %d", res.States, max+1)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "spec/sm", Name: "checker-rejects-planted-bug", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				max := 10 + r.Intn(20)
+				bugAt := 1 + r.Intn(max-2)
+				impl := oblImpl(max)
+				good := impl.Next
+				impl.Next = func(c [2]int) []Step[[2]int] {
+					steps := good(c)
+					if impl.Abs(c) == bugAt {
+						for i := range steps {
+							if steps[i].Event == "inc" {
+								n := bugAt + 2 // skips a state
+								steps[i].To = [2]int{n / 7, n % 7}
+							}
+						}
+					}
+					return steps
+				}
+				if _, err := CheckRefinement(impl, oblSpec(max), 100_000); err == nil {
+					return fmt.Errorf("planted double-increment at %d not caught", bugAt)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "spec/sm", Name: "trace-checker-discriminates", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				sp := oblSpec(50)
+				tc := &TraceChecker[int]{Spec: sp}
+				if err := tc.Start(0); err != nil {
+					return err
+				}
+				cur := 0
+				for i := 0; i < 300; i++ {
+					if r.Intn(2) == 0 && cur < 50 {
+						cur++
+						if err := tc.Step("inc", cur); err != nil {
+							return err
+						}
+					} else if cur > 0 {
+						cur--
+						if err := tc.Step("dec", cur); err != nil {
+							return err
+						}
+					}
+				}
+				// Now a bad step must be rejected.
+				if err := tc.Step("inc", cur+2); err == nil {
+					return fmt.Errorf("illegal transition accepted")
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "spec/sm", Name: "explore-finds-invariant-violations", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				bound := 5 + r.Intn(20)
+				sp := oblSpec(100)
+				sp.Invariant = func(s int) error {
+					if s > bound {
+						return fmt.Errorf("exceeded %d", bound)
+					}
+					return nil
+				}
+				if _, err := Explore(sp, 1_000_000); err == nil {
+					return fmt.Errorf("reachable violation at %d not found", bound+1)
+				}
+				return nil
+			}},
+	)
+}
+
+// oblSpec is the bounded counter used by the self-checks.
+func oblSpec(max int) *Spec[int] {
+	return &Spec[int]{
+		Name: "obl-counter",
+		Init: func() []int { return []int{0} },
+		Next: func(s int) []Step[int] {
+			var out []Step[int]
+			if s < max {
+				out = append(out, Step[int]{Event: "inc", To: s + 1})
+			}
+			if s > 0 {
+				out = append(out, Step[int]{Event: "dec", To: s - 1})
+			}
+			return out
+		},
+		Equal: func(a, b int) bool { return a == b },
+		Key:   func(s int) string { return fmt.Sprint(s) },
+	}
+}
+
+// oblImpl is a correct implementation of the counter with a non-trivial
+// state representation.
+func oblImpl(max int) *Impl[[2]int, int] {
+	abs := func(c [2]int) int { return c[0]*7 + c[1] }
+	return &Impl[[2]int, int]{
+		Name: "obl-counter-impl",
+		Init: func() [][2]int { return [][2]int{{0, 0}} },
+		Next: func(c [2]int) []Step[[2]int] {
+			v := abs(c)
+			var out []Step[[2]int]
+			if v < max {
+				n := v + 1
+				out = append(out, Step[[2]int]{Event: "inc", To: [2]int{n / 7, n % 7}})
+			}
+			if v > 0 {
+				n := v - 1
+				out = append(out, Step[[2]int]{Event: "dec", To: [2]int{n / 7, n % 7}})
+			}
+			return out
+		},
+		Abs: abs,
+		Key: func(c [2]int) string { return fmt.Sprint(c) },
+	}
+}

@@ -1,0 +1,85 @@
+package sm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerMoreObligations adds framework self-checks: exploration is
+// deterministic (same spec, same counts), the Allows fast path agrees
+// with Next-derived checking, and invariant failures in CheckRefinement
+// are attributed to the abstraction, not the implementation step.
+func registerMoreObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "spec/sm", Name: "explore-deterministic", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				max := 5 + r.Intn(40)
+				a, err := Explore(oblSpec(max), 1_000_000)
+				if err != nil {
+					return err
+				}
+				b, err := Explore(oblSpec(max), 1_000_000)
+				if err != nil {
+					return err
+				}
+				if a != b {
+					return fmt.Errorf("exploration nondeterministic: %+v vs %+v", a, b)
+				}
+				if a.States != max+1 || a.Transitions != 2*max {
+					return fmt.Errorf("counts = %+v, want %d states %d transitions", a, max+1, 2*max)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "spec/sm", Name: "allows-agrees-with-next", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				// A spec with both Next and a hand-written Allows: the
+				// derived decision procedure must agree on random
+				// triples.
+				max := 20
+				sp := oblSpec(max)
+				withAllows := *sp
+				withAllows.Allows = func(from int, ev Event, to int) bool {
+					switch ev {
+					case "inc":
+						return from < max && to == from+1
+					case "dec":
+						return from > 0 && to == from-1
+					}
+					return false
+				}
+				derived := *sp // Next-only
+				for i := 0; i < 2000; i++ {
+					from := r.Intn(max + 1)
+					to := r.Intn(max + 1)
+					ev := Event("inc")
+					if r.Intn(2) == 0 {
+						ev = "dec"
+					}
+					if withAllows.allows(from, ev, to) != derived.allows(from, ev, to) {
+						return fmt.Errorf("allows disagreement at %d --%s--> %d", from, ev, to)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "spec/sm", Name: "refinement-checks-abstraction-invariant", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// The checker must evaluate the spec invariant on the
+				// abstraction of every reachable impl state.
+				bound := 5 + r.Intn(10)
+				sp := oblSpec(100)
+				sp.Invariant = func(s int) error {
+					if s > bound {
+						return fmt.Errorf("over %d", bound)
+					}
+					return nil
+				}
+				_, err := CheckRefinement(oblImpl(100), sp, 1_000_000)
+				if err == nil {
+					return fmt.Errorf("invariant violation beyond %d not surfaced", bound)
+				}
+				return nil
+			}},
+	)
+}

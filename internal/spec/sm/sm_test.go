@@ -1,0 +1,270 @@
+package sm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// counterSpec is a bounded counter: inc/dec events, value stays in
+// [0, max]. Used as the reference spec in these tests.
+func counterSpec(max int) *Spec[int] {
+	return &Spec[int]{
+		Name: "counter",
+		Init: func() []int { return []int{0} },
+		Next: func(s int) []Step[int] {
+			var out []Step[int]
+			if s < max {
+				out = append(out, Step[int]{Event: "inc", To: s + 1})
+			}
+			if s > 0 {
+				out = append(out, Step[int]{Event: "dec", To: s - 1})
+			}
+			return out
+		},
+		Equal: func(a, b int) bool { return a == b },
+		Key:   func(s int) string { return fmt.Sprint(s) },
+		Invariant: func(s int) error {
+			if s < 0 || s > max {
+				return fmt.Errorf("counter %d out of [0,%d]", s, max)
+			}
+			return nil
+		},
+	}
+}
+
+func TestExploreCountsStates(t *testing.T) {
+	res, err := Explore(counterSpec(5), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States != 6 {
+		t.Errorf("states = %d, want 6", res.States)
+	}
+	if res.Truncated {
+		t.Error("should not truncate")
+	}
+	// inc transitions: 5, dec transitions: 5.
+	if res.Transitions != 10 {
+		t.Errorf("transitions = %d, want 10", res.Transitions)
+	}
+}
+
+func TestExploreFindsInvariantViolation(t *testing.T) {
+	sp := counterSpec(5)
+	sp.Invariant = func(s int) error {
+		if s >= 3 {
+			return fmt.Errorf("reached %d", s)
+		}
+		return nil
+	}
+	_, err := Explore(sp, 1000)
+	var re *RefinementError
+	if !errors.As(err, &re) || re.Phase != "invariant" {
+		t.Fatalf("err = %v, want invariant RefinementError", err)
+	}
+}
+
+func TestExploreTruncates(t *testing.T) {
+	res, err := Explore(counterSpec(1_000_000), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Error("expected truncation")
+	}
+}
+
+func TestTraceCheckerAcceptsLegalTrace(t *testing.T) {
+	tc := &TraceChecker[int]{Spec: counterSpec(3)}
+	if err := tc.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		ev   Event
+		next int
+	}{
+		{"inc", 1}, {"inc", 2}, {"dec", 1}, {Stutter, 1}, {"inc", 2}, {"inc", 3},
+	}
+	for i, s := range steps {
+		if err := tc.Step(s.ev, s.next); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if tc.Steps() != len(steps) {
+		t.Errorf("Steps = %d", tc.Steps())
+	}
+	if tc.Current() != 3 {
+		t.Errorf("Current = %d", tc.Current())
+	}
+}
+
+func TestTraceCheckerRejectsBadInit(t *testing.T) {
+	tc := &TraceChecker[int]{Spec: counterSpec(3)}
+	err := tc.Start(2)
+	var re *RefinementError
+	if !errors.As(err, &re) || re.Phase != "init" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTraceCheckerRejectsIllegalTransition(t *testing.T) {
+	tc := &TraceChecker[int]{Spec: counterSpec(3)}
+	if err := tc.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Step("inc", 2); err == nil {
+		t.Fatal("double increment accepted")
+	}
+}
+
+func TestTraceCheckerRejectsMutatingStutter(t *testing.T) {
+	tc := &TraceChecker[int]{Spec: counterSpec(3)}
+	if err := tc.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	err := tc.Step(Stutter, 1)
+	if err == nil || !strings.Contains(err.Error(), "stutter") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTraceCheckerStepBeforeStart(t *testing.T) {
+	tc := &TraceChecker[int]{Spec: counterSpec(3)}
+	if err := tc.Step("inc", 1); err == nil {
+		t.Fatal("Step before Start accepted")
+	}
+}
+
+func TestTraceCheckerUsesAllowsFastPath(t *testing.T) {
+	sp := &Spec[int]{
+		Name:   "allows-only",
+		Equal:  func(a, b int) bool { return a == b },
+		Allows: func(from int, ev Event, to int) bool { return ev == "jump" && to == from+10 },
+	}
+	tc := &TraceChecker[int]{Spec: sp}
+	if err := tc.Start(5); err != nil {
+		t.Fatal(err) // no Init enumerated: any start accepted
+	}
+	if err := tc.Step("jump", 15); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Step("jump", 16); err == nil {
+		t.Fatal("bad jump accepted")
+	}
+}
+
+// implCounter is a concrete machine: a pair (lo, hi) representing the
+// counter as hi*10+lo in a contrived way, to exercise a non-identity
+// abstraction function.
+type implCounter struct{ lo, hi int }
+
+func implCounterMachine(max int) *Impl[implCounter, int] {
+	abs := func(c implCounter) int { return c.hi*10 + c.lo }
+	return &Impl[implCounter, int]{
+		Name: "impl-counter",
+		Init: func() []implCounter { return []implCounter{{0, 0}} },
+		Next: func(c implCounter) []Step[implCounter] {
+			var out []Step[implCounter]
+			v := abs(c)
+			if v < max {
+				n := v + 1
+				out = append(out, Step[implCounter]{Event: "inc", To: implCounter{n % 10, n / 10}})
+			}
+			if v > 0 {
+				n := v - 1
+				out = append(out, Step[implCounter]{Event: "dec", To: implCounter{n % 10, n / 10}})
+			}
+			return out
+		},
+		Abs: abs,
+		Key: func(c implCounter) string { return fmt.Sprintf("%d/%d", c.hi, c.lo) },
+	}
+}
+
+func TestCheckRefinementHolds(t *testing.T) {
+	res, err := CheckRefinement(implCounterMachine(25), counterSpec(25), 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States != 26 {
+		t.Errorf("states = %d, want 26", res.States)
+	}
+}
+
+func TestCheckRefinementCatchesBug(t *testing.T) {
+	impl := implCounterMachine(25)
+	good := impl.Next
+	impl.Next = func(c implCounter) []Step[implCounter] {
+		steps := good(c)
+		// Inject: from 7, "inc" jumps to 9.
+		if impl.Abs(c) == 7 {
+			for i := range steps {
+				if steps[i].Event == "inc" {
+					steps[i].To = implCounter{9, 0}
+				}
+			}
+		}
+		return steps
+	}
+	_, err := CheckRefinement(impl, counterSpec(25), 10_000)
+	var re *RefinementError
+	if !errors.As(err, &re) || re.Phase != "step" {
+		t.Fatalf("err = %v, want step refinement failure", err)
+	}
+}
+
+func TestCheckRefinementCatchesBadStutter(t *testing.T) {
+	impl := implCounterMachine(5)
+	good := impl.Next
+	impl.Next = func(c implCounter) []Step[implCounter] {
+		steps := good(c)
+		if impl.Abs(c) == 2 {
+			steps = append(steps, Step[implCounter]{Event: Stutter, To: implCounter{3, 0}})
+		}
+		return steps
+	}
+	_, err := CheckRefinement(impl, counterSpec(5), 10_000)
+	if err == nil || !strings.Contains(err.Error(), "stutter") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckRefinementBadInit(t *testing.T) {
+	impl := implCounterMachine(5)
+	impl.Init = func() []implCounter { return []implCounter{{3, 0}} }
+	_, err := CheckRefinement(impl, counterSpec(5), 10_000)
+	var re *RefinementError
+	if !errors.As(err, &re) || re.Phase != "init" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEventf(t *testing.T) {
+	if Eventf("map(%#x)=%t", 0x1000, true) != Event("map(0x1000)=true") {
+		t.Error("Eventf formatting wrong")
+	}
+}
+
+func TestRefinementErrorMessages(t *testing.T) {
+	e := &RefinementError{Spec: "pt", Phase: "step", Event: "map", Detail: "boom"}
+	if !strings.Contains(e.Error(), "pt") || !strings.Contains(e.Error(), "map") {
+		t.Errorf("message = %q", e.Error())
+	}
+	e2 := &RefinementError{Spec: "pt", Phase: "invariant", Detail: "boom"}
+	if strings.Contains(e2.Error(), "event") {
+		t.Errorf("stutter message should omit event: %q", e2.Error())
+	}
+}
+
+func TestObligationsAllPass(t *testing.T) {
+	g := &verifier.Registry{}
+	RegisterObligations(g)
+	rep := g.Run(verifier.Options{Seed: 103})
+	for _, f := range rep.Failed() {
+		t.Errorf("VC %s failed: %v", f.Obligation.ID(), f.Err)
+	}
+}

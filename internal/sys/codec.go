@@ -1,0 +1,200 @@
+package sys
+
+import (
+	"fmt"
+
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/hw/mem"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/marshal"
+	"github.com/verified-os/vnros/internal/proc"
+	"github.com/verified-os/vnros/internal/sched"
+)
+
+// This file is the syscall wire codec: ops travel as a register frame
+// (the scalar arguments that fit the six argument registers of the
+// simulated ABI) plus a marshalled overflow/variable-length payload.
+// The §3 marshalling obligation — arguments and results round-trip
+// exactly — is discharged for this codec by VCs in sys_obligations.go.
+
+// IsReadOp reports whether a syscall number is a read-only operation
+// (executed replica-locally rather than through the log).
+func IsReadOp(num uint64) bool {
+	switch num {
+	case NumStat, NumReadDir, NumGetPID, NumMemResolve:
+		return true
+	}
+	return false
+}
+
+// IsLocalOp reports whether a syscall is handled by the composition
+// layer (internal/core) outside the replicated kernel state: blocking
+// primitives (futex) and device-fed state (sockets), plus raw user
+// memory access, which is not a kernel-state transition at all.
+func IsLocalOp(num uint64) bool {
+	switch num {
+	case NumFutexWait, NumFutexWake, NumSockBind, NumSockSend,
+		NumSockRecv, NumSockClose, NumMemRead, NumMemWrite, NumMemCAS:
+		return true
+	}
+	return false
+}
+
+// EncodeWrite packs a WriteOp for the boundary crossing.
+func EncodeWrite(op WriteOp) (marshal.SyscallFrame, []byte) {
+	frame := marshal.SyscallFrame{Num: op.Num}
+	frame.Args[0] = uint64(op.PID)
+	frame.Args[1] = uint64(op.FD)
+	frame.Args[2] = uint64(op.VA)
+	frame.Args[3] = op.Len
+	frame.Args[4] = op.Size
+	frame.Args[5] = uint64(op.TID)
+
+	e := marshal.NewEncoder(nil)
+	e.U64(op.Flags)
+	e.I64(int64(op.Whence))
+	e.I64(op.Off)
+	e.I64(int64(op.Code))
+	e.U8(uint8(op.Sig))
+	e.U64(uint64(op.Target))
+	e.U8(uint8(op.Pri))
+	e.I64(int64(op.Core))
+	e.String(op.Path)
+	e.String(op.Path2)
+	e.String(op.Name)
+	e.BytesField(op.Data)
+	e.U64(op.Sock)
+	e.U64(op.Addr)
+	e.U16(op.Port)
+	e.U32(op.Word)
+	e.U32(uint32(len(op.Frames)))
+	for _, f := range op.Frames {
+		e.U64(uint64(f))
+	}
+	return frame, e.Bytes()
+}
+
+// DecodeWrite unpacks a WriteOp on the kernel side.
+func DecodeWrite(frame marshal.SyscallFrame, payload []byte) (WriteOp, error) {
+	op := WriteOp{
+		Num:  frame.Num,
+		PID:  proc.PID(frame.Args[0]),
+		FD:   fs.FD(frame.Args[1]),
+		VA:   mmu.VAddr(frame.Args[2]),
+		Len:  frame.Args[3],
+		Size: frame.Args[4],
+		TID:  sched.TID(frame.Args[5]),
+	}
+	d := marshal.NewDecoder(payload)
+	op.Flags = d.U64()
+	op.Whence = int(d.I64())
+	op.Off = d.I64()
+	op.Code = int(d.I64())
+	op.Sig = proc.Signal(d.U8())
+	op.Target = proc.PID(d.U64())
+	op.Pri = sched.Priority(d.U8())
+	op.Core = int(d.I64())
+	op.Path = d.String()
+	op.Path2 = d.String()
+	op.Name = d.String()
+	op.Data = d.BytesField()
+	op.Sock = d.U64()
+	op.Addr = d.U64()
+	op.Port = d.U16()
+	op.Word = d.U32()
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		op.Frames = append(op.Frames, mem.PAddr(d.U64()))
+	}
+	if err := d.Finish(); err != nil {
+		return WriteOp{}, fmt.Errorf("sys: write op decode: %w", err)
+	}
+	return op, nil
+}
+
+// EncodeRead packs a ReadOp.
+func EncodeRead(op ReadOp) (marshal.SyscallFrame, []byte) {
+	frame := marshal.SyscallFrame{Num: op.Num}
+	frame.Args[0] = uint64(op.PID)
+	frame.Args[1] = uint64(op.FD)
+	frame.Args[2] = uint64(op.VA)
+	frame.Args[3] = op.Len
+	frame.Args[4] = uint64(op.TID)
+	e := marshal.NewEncoder(nil)
+	e.String(op.Path)
+	return frame, e.Bytes()
+}
+
+// DecodeRead unpacks a ReadOp.
+func DecodeRead(frame marshal.SyscallFrame, payload []byte) (ReadOp, error) {
+	op := ReadOp{
+		Num: frame.Num,
+		PID: proc.PID(frame.Args[0]),
+		FD:  fs.FD(frame.Args[1]),
+		VA:  mmu.VAddr(frame.Args[2]),
+		Len: frame.Args[3],
+		TID: sched.TID(frame.Args[4]),
+	}
+	d := marshal.NewDecoder(payload)
+	op.Path = d.String()
+	if err := d.Finish(); err != nil {
+		return ReadOp{}, fmt.Errorf("sys: read op decode: %w", err)
+	}
+	return op, nil
+}
+
+// EncodeResp packs a Resp for the return crossing.
+func EncodeResp(r Resp) (marshal.RetFrame, []byte) {
+	ret := marshal.RetFrame{Value: r.Val, Errno: uint64(r.Errno)}
+	e := marshal.NewEncoder(nil)
+	e.BytesField(r.Data)
+	e.U64(uint64(r.Stat.Ino)).U8(uint8(r.Stat.Kind)).U64(r.Stat.Size).I64(int64(r.Stat.Nlink))
+	e.U32(uint32(len(r.Entries)))
+	for _, ent := range r.Entries {
+		e.String(ent.Name)
+		e.U64(uint64(ent.Ino))
+		e.U8(uint8(ent.Kind))
+	}
+	e.U64(uint64(r.Wait.PID)).I64(int64(r.Wait.ExitCode))
+	e.U64(uint64(r.TID))
+	e.U8(uint8(r.Sig))
+	e.Bool(r.SigOK)
+	e.U32(uint32(len(r.Freed)))
+	for _, f := range r.Freed {
+		e.U64(uint64(f))
+	}
+	return ret, e.Bytes()
+}
+
+// DecodeResp unpacks a Resp on the user side.
+func DecodeResp(ret marshal.RetFrame, payload []byte) (Resp, error) {
+	r := Resp{Errno: Errno(ret.Errno), Val: ret.Value}
+	d := marshal.NewDecoder(payload)
+	r.Data = d.BytesField()
+	r.Stat = fs.Stat{
+		Ino:   fs.Ino(d.U64()),
+		Kind:  fs.Kind(d.U8()),
+		Size:  d.U64(),
+		Nlink: int(d.I64()),
+	}
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		r.Entries = append(r.Entries, fs.DirEntry{
+			Name: d.String(),
+			Ino:  fs.Ino(d.U64()),
+			Kind: fs.Kind(d.U8()),
+		})
+	}
+	r.Wait = proc.WaitResult{PID: proc.PID(d.U64()), ExitCode: int(d.I64())}
+	r.TID = sched.TID(d.U64())
+	r.Sig = proc.Signal(d.U8())
+	r.SigOK = d.Bool()
+	fn := d.U32()
+	for i := uint32(0); i < fn && d.Err() == nil; i++ {
+		r.Freed = append(r.Freed, mem.PAddr(d.U64()))
+	}
+	if err := d.Finish(); err != nil {
+		return Resp{}, fmt.Errorf("sys: resp decode: %w", err)
+	}
+	return r, nil
+}

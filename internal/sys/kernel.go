@@ -1,0 +1,501 @@
+package sys
+
+import (
+	"fmt"
+
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/hw/mem"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/mm"
+	"github.com/verified-os/vnros/internal/proc"
+	"github.com/verified-os/vnros/internal/pt"
+	"github.com/verified-os/vnros/internal/sched"
+)
+
+// User virtual address-space layout.
+const (
+	UserVABase = mmu.VAddr(0x0000_1000_0000)
+	UserVATop  = mmu.VAddr(0x0000_7000_0000_0000)
+)
+
+// Kernel is one replica of the kernel state machine: the sequential
+// data structure NrOS-style node replication scales across cores
+// (§4.1). All operations are deterministic; applying the same WriteOp
+// log to two replicas yields identical states (the NR requirement),
+// because every non-deterministic input — data-frame addresses, PIDs of
+// interest — is carried inside the ops.
+type Kernel struct {
+	fs     *fs.FS
+	fds    map[proc.PID]*fs.FDTable
+	procs  *proc.Table
+	rq     *sched.RunQueue
+	vs     map[proc.PID]*mm.VSpace
+	spaces map[proc.PID]*pt.Verified
+
+	// pmem is the machine's shared physical memory; tables is this
+	// replica's private page-table frame source.
+	pmem   *mem.PhysMem
+	tables pt.FrameSource
+}
+
+// NewKernel creates a kernel replica. The init process (PID 1) exists
+// with a descriptor table but no address space (it is the kernel's
+// caretaker process).
+func NewKernel(pmem *mem.PhysMem, tables pt.FrameSource) *Kernel {
+	k := &Kernel{
+		fs:     fs.New(),
+		fds:    make(map[proc.PID]*fs.FDTable),
+		procs:  proc.NewTable(),
+		rq:     sched.NewRunQueue(),
+		vs:     make(map[proc.PID]*mm.VSpace),
+		spaces: make(map[proc.PID]*pt.Verified),
+		pmem:   pmem,
+		tables: tables,
+	}
+	k.fds[proc.InitPID] = fs.NewFDTable(k.fs)
+	return k
+}
+
+// FS exposes the filesystem for persistence snapshots (core only).
+func (k *Kernel) FS() *fs.FS { return k.fs }
+
+// Procs exposes the process table for invariant checks (tests only).
+func (k *Kernel) Procs() *proc.Table { return k.procs }
+
+// RunQueue exposes the scheduler (core's dispatcher).
+func (k *Kernel) RunQueue() *sched.RunQueue { return k.rq }
+
+// Root returns the page-table root of a process's address space.
+func (k *Kernel) Root(pid proc.PID) (mem.PAddr, bool) {
+	as, ok := k.spaces[pid]
+	if !ok {
+		return 0, false
+	}
+	return as.Root(), true
+}
+
+// ViewFDs is the §3 view() abstraction for the contract checker.
+func (k *Kernel) ViewFDs(pid proc.PID) (fs.SpecState, bool) {
+	t, ok := k.fds[pid]
+	if !ok {
+		return fs.SpecState{}, false
+	}
+	return fs.AbstractFDs(t), true
+}
+
+// fdTable returns the descriptor table for pid.
+func (k *Kernel) fdTable(pid proc.PID) (*fs.FDTable, Errno) {
+	t, ok := k.fds[pid]
+	if !ok {
+		return nil, ESRCH
+	}
+	return t, EOK
+}
+
+// DispatchWrite implements nr.DataStructure: the mutating syscalls.
+func (k *Kernel) DispatchWrite(op WriteOp) Resp {
+	switch op.Num {
+	case NumOpen:
+		t, e := k.fdTable(op.PID)
+		if e != EOK {
+			return Resp{Errno: e}
+		}
+		fd, err := t.Open(op.Path, int(op.Flags))
+		if err != nil {
+			return fail(err)
+		}
+		return ok(uint64(fd))
+
+	case NumClose:
+		t, e := k.fdTable(op.PID)
+		if e != EOK {
+			return Resp{Errno: e}
+		}
+		if err := t.Close(op.FD); err != nil {
+			return fail(err)
+		}
+		return ok(0)
+
+	case NumRead:
+		t, e := k.fdTable(op.PID)
+		if e != EOK {
+			return Resp{Errno: e}
+		}
+		// The §3 data-race-freedom obligation: the descriptor is locked
+		// for the duration of the call, so no concurrent syscall can
+		// observe or mutate the offset mid-read. Within one replica the
+		// NR combiner already serializes ops; the lock makes the
+		// protocol explicit and is what the read_spec precondition
+		// refers to.
+		if err := t.Lock(op.FD); err != nil {
+			return fail(err)
+		}
+		buf := make([]byte, op.Len)
+		n, err := t.Read(op.FD, buf)
+		if uerr := t.Unlock(op.FD); uerr != nil && err == nil {
+			err = uerr
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return Resp{Errno: EOK, Val: n, Data: buf[:n]}
+
+	case NumWrite:
+		t, e := k.fdTable(op.PID)
+		if e != EOK {
+			return Resp{Errno: e}
+		}
+		if err := t.Lock(op.FD); err != nil {
+			return fail(err)
+		}
+		n, err := t.Write(op.FD, op.Data)
+		if uerr := t.Unlock(op.FD); uerr != nil && err == nil {
+			err = uerr
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return ok(n)
+
+	case NumSeek:
+		t, e := k.fdTable(op.PID)
+		if e != EOK {
+			return Resp{Errno: e}
+		}
+		pos, err := t.Seek(op.FD, op.Off, op.Whence)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(pos)
+
+	case NumMkdir:
+		if _, err := k.fs.Mkdir(op.Path); err != nil {
+			return fail(err)
+		}
+		return ok(0)
+
+	case NumUnlink:
+		if err := k.fs.Unlink(op.Path); err != nil {
+			return fail(err)
+		}
+		return ok(0)
+
+	case NumRmdir:
+		if err := k.fs.Rmdir(op.Path); err != nil {
+			return fail(err)
+		}
+		return ok(0)
+
+	case NumRename:
+		if err := k.fs.Rename(op.Path, op.Path2); err != nil {
+			return fail(err)
+		}
+		return ok(0)
+
+	case NumLink:
+		if err := k.fs.Link(op.Path, op.Path2); err != nil {
+			return fail(err)
+		}
+		return ok(0)
+
+	case NumTruncate:
+		t, e := k.fdTable(op.PID)
+		if e != EOK {
+			return Resp{Errno: e}
+		}
+		of, err := t.Get(op.FD)
+		if err != nil {
+			return fail(err)
+		}
+		if err := k.fs.Truncate(of.Ino, op.Len); err != nil {
+			return fail(err)
+		}
+		return ok(0)
+
+	case NumSpawn:
+		return k.spawn(op)
+
+	case NumWaitPID:
+		res, err := k.procs.Wait(op.PID)
+		if err != nil {
+			return fail(err)
+		}
+		return Resp{Errno: EOK, Val: uint64(res.PID), Wait: res}
+
+	case NumExit:
+		return k.exit(op)
+
+	case NumKill:
+		// SIGKILL tears down the target like exit.
+		if op.Sig == proc.SIGKILL {
+			if op.Target == proc.InitPID {
+				return Resp{Errno: EPERM}
+			}
+			target := op
+			target.PID = op.Target
+			target.Code = 128 + int(proc.SIGKILL)
+			return k.exit(target)
+		}
+		if err := k.procs.Kill(op.Target, op.Sig); err != nil {
+			return fail(err)
+		}
+		return ok(0)
+
+	case NumTakeSignal:
+		sig, got, err := k.procs.TakeSignal(op.PID)
+		if err != nil {
+			return fail(err)
+		}
+		return Resp{Errno: EOK, Sig: sig, SigOK: got}
+
+	case NumMMap:
+		return k.mmap(op)
+
+	case NumMUnmap:
+		return k.munmap(op)
+
+	case NumThreadAdd:
+		if err := k.rq.Add(op.TID, op.Pri); err != nil {
+			return fail(err)
+		}
+		return ok(uint64(op.TID))
+
+	case NumThreadYield:
+		if err := k.rq.Yield(op.TID); err != nil {
+			return fail(err)
+		}
+		return ok(0)
+
+	case NumThreadBlock:
+		if err := k.rq.Block(op.TID); err != nil {
+			return fail(err)
+		}
+		return ok(0)
+
+	case NumThreadWake:
+		if err := k.rq.Wake(op.TID); err != nil {
+			return fail(err)
+		}
+		return ok(0)
+
+	case NumThreadExit:
+		if err := k.rq.Exit(op.TID); err != nil {
+			return fail(err)
+		}
+		if err := k.rq.Reap(op.TID); err != nil {
+			return fail(err)
+		}
+		return ok(0)
+
+	case NumPickNext:
+		tid, err := k.rq.PickNext(op.Core)
+		if err != nil {
+			return fail(err)
+		}
+		return Resp{Errno: EOK, Val: uint64(tid), TID: tid}
+	}
+	return Resp{Errno: ENOSYS}
+}
+
+// spawn creates the process plus its kernel resources.
+func (k *Kernel) spawn(op WriteOp) Resp {
+	pid, err := k.procs.Spawn(op.PID, op.Name)
+	if err != nil {
+		return fail(err)
+	}
+	vs, err := mm.NewVSpace(UserVABase, UserVATop)
+	if err != nil {
+		return fail(err)
+	}
+	as, err := pt.NewVerified(k.pmem, k.tables, nil)
+	if err != nil {
+		// Roll back the process entry to keep replicas consistent (the
+		// same failure happens deterministically on every replica).
+		_ = k.procs.Exit(pid, -1)
+		_, _ = k.procs.Wait(op.PID)
+		return fail(err)
+	}
+	k.fds[pid] = fs.NewFDTable(k.fs)
+	k.vs[pid] = vs
+	k.spaces[pid] = as
+	return ok(uint64(pid))
+}
+
+// exit tears down a process: descriptors, mappings, page table.
+func (k *Kernel) exit(op WriteOp) Resp {
+	pid := op.PID
+	var freed []mem.PAddr
+	if vs := k.vs[pid]; vs != nil {
+		as := k.spaces[pid]
+		for _, region := range vs.Regions() {
+			for off := uint64(0); off < region.Len; off += mmu.L1PageSize {
+				if frame, err := as.Unmap(region.Base + mmu.VAddr(off)); err == nil {
+					freed = append(freed, frame)
+				}
+			}
+			_, _ = vs.Release(region.Base)
+		}
+	}
+	if as := k.spaces[pid]; as != nil {
+		if err := as.Destroy(); err != nil {
+			return fail(err)
+		}
+	}
+	delete(k.spaces, pid)
+	delete(k.vs, pid)
+	delete(k.fds, pid)
+	if err := k.procs.Exit(pid, op.Code); err != nil {
+		return fail(err)
+	}
+	return Resp{Errno: EOK, Freed: freed}
+}
+
+// mmap reserves virtual space and maps the caller-provided frames.
+func (k *Kernel) mmap(op WriteOp) Resp {
+	vs := k.vs[op.PID]
+	as := k.spaces[op.PID]
+	if vs == nil || as == nil {
+		return Resp{Errno: ESRCH}
+	}
+	if op.Size == 0 || op.Size%mmu.L1PageSize != 0 {
+		return Resp{Errno: EINVAL}
+	}
+	pages := op.Size / mmu.L1PageSize
+	if uint64(len(op.Frames)) != pages {
+		return Resp{Errno: EINVAL}
+	}
+	base, err := vs.Reserve(op.Size, "mmap")
+	if err != nil {
+		return fail(err)
+	}
+	for i := uint64(0); i < pages; i++ {
+		err := as.Map(base+mmu.VAddr(i*mmu.L1PageSize), op.Frames[i], mmu.L1PageSize,
+			mmu.Flags{Writable: true, User: true, NoExec: true})
+		if err != nil {
+			// Unwind the partial mapping.
+			for j := uint64(0); j < i; j++ {
+				_, _ = as.Unmap(base + mmu.VAddr(j*mmu.L1PageSize))
+			}
+			_, _ = vs.Release(base)
+			return fail(err)
+		}
+	}
+	return ok(uint64(base))
+}
+
+// munmap removes a region, returning its data frames in Freed.
+func (k *Kernel) munmap(op WriteOp) Resp {
+	vs := k.vs[op.PID]
+	as := k.spaces[op.PID]
+	if vs == nil || as == nil {
+		return Resp{Errno: ESRCH}
+	}
+	region, err := vs.Release(op.VA)
+	if err != nil {
+		return fail(err)
+	}
+	var freed []mem.PAddr
+	for off := uint64(0); off < region.Len; off += mmu.L1PageSize {
+		frame, err := as.Unmap(region.Base + mmu.VAddr(off))
+		if err != nil {
+			return fail(fmt.Errorf("munmap: %w", err))
+		}
+		freed = append(freed, frame)
+	}
+	return Resp{Errno: EOK, Freed: freed}
+}
+
+// DispatchRead implements nr.DataStructure: the read-only syscalls.
+func (k *Kernel) DispatchRead(op ReadOp) Resp {
+	switch op.Num {
+	case NumStat:
+		st, err := k.fs.StatPath(op.Path)
+		if err != nil {
+			return fail(err)
+		}
+		return Resp{Errno: EOK, Stat: st, Val: st.Size}
+
+	case NumReadDir:
+		ents, err := k.fs.ReadDir(op.Path)
+		if err != nil {
+			return fail(err)
+		}
+		return Resp{Errno: EOK, Entries: ents}
+
+	case NumGetPID:
+		if _, err := k.procs.Get(op.PID); err != nil {
+			return fail(err)
+		}
+		return ok(uint64(op.PID))
+
+	case NumMemResolve:
+		as := k.spaces[op.PID]
+		if as == nil {
+			return Resp{Errno: ESRCH}
+		}
+		m, found := as.Resolve(op.VA)
+		if !found {
+			return Resp{Errno: EFAULT}
+		}
+		return Resp{Errno: EOK, Val: uint64(m.Frame) + uint64(op.VA)%m.PageSize}
+	}
+	return Resp{Errno: ENOSYS}
+}
+
+// UserRead copies process-virtual memory into p through the hardware
+// translation path with user permissions — the §3 execution model's
+// "process experiences virtualized memory". Core calls it on the
+// replica owned by the accessing core.
+func (k *Kernel) UserRead(pid proc.PID, va mmu.VAddr, p []byte) Errno {
+	return k.userAccess(pid, va, p, false)
+}
+
+// UserWrite copies p into process-virtual memory.
+func (k *Kernel) UserWrite(pid proc.PID, va mmu.VAddr, p []byte) Errno {
+	return k.userAccess(pid, va, p, true)
+}
+
+func (k *Kernel) userAccess(pid proc.PID, va mmu.VAddr, p []byte, write bool) Errno {
+	as := k.spaces[pid]
+	if as == nil {
+		return ESRCH
+	}
+	w := mmu.Walker{Mem: k.pmem}
+	kind := mmu.AccessUserRead
+	if write {
+		kind = mmu.AccessUserWrite
+	}
+	for n := 0; n < len(p); {
+		res := w.Walk(as.Root(), va+mmu.VAddr(n), kind)
+		if res.Fault != nil {
+			return EFAULT
+		}
+		tr := res.Translation
+		remain := int(tr.PageSize - (uint64(va)+uint64(n))%tr.PageSize)
+		chunk := len(p) - n
+		if chunk > remain {
+			chunk = remain
+		}
+		var err error
+		if write {
+			err = k.pmem.Write(tr.PAddr, p[n:n+chunk])
+		} else {
+			err = k.pmem.Read(tr.PAddr, p[n:n+chunk])
+		}
+		if err != nil {
+			return EFAULT
+		}
+		n += chunk
+	}
+	return EOK
+}
+
+// NewKernelWithFS creates a kernel replica whose filesystem is restored
+// from a snapshot (each replica deserializes its own copy of the same
+// image, keeping replicas bit-identical at boot).
+func NewKernelWithFS(pmem *mem.PhysMem, tables pt.FrameSource, f *fs.FS) *Kernel {
+	k := NewKernel(pmem, tables)
+	k.fs = f
+	k.fds[proc.InitPID] = fs.NewFDTable(f)
+	return k
+}

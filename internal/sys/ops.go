@@ -1,0 +1,137 @@
+package sys
+
+import (
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/hw/mem"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/proc"
+	"github.com/verified-os/vnros/internal/sched"
+)
+
+// Syscall numbers. These are the wire ABI: the user-side Sys handle
+// packs them into marshal.SyscallFrame.Num.
+const (
+	NumOpen uint64 = iota + 1
+	NumClose
+	NumRead
+	NumWrite
+	NumSeek
+	NumStat
+	NumMkdir
+	NumUnlink
+	NumRmdir
+	NumRename
+	NumLink
+	NumReadDir
+	NumTruncate
+
+	NumSpawn
+	NumWaitPID
+	NumExit
+	NumKill
+	NumGetPID
+	NumTakeSignal
+
+	NumMMap
+	NumMUnmap
+	NumMemResolve
+
+	NumThreadAdd
+	NumThreadYield
+	NumThreadBlock
+	NumThreadWake
+	NumThreadExit
+	NumPickNext
+
+	// Handled outside the replicated kernel state (core):
+	NumFutexWait
+	NumFutexWake
+	NumSockBind
+	NumSockSend
+	NumSockRecv
+	NumSockClose
+	NumMemRead
+	NumMemWrite
+	NumMemCAS
+)
+
+// WriteOp is a mutating kernel operation — one logged NR entry. A
+// single struct (rather than one type per syscall) keeps the NR
+// instantiation monomorphic; unused fields are zero.
+type WriteOp struct {
+	Num uint64
+	PID proc.PID
+
+	// File syscalls.
+	FD     fs.FD
+	Flags  uint64
+	Whence int
+	Off    int64
+	Len    uint64
+	Path   string
+	Path2  string
+	Data   []byte
+
+	// Process syscalls.
+	Name   string
+	Code   int
+	Sig    proc.Signal
+	Target proc.PID // kill target
+
+	// Memory syscalls. Frames are pre-allocated by the caller (the
+	// shared data-frame allocator lives outside the replicated state;
+	// see internal/core) so that applying the op on every replica does
+	// not double-allocate shared physical memory.
+	VA     mmu.VAddr
+	Size   uint64
+	Frames []mem.PAddr
+
+	// Scheduler syscalls.
+	TID  sched.TID
+	Pri  sched.Priority
+	Core int
+
+	// Socket and futex syscalls (handled by internal/core outside the
+	// replicated state; carried in the same op container so they share
+	// the codec and its round-trip obligations).
+	Sock uint64
+	Addr uint64
+	Port uint16
+	Word uint32
+}
+
+// ReadOp is a read-only kernel operation (executes on the local
+// replica).
+type ReadOp struct {
+	Num  uint64
+	PID  proc.PID
+	FD   fs.FD
+	Path string
+	VA   mmu.VAddr
+	Len  uint64
+	TID  sched.TID
+}
+
+// Resp is the kernel response for either kind.
+type Resp struct {
+	Errno Errno
+	Val   uint64
+	Data  []byte
+
+	Stat    fs.Stat
+	Entries []fs.DirEntry
+	Wait    proc.WaitResult
+	TID     sched.TID
+	Sig     proc.Signal
+	SigOK   bool
+
+	// Freed frames from munmap/exit, for the caller to return to the
+	// shared allocator (only meaningful on one replica's response).
+	Freed []mem.PAddr
+}
+
+// ok returns a success response with a value.
+func ok(val uint64) Resp { return Resp{Errno: EOK, Val: val} }
+
+// fail returns an errno response.
+func fail(err error) Resp { return Resp{Errno: ErrnoFromError(err)} }

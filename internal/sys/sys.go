@@ -1,0 +1,342 @@
+package sys
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/marshal"
+	"github.com/verified-os/vnros/internal/proc"
+)
+
+// Handler is the kernel side of the syscall boundary: internal/core's
+// replicated kernel implements it. The two byte slices are the
+// marshalled argument and result payloads — nothing else crosses.
+type Handler interface {
+	Syscall(frame marshal.SyscallFrame, payload []byte) (marshal.RetFrame, []byte)
+}
+
+// Viewer exposes the kernel's view() abstraction for contract checking
+// (the paper's sys.view()); implemented by the kernel.
+type Viewer interface {
+	ViewFDs(pid proc.PID) (fs.SpecState, bool)
+}
+
+// Sys is the user-space handle encapsulating the syscall interface —
+// the paper's `Sys` type. Each process (and in the simulated system,
+// each user program goroutine) holds one. When a Viewer is attached,
+// every file syscall is checked against its spec relation, making the
+// paper's `ensures` clauses executable.
+type Sys struct {
+	pid proc.PID
+	h   Handler
+
+	// contract checking (optional).
+	viewer Viewer
+	mu     sync.Mutex
+	cerr   error
+}
+
+// NewSys creates a handle for the given process.
+func NewSys(pid proc.PID, h Handler) *Sys { return &Sys{pid: pid, h: h} }
+
+// PID returns the owning process.
+func (s *Sys) PID() proc.PID { return s.pid }
+
+// EnableContract attaches a Viewer; from now on file syscalls are
+// checked against read_spec/write_spec/seek_spec.
+func (s *Sys) EnableContract(v Viewer) { s.viewer = v }
+
+// ContractErr returns the first recorded contract violation, if any.
+func (s *Sys) ContractErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cerr
+}
+
+func (s *Sys) recordViolation(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cerr == nil {
+		s.cerr = err
+	}
+}
+
+// callWrite crosses the boundary with a mutating op.
+func (s *Sys) callWrite(op WriteOp) Resp {
+	op.PID = s.pid
+	frame, payload := EncodeWrite(op)
+	ret, out := s.h.Syscall(frame, payload)
+	r, err := DecodeResp(ret, out)
+	if err != nil {
+		return Resp{Errno: EINVAL}
+	}
+	return r
+}
+
+// callRead crosses the boundary with a read-only op.
+func (s *Sys) callRead(op ReadOp) Resp {
+	op.PID = s.pid
+	frame, payload := EncodeRead(op)
+	ret, out := s.h.Syscall(frame, payload)
+	r, err := DecodeResp(ret, out)
+	if err != nil {
+		return Resp{Errno: EINVAL}
+	}
+	return r
+}
+
+// view snapshots the kernel's abstraction of this process's
+// descriptors (contract mode only).
+func (s *Sys) view() (fs.SpecState, bool) {
+	if s.viewer == nil {
+		return fs.SpecState{}, false
+	}
+	return s.viewer.ViewFDs(s.pid)
+}
+
+// Open opens (or with fs.OCreate creates) path.
+func (s *Sys) Open(path string, flags int) (fs.FD, Errno) {
+	r := s.callWrite(WriteOp{Num: NumOpen, Path: path, Flags: uint64(flags)})
+	return fs.FD(r.Val), r.Errno
+}
+
+// Close releases a descriptor.
+func (s *Sys) Close(fd fs.FD) Errno {
+	return s.callWrite(WriteOp{Num: NumClose, FD: fd}).Errno
+}
+
+// Read reads up to len(buffer) bytes at the descriptor's offset,
+// returning the count — the paper's worked example. In contract mode
+// the call is checked against read_spec through the view abstraction.
+func (s *Sys) Read(fd fs.FD, buffer []byte) (uint64, Errno) {
+	pre, checking := s.view()
+	r := s.callWrite(WriteOp{Num: NumRead, FD: fd, Len: uint64(len(buffer))})
+	if r.Errno != EOK {
+		return 0, r.Errno
+	}
+	n := copy(buffer, r.Data)
+	if checking {
+		post, _ := s.view()
+		// The kernel acquires the descriptor lock as the first step of
+		// the atomic syscall transition; the spec's precondition sees
+		// that intermediate state.
+		if f, ok := pre.Files[fd]; ok {
+			f.Locked = true
+			pre.Files[fd] = f
+		}
+		if err := fs.ReadSpec(pre, post, fd, uint64(len(buffer)), buffer, r.Val); err != nil {
+			s.recordViolation(fmt.Errorf("read(%d): %w", fd, err))
+		}
+	}
+	return uint64(n), EOK
+}
+
+// Write writes data at the descriptor's offset.
+func (s *Sys) Write(fd fs.FD, data []byte) (uint64, Errno) {
+	pre, checking := s.view()
+	r := s.callWrite(WriteOp{Num: NumWrite, FD: fd, Data: data})
+	if r.Errno != EOK {
+		return 0, r.Errno
+	}
+	if checking {
+		post, _ := s.view()
+		if f, ok := pre.Files[fd]; ok {
+			f.Locked = true
+			pre.Files[fd] = f
+		}
+		if err := fs.WriteSpec(pre, post, fd, data, r.Val); err != nil {
+			s.recordViolation(fmt.Errorf("write(%d): %w", fd, err))
+		}
+	}
+	return r.Val, EOK
+}
+
+// Seek repositions the descriptor offset.
+func (s *Sys) Seek(fd fs.FD, off int64, whence int) (uint64, Errno) {
+	pre, checking := s.view()
+	r := s.callWrite(WriteOp{Num: NumSeek, FD: fd, Off: off, Whence: whence})
+	if r.Errno != EOK {
+		return 0, r.Errno
+	}
+	if checking {
+		post, _ := s.view()
+		if err := fs.SeekSpec(pre, post, fd, off, whence, r.Val); err != nil {
+			s.recordViolation(fmt.Errorf("seek(%d): %w", fd, err))
+		}
+	}
+	return r.Val, EOK
+}
+
+// Truncate resizes the file behind fd.
+func (s *Sys) Truncate(fd fs.FD, size uint64) Errno {
+	return s.callWrite(WriteOp{Num: NumTruncate, FD: fd, Len: size}).Errno
+}
+
+// Mkdir creates a directory.
+func (s *Sys) Mkdir(path string) Errno {
+	return s.callWrite(WriteOp{Num: NumMkdir, Path: path}).Errno
+}
+
+// Unlink removes a file.
+func (s *Sys) Unlink(path string) Errno {
+	return s.callWrite(WriteOp{Num: NumUnlink, Path: path}).Errno
+}
+
+// Rmdir removes an empty directory.
+func (s *Sys) Rmdir(path string) Errno {
+	return s.callWrite(WriteOp{Num: NumRmdir, Path: path}).Errno
+}
+
+// Rename moves a file or directory.
+func (s *Sys) Rename(old, new string) Errno {
+	return s.callWrite(WriteOp{Num: NumRename, Path: old, Path2: new}).Errno
+}
+
+// Link creates a hard link.
+func (s *Sys) Link(old, new string) Errno {
+	return s.callWrite(WriteOp{Num: NumLink, Path: old, Path2: new}).Errno
+}
+
+// Stat describes the object at path.
+func (s *Sys) Stat(path string) (fs.Stat, Errno) {
+	r := s.callRead(ReadOp{Num: NumStat, Path: path})
+	return r.Stat, r.Errno
+}
+
+// ReadDir lists a directory.
+func (s *Sys) ReadDir(path string) ([]fs.DirEntry, Errno) {
+	r := s.callRead(ReadOp{Num: NumReadDir, Path: path})
+	return r.Entries, r.Errno
+}
+
+// Spawn creates a child process.
+func (s *Sys) Spawn(name string) (proc.PID, Errno) {
+	r := s.callWrite(WriteOp{Num: NumSpawn, Name: name})
+	return proc.PID(r.Val), r.Errno
+}
+
+// Wait reaps one exited child.
+func (s *Sys) Wait() (proc.WaitResult, Errno) {
+	r := s.callWrite(WriteOp{Num: NumWaitPID})
+	return r.Wait, r.Errno
+}
+
+// Exit terminates the calling process.
+func (s *Sys) Exit(code int) Errno {
+	return s.callWrite(WriteOp{Num: NumExit, Code: code}).Errno
+}
+
+// Kill sends a signal to target.
+func (s *Sys) Kill(target proc.PID, sig proc.Signal) Errno {
+	return s.callWrite(WriteOp{Num: NumKill, Target: target, Sig: sig}).Errno
+}
+
+// TakeSignal consumes one pending signal.
+func (s *Sys) TakeSignal() (proc.Signal, bool, Errno) {
+	r := s.callWrite(WriteOp{Num: NumTakeSignal})
+	return r.Sig, r.SigOK, r.Errno
+}
+
+// GetPID returns the caller's PID (via the kernel, as a sanity check).
+func (s *Sys) GetPID() (proc.PID, Errno) {
+	r := s.callRead(ReadOp{Num: NumGetPID})
+	return proc.PID(r.Val), r.Errno
+}
+
+// MMap maps size bytes of fresh memory, returning its base.
+func (s *Sys) MMap(size uint64) (mmu.VAddr, Errno) {
+	r := s.callWrite(WriteOp{Num: NumMMap, Size: size})
+	return mmu.VAddr(r.Val), r.Errno
+}
+
+// MUnmap unmaps the region based at va.
+func (s *Sys) MUnmap(va mmu.VAddr) Errno {
+	return s.callWrite(WriteOp{Num: NumMUnmap, VA: va}).Errno
+}
+
+// MemResolve translates a user virtual address (diagnostics).
+func (s *Sys) MemResolve(va mmu.VAddr) (uint64, Errno) {
+	r := s.callRead(ReadOp{Num: NumMemResolve, VA: va})
+	return r.Val, r.Errno
+}
+
+// FutexWait blocks while the 32-bit word at va equals expected (the
+// §3/§4.1 futex the userspace mutex builds on). Served by core.
+func (s *Sys) FutexWait(va mmu.VAddr, expected uint32) Errno {
+	return s.callWrite(WriteOp{Num: NumFutexWait, VA: va, Word: expected}).Errno
+}
+
+// FutexWake wakes up to n waiters on the word at va, returning the
+// number woken.
+func (s *Sys) FutexWake(va mmu.VAddr, n uint64) (uint64, Errno) {
+	r := s.callWrite(WriteOp{Num: NumFutexWake, VA: va, Len: n})
+	return r.Val, r.Errno
+}
+
+// MemRead copies process-virtual memory into p — the simulation's
+// stand-in for ordinary loads in the §3 execution model.
+func (s *Sys) MemRead(va mmu.VAddr, p []byte) Errno {
+	r := s.callWrite(WriteOp{Num: NumMemRead, VA: va, Len: uint64(len(p))})
+	if r.Errno == EOK {
+		copy(p, r.Data)
+	}
+	return r.Errno
+}
+
+// MemWrite copies p into process-virtual memory.
+func (s *Sys) MemWrite(va mmu.VAddr, p []byte) Errno {
+	return s.callWrite(WriteOp{Num: NumMemWrite, VA: va, Data: p}).Errno
+}
+
+// SockBind binds a datagram socket (port 0 picks an ephemeral port),
+// returning its handle.
+func (s *Sys) SockBind(port uint16) (uint64, Errno) {
+	r := s.callWrite(WriteOp{Num: NumSockBind, Port: port})
+	return r.Val, r.Errno
+}
+
+// SockSend transmits payload to (addr, port) from the given socket.
+func (s *Sys) SockSend(sock uint64, addr uint64, port uint16, payload []byte) Errno {
+	return s.callWrite(WriteOp{Num: NumSockSend, Sock: sock, Addr: addr, Port: port, Data: payload}).Errno
+}
+
+// SockRecv receives one datagram without blocking (EAGAIN when empty).
+// The source address and port are returned through resp fields.
+func (s *Sys) SockRecv(sock uint64) (payload []byte, from uint64, fromPort uint16, e Errno) {
+	r := s.callWrite(WriteOp{Num: NumSockRecv, Sock: sock})
+	if r.Errno != EOK {
+		return nil, 0, 0, r.Errno
+	}
+	return r.Data, r.Val, uint16(r.TID), EOK
+}
+
+// SockRecvBlocking loops on SockRecv, yielding between attempts.
+func (s *Sys) SockRecvBlocking(sock uint64) ([]byte, uint64, uint16, Errno) {
+	for {
+		p, from, port, e := s.SockRecv(sock)
+		if e != EAGAIN {
+			return p, from, port, e
+		}
+		runtime.Gosched()
+	}
+}
+
+// SockClose releases a socket.
+func (s *Sys) SockClose(sock uint64) Errno {
+	return s.callWrite(WriteOp{Num: NumSockClose, Sock: sock}).Errno
+}
+
+// MemCAS32 atomically compares-and-swaps the 32-bit word at va: if it
+// equals old it becomes new. It returns the observed value and whether
+// the swap happened — the simulation's model of a LOCK CMPXCHG
+// instruction, which user-space synchronization (ulib) builds on.
+func (s *Sys) MemCAS32(va mmu.VAddr, old, new uint32) (uint32, bool, Errno) {
+	r := s.callWrite(WriteOp{Num: NumMemCAS, VA: va, Word: old, Len: uint64(new)})
+	if r.Errno != EOK {
+		return 0, false, r.Errno
+	}
+	return uint32(r.Val), r.SigOK, EOK
+}

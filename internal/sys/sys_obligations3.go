@@ -1,0 +1,130 @@
+package sys
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/proc"
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerEvenMoreObligations: read-only syscalls are observationally
+// pure, stat agrees with the write history, and readdir reflects
+// exactly the created names.
+func registerEvenMoreObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "sys", Name: "read-ops-are-pure", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				k := newTestKernel()
+				s := NewSys(proc.InitPID, &directHandler{k: k})
+				if e := s.Mkdir("/d"); e != EOK {
+					return fmt.Errorf("mkdir: %v", e)
+				}
+				fd, e := s.Open("/d/f", fs.OCreate|fs.ORdWr)
+				if e != EOK {
+					return fmt.Errorf("open: %v", e)
+				}
+				if _, e := s.Write(fd, []byte("stable")); e != EOK {
+					return fmt.Errorf("write: %v", e)
+				}
+				pre, _ := k.ViewFDs(proc.InitPID)
+				for i := 0; i < 200; i++ {
+					switch r.Intn(3) {
+					case 0:
+						_, _ = s.Stat("/d/f")
+					case 1:
+						_, _ = s.ReadDir("/d")
+					default:
+						_, _ = s.GetPID()
+					}
+				}
+				post, _ := k.ViewFDs(proc.InitPID)
+				if len(pre.Files) != len(post.Files) {
+					return fmt.Errorf("read ops changed descriptor table")
+				}
+				for fdk, f := range pre.Files {
+					g2 := post.Files[fdk]
+					if f.Offset != g2.Offset || string(f.Contents) != string(g2.Contents) {
+						return fmt.Errorf("read ops mutated fd %d state", fdk)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "sys", Name: "stat-tracks-write-history", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				k := newTestKernel()
+				s := NewSys(proc.InitPID, &directHandler{k: k})
+				fd, e := s.Open("/grow", fs.OCreate|fs.ORdWr)
+				if e != EOK {
+					return fmt.Errorf("open: %v", e)
+				}
+				var size, offset uint64
+				for i := 0; i < 300; i++ {
+					switch r.Intn(3) {
+					case 0:
+						n := uint64(r.Intn(100))
+						data := make([]byte, n)
+						if _, e := s.Write(fd, data); e != EOK {
+							return fmt.Errorf("write: %v", e)
+						}
+						offset += n
+						if offset > size {
+							size = offset
+						}
+					case 1:
+						target := uint64(r.Intn(300))
+						if _, e := s.Seek(fd, int64(target), fs.SeekSet); e != EOK {
+							return fmt.Errorf("seek: %v", e)
+						}
+						offset = target
+					default:
+						st, e := s.Stat("/grow")
+						if e != EOK {
+							return fmt.Errorf("stat: %v", e)
+						}
+						if st.Size != size {
+							return fmt.Errorf("iter %d: stat size %d, model %d", i, st.Size, size)
+						}
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "sys", Name: "readdir-reflects-creates", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				k := newTestKernel()
+				s := NewSys(proc.InitPID, &directHandler{k: k})
+				if e := s.Mkdir("/dir"); e != EOK {
+					return fmt.Errorf("mkdir: %v", e)
+				}
+				want := map[string]bool{}
+				for i := 0; i < 100; i++ {
+					name := fmt.Sprintf("e%02d", r.Intn(40))
+					path := "/dir/" + name
+					if r.Intn(2) == 0 {
+						if _, e := s.Open(path, fs.OCreate); e == EOK && !want[name] {
+							want[name] = true
+						}
+					} else if want[name] {
+						if e := s.Unlink(path); e != EOK {
+							return fmt.Errorf("unlink: %v", e)
+						}
+						delete(want, name)
+					}
+					ents, e := s.ReadDir("/dir")
+					if e != EOK {
+						return fmt.Errorf("readdir: %v", e)
+					}
+					if len(ents) != len(want) {
+						return fmt.Errorf("iter %d: %d entries, model %d", i, len(ents), len(want))
+					}
+					for _, ent := range ents {
+						if !want[ent.Name] {
+							return fmt.Errorf("phantom entry %q", ent.Name)
+						}
+					}
+				}
+				return nil
+			}},
+	)
+}

@@ -1,0 +1,190 @@
+package ulib
+
+import (
+	"fmt"
+
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/sys"
+)
+
+// This file is the pthreads sketch from §3/§4.1: a mutex and condition
+// variable whose state is a 32-bit word in *process memory*, built on
+// the MemCAS32 atomic and the kernel futex — the exact "futexes from the
+// kernel, userspace mutex on top" layering, following Drepper's
+// "Futexes are Tricky" (the paper's [14]) mutex variant 2.
+
+// Mutex is a futex-based mutex over a process-memory word:
+// 0 = unlocked, 1 = locked, 2 = locked with (possible) waiters.
+type Mutex struct {
+	rt   *Runtime
+	Word mmu.VAddr
+}
+
+// NewMutex allocates the mutex word on the process heap.
+func (rt *Runtime) NewMutex() (*Mutex, error) {
+	va, err := rt.Calloc(4)
+	if err != nil {
+		return nil, err
+	}
+	return &Mutex{rt: rt, Word: va}, nil
+}
+
+// AdoptMutex wraps an existing mutex word — how a second thread (with
+// its own syscall handle) shares a mutex created by the first.
+func (rt *Runtime) AdoptMutex(word mmu.VAddr) (*Mutex, error) {
+	if word == 0 {
+		return nil, fmt.Errorf("%w: nil mutex word", ErrSyscall)
+	}
+	return &Mutex{rt: rt, Word: word}, nil
+}
+
+// cas wraps the atomic instruction.
+func (m *Mutex) cas(old, new uint32) (uint32, bool, error) {
+	cur, swapped, e := m.rt.S.MemCAS32(m.Word, old, new)
+	if e != sys.EOK {
+		return 0, false, errnoErr("cas", e)
+	}
+	return cur, swapped, nil
+}
+
+// Lock acquires the mutex.
+func (m *Mutex) Lock() error {
+	// Fast path.
+	if _, ok, err := m.cas(0, 1); err != nil || ok {
+		return err
+	}
+	for {
+		// Announce contention: 1 -> 2 (or take the lock 0 -> 2).
+		cur, ok, err := m.cas(1, 2)
+		if err != nil {
+			return err
+		}
+		if !ok && cur == 0 {
+			if _, took, err := m.cas(0, 2); err != nil {
+				return err
+			} else if took {
+				return nil
+			}
+			continue
+		}
+		// Sleep while the word stays 2.
+		if e := m.rt.S.FutexWait(m.Word, 2); e != sys.EOK && e != sys.EAGAIN {
+			return errnoErr("futex wait", e)
+		}
+		if _, took, err := m.cas(0, 2); err != nil {
+			return err
+		} else if took {
+			return nil
+		}
+	}
+}
+
+// TryLock acquires without blocking.
+func (m *Mutex) TryLock() (bool, error) {
+	_, ok, err := m.cas(0, 1)
+	return ok, err
+}
+
+// Unlock releases the mutex, waking a waiter if contended.
+func (m *Mutex) Unlock() error {
+	// Swap to 0 via CAS loop (we may hold it as 1 or 2).
+	for {
+		cur, ok, err := m.cas(1, 0)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil // no waiters
+		}
+		if cur == 2 {
+			if _, ok, err := m.cas(2, 0); err != nil {
+				return err
+			} else if ok {
+				if _, e := m.rt.S.FutexWake(m.Word, 1); e != sys.EOK {
+					return errnoErr("futex wake", e)
+				}
+				return nil
+			}
+			continue
+		}
+		return fmt.Errorf("%w: unlock of unlocked mutex (word=%d)", ErrSyscall, cur)
+	}
+}
+
+// Cond is a condition variable over a sequence word in process memory.
+type Cond struct {
+	rt  *Runtime
+	Seq mmu.VAddr
+}
+
+// NewCond allocates the sequence word.
+func (rt *Runtime) NewCond() (*Cond, error) {
+	va, err := rt.Calloc(4)
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{rt: rt, Seq: va}, nil
+}
+
+// readSeq loads the sequence word.
+func (c *Cond) readSeq() (uint32, error) {
+	var b [4]byte
+	if e := c.rt.S.MemRead(c.Seq, b[:]); e != sys.EOK {
+		return 0, errnoErr("cond read", e)
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// Wait atomically releases m and sleeps until a signal arrives after
+// the snapshot, then reacquires m. Spurious wakeups are possible;
+// callers loop on their predicate, as with pthreads.
+func (c *Cond) Wait(m *Mutex) error {
+	snap, err := c.readSeq()
+	if err != nil {
+		return err
+	}
+	if err := m.Unlock(); err != nil {
+		return err
+	}
+	if e := c.rt.S.FutexWait(c.Seq, snap); e != sys.EOK && e != sys.EAGAIN {
+		return errnoErr("cond wait", e)
+	}
+	return m.Lock()
+}
+
+// bump atomically increments the sequence word.
+func (c *Cond) bump() error {
+	for {
+		cur, err := c.readSeq()
+		if err != nil {
+			return err
+		}
+		if _, ok, e := c.rt.S.MemCAS32(c.Seq, cur, cur+1); e != sys.EOK {
+			return errnoErr("cond bump", e)
+		} else if ok {
+			return nil
+		}
+	}
+}
+
+// Signal wakes one waiter.
+func (c *Cond) Signal() error {
+	if err := c.bump(); err != nil {
+		return err
+	}
+	if _, e := c.rt.S.FutexWake(c.Seq, 1); e != sys.EOK {
+		return errnoErr("cond signal", e)
+	}
+	return nil
+}
+
+// Broadcast wakes all waiters.
+func (c *Cond) Broadcast() error {
+	if err := c.bump(); err != nil {
+		return err
+	}
+	if _, e := c.rt.S.FutexWake(c.Seq, 1<<30); e != sys.EOK {
+		return errnoErr("cond broadcast", e)
+	}
+	return nil
+}

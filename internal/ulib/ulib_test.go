@@ -1,0 +1,343 @@
+package ulib_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/verified-os/vnros/internal/core"
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/sys"
+	"github.com/verified-os/vnros/internal/ulib"
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// newRuntime boots a system and returns a ulib runtime for a fresh
+// process, plus the system for spawning sibling threads.
+func newRuntime(t *testing.T) (*core.System, *ulib.Runtime) {
+	t.Helper()
+	system, err := core.Boot(core.Config{Cores: 2, MemBytes: 256 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initSys, err := system.Init()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := system.SpawnHandle(initSys, "ulib-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return system, ulib.New(h)
+}
+
+func TestStdioWriteReadLine(t *testing.T) {
+	_, rt := newRuntime(t)
+	f, err := rt.Open("/log", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Printf("line %d\n", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("line 2\nline 3\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, fs.SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"line 1", "line 2", "line 3"} {
+		got, err := f.ReadLine()
+		if err != nil || got != want {
+			t.Fatalf("line %d = %q, %v", i, got, err)
+		}
+	}
+	if _, err := f.ReadLine(); err == nil {
+		t.Fatal("ReadLine past EOF succeeded")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != ulib.ErrClosed {
+		t.Fatalf("write after close: %v", err)
+	}
+}
+
+func TestStdioBufferingDefersSyscalls(t *testing.T) {
+	_, rt := newRuntime(t)
+	f, err := rt.Open("/buffered", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("pending"); err != nil {
+		t.Fatal(err)
+	}
+	// Not flushed yet: the file is still empty via a direct stat.
+	st, e := rt.S.Stat("/buffered")
+	if e != sys.EOK || st.Size != 0 {
+		t.Fatalf("unflushed size = %d, %v", st.Size, e)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = rt.S.Stat("/buffered")
+	if st.Size != 7 {
+		t.Fatalf("flushed size = %d", st.Size)
+	}
+}
+
+func TestStdioWriteAfterReadRepositions(t *testing.T) {
+	_, rt := newRuntime(t)
+	f, err := rt.Open("/rw", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("abcdefgh"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, fs.SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	two := make([]byte, 2)
+	if _, err := f.Read(two); err != nil || string(two) != "ab" {
+		t.Fatalf("read = %q, %v", two, err)
+	}
+	// Write must land at logical position 2, not the read-ahead's end.
+	if _, err := f.WriteString("XY"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fd, _ := rt.S.Open("/rw", fs.ORdOnly)
+	buf := make([]byte, 8)
+	rt.S.Read(fd, buf)
+	if string(buf) != "abXYefgh" {
+		t.Fatalf("contents = %q, want abXYefgh", buf)
+	}
+}
+
+func TestMallocFreeReuse(t *testing.T) {
+	_, rt := newRuntime(t)
+	a, err := rt.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rt.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("overlapping allocations")
+	}
+	if err := rt.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	c, err := rt.Malloc(50) // fits in the freed block
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatalf("freed block not reused: %#x vs %#x", uint64(c), uint64(a))
+	}
+	if err := rt.Free(a); err != nil {
+		t.Fatal(err) // c == a, so this frees c
+	}
+	if err := rt.Free(a); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if err := rt.Free(0xdead000); err == nil {
+		t.Fatal("foreign free accepted")
+	}
+}
+
+func TestCallocZeroes(t *testing.T) {
+	_, rt := newRuntime(t)
+	a, err := rt.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Memset(a, 0xff, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := rt.Calloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Logf("calloc got fresh block; zero check still valid")
+	}
+	buf := make([]byte, 64)
+	if e := rt.S.MemRead(b, buf); e != sys.EOK {
+		t.Fatal(e)
+	}
+	for i, v := range buf {
+		if v != 0 {
+			t.Fatalf("calloc byte %d = %#x", i, v)
+		}
+	}
+}
+
+func TestCStrings(t *testing.T) {
+	_, rt := newRuntime(t)
+	va, err := rt.Malloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a moderately sized string ✓"
+	if err := rt.WriteCString(va, want); err != nil {
+		t.Fatal(err)
+	}
+	n, err := rt.Strlen(va)
+	if err != nil || n != uint64(len(want)) {
+		t.Fatalf("strlen = %d, %v", n, err)
+	}
+	got, err := rt.ReadCString(va)
+	if err != nil || got != want {
+		t.Fatalf("cstring = %q, %v", got, err)
+	}
+	// Strings longer than one Strlen chunk (64 bytes).
+	long := strings.Repeat("x", 300)
+	vb, err := rt.Malloc(301)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.WriteCString(vb, long); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := rt.Strlen(vb); n != 300 {
+		t.Fatalf("long strlen = %d", n)
+	}
+}
+
+func TestMemcpyMemset(t *testing.T) {
+	_, rt := newRuntime(t)
+	src, err := rt.Malloc(5000) // crosses a page
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := rt.Malloc(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xAB, 0xCD, 0xEF}, 1500)
+	if e := rt.S.MemWrite(src, data); e != sys.EOK {
+		t.Fatal(e)
+	}
+	if err := rt.Memcpy(dst, src, uint64(len(data))); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if e := rt.S.MemRead(dst, got); e != sys.EOK {
+		t.Fatal(e)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("memcpy mismatch")
+	}
+}
+
+func TestPthreadMutexUnderContention(t *testing.T) {
+	system, rt := newRuntime(t)
+	m, err := rt.NewMutex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter, err := rt.Calloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const threads, iters = 3, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, threads)
+	for i := 0; i < threads; i++ {
+		th, err := system.NewThreadHandle(rt.S)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trt := ulib.New(th)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lm, err := trt.AdoptMutex(m.Word)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < iters; j++ {
+				if err := lm.Lock(); err != nil {
+					errs <- err
+					return
+				}
+				var b [4]byte
+				if e := th.MemRead(counter, b[:]); e != sys.EOK {
+					errs <- e
+					return
+				}
+				v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+				v++
+				nb := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+				if e := th.MemWrite(counter, nb[:]); e != sys.EOK {
+					errs <- e
+					return
+				}
+				if err := lm.Unlock(); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < threads; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b [4]byte
+	if e := rt.S.MemRead(counter, b[:]); e != sys.EOK {
+		t.Fatal(e)
+	}
+	got := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	if got != threads*iters {
+		t.Fatalf("counter = %d, want %d", got, threads*iters)
+	}
+}
+
+func TestMutexUnlockOfUnlocked(t *testing.T) {
+	_, rt := newRuntime(t)
+	m, err := rt.NewMutex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unlock(); err == nil {
+		t.Fatal("unlock of unlocked mutex accepted")
+	}
+	ok, err := m.TryLock()
+	if err != nil || !ok {
+		t.Fatalf("trylock = %t, %v", ok, err)
+	}
+	ok, err = m.TryLock()
+	if err != nil || ok {
+		t.Fatalf("second trylock = %t, %v", ok, err)
+	}
+	if err := m.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObligationsAllPass(t *testing.T) {
+	g := &verifier.Registry{}
+	core.RegisterAllObligations(g)
+	rep := g.Run(verifier.Options{Seed: 71, Module: "ulib"})
+	for _, f := range rep.Failed() {
+		t.Errorf("VC %s failed: %v", f.Obligation.ID(), f.Err)
+	}
+	if len(rep.Results) < 5 {
+		t.Fatalf("only %d ulib VCs ran", len(rep.Results))
+	}
+}

@@ -1,0 +1,78 @@
+// Package usr is the user-space runtime of the simulated OS: the §3
+// "core standard library features like those in glibc and pthreads" —
+// futex-backed synchronization (the paper's explicit example: "we might
+// expose futexes from the kernel and then verify a userspace mutex
+// implementation on top"), a user-level thread scheduler, and a heap
+// allocator. NrOS provides exactly these in user space (§4.1).
+package usr
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Futex is the kernel facility user-space synchronization builds on:
+// wait-if-still-equal and wake-n, keyed by the address of a 32-bit
+// word. internal/sys exposes it as a syscall; LocalFutex implements it
+// for a single simulated process.
+type Futex interface {
+	// Wait blocks the caller while *addr == expected (the comparison
+	// and sleep are atomic with respect to Wake, eliminating the lost
+	// wakeup window).
+	Wait(addr *atomic.Uint32, expected uint32)
+	// Wake wakes up to n waiters on addr, returning the number woken.
+	Wake(addr *atomic.Uint32, n int) int
+}
+
+// LocalFutex is a process-local futex implementation: a wait-queue
+// table keyed by word address, with the value check performed under
+// the table lock — the same protocol the kernel implements.
+type LocalFutex struct {
+	mu     sync.Mutex
+	queues map[*atomic.Uint32][]chan struct{}
+}
+
+// NewLocalFutex returns an empty futex table.
+func NewLocalFutex() *LocalFutex {
+	return &LocalFutex{queues: make(map[*atomic.Uint32][]chan struct{})}
+}
+
+// Wait implements Futex.
+func (f *LocalFutex) Wait(addr *atomic.Uint32, expected uint32) {
+	f.mu.Lock()
+	if addr.Load() != expected {
+		// Value already changed: return immediately (EAGAIN).
+		f.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	f.queues[addr] = append(f.queues[addr], ch)
+	f.mu.Unlock()
+	<-ch
+}
+
+// Wake implements Futex.
+func (f *LocalFutex) Wake(addr *atomic.Uint32, n int) int {
+	f.mu.Lock()
+	q := f.queues[addr]
+	woken := 0
+	for woken < n && len(q) > 0 {
+		close(q[0])
+		q = q[1:]
+		woken++
+	}
+	if len(q) == 0 {
+		delete(f.queues, addr)
+	} else {
+		f.queues[addr] = q
+	}
+	f.mu.Unlock()
+	return woken
+}
+
+// Waiters returns the number of threads parked on addr (tests only).
+func (f *LocalFutex) Waiters(addr *atomic.Uint32) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.queues[addr])
+}

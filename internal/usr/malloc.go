@@ -1,0 +1,264 @@
+package usr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Heap is the user-space memory allocator (NrOS ships one in its user
+// runtime, §4.1): a first-fit free-list allocator with headers and
+// footers inside a flat arena, with coalescing on free. The arena
+// models the process's heap segment; in the full system it is backed
+// by anonymous memory mapped through the mmap syscall.
+//
+// Layout of a block: [header u64][payload ...][footer u64], where
+// header == footer == size<<1 | used. Sizes include the metadata and
+// are 16-byte aligned.
+type Heap struct {
+	arena []byte
+	// freeHead is the offset of the first free block, or 0 (offset 0
+	// is never a block start: the arena begins with a sentinel word).
+	freeHead uint64
+
+	allocated uint64
+	blocks    int
+}
+
+// Allocation constants.
+const (
+	heapAlign    = 16
+	headerSize   = 8
+	minBlock     = 2*headerSize + heapAlign
+	heapSentinel = 8 // bytes reserved at the arena start
+)
+
+// Allocator errors.
+var (
+	ErrHeapFull    = errors.New("usr: out of heap memory")
+	ErrHeapCorrupt = errors.New("usr: heap corruption detected")
+	ErrBadPointer  = errors.New("usr: free of invalid pointer")
+)
+
+// NewHeap creates a heap over an arena of the given size.
+func NewHeap(size int) (*Heap, error) {
+	if size < 4*minBlock {
+		return nil, fmt.Errorf("usr: arena of %d bytes too small", size)
+	}
+	size &^= heapAlign - 1
+	h := &Heap{arena: make([]byte, size)}
+	// One big free block after the sentinel.
+	blockSize := uint64(size) - heapSentinel
+	h.writeBlock(heapSentinel, blockSize, false)
+	h.setNextFree(heapSentinel, 0)
+	h.freeHead = heapSentinel
+	return h, nil
+}
+
+// word helpers: blocks store size<<1|used in their first and last 8
+// bytes; free blocks additionally store the next-free offset in the
+// first payload word.
+func (h *Heap) readWord(off uint64) uint64 {
+	v := uint64(0)
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(h.arena[off+uint64(i)])
+	}
+	return v
+}
+
+func (h *Heap) writeWord(off, v uint64) {
+	for i := 0; i < 8; i++ {
+		h.arena[off+uint64(i)] = byte(v >> (8 * i))
+	}
+}
+
+func (h *Heap) writeBlock(off, size uint64, used bool) {
+	tag := size << 1
+	if used {
+		tag |= 1
+	}
+	h.writeWord(off, tag)
+	h.writeWord(off+size-headerSize, tag)
+}
+
+func (h *Heap) blockSize(off uint64) uint64 { return h.readWord(off) >> 1 }
+func (h *Heap) blockUsed(off uint64) bool   { return h.readWord(off)&1 == 1 }
+
+func (h *Heap) nextFree(off uint64) uint64   { return h.readWord(off + headerSize) }
+func (h *Heap) setNextFree(off, next uint64) { h.writeWord(off+headerSize, next) }
+
+// Alloc returns the arena offset of a payload of at least n bytes.
+func (h *Heap) Alloc(n int) (uint64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("usr: alloc of %d bytes", n)
+	}
+	need := uint64(n) + 2*headerSize
+	need = (need + heapAlign - 1) &^ (heapAlign - 1)
+	if need < minBlock {
+		need = minBlock
+	}
+
+	prev := uint64(0)
+	cur := h.freeHead
+	for cur != 0 {
+		size := h.blockSize(cur)
+		if size >= need {
+			next := h.nextFree(cur)
+			if size-need >= minBlock {
+				// Split: tail remains free.
+				h.writeBlock(cur+need, size-need, false)
+				h.setNextFree(cur+need, next)
+				next = cur + need
+				size = need
+			}
+			if prev == 0 {
+				h.freeHead = next
+			} else {
+				h.setNextFree(prev, next)
+			}
+			h.writeBlock(cur, size, true)
+			h.allocated += size
+			h.blocks++
+			return cur + headerSize, nil
+		}
+		prev = cur
+		cur = h.nextFree(cur)
+	}
+	return 0, fmt.Errorf("%w: %d bytes requested", ErrHeapFull, n)
+}
+
+// Free releases a payload offset returned by Alloc, coalescing with
+// free neighbours.
+func (h *Heap) Free(ptr uint64) error {
+	if ptr < heapSentinel+headerSize || ptr >= uint64(len(h.arena)) {
+		return fmt.Errorf("%w: %#x", ErrBadPointer, ptr)
+	}
+	off := ptr - headerSize
+	if !h.blockUsed(off) {
+		return fmt.Errorf("%w: double free at %#x", ErrBadPointer, ptr)
+	}
+	size := h.blockSize(off)
+	if size < minBlock || off+size > uint64(len(h.arena)) {
+		return fmt.Errorf("%w: header at %#x", ErrHeapCorrupt, off)
+	}
+	h.allocated -= size
+	h.blocks--
+
+	// Coalesce with the following block.
+	next := off + size
+	if next < uint64(len(h.arena)) && !h.blockUsed(next) {
+		h.unlinkFree(next)
+		size += h.blockSize(next)
+	}
+	// Coalesce with the preceding block via its footer.
+	if off > heapSentinel {
+		prevTag := h.readWord(off - headerSize)
+		if prevTag&1 == 0 {
+			prevSize := prevTag >> 1
+			prevOff := off - prevSize
+			h.unlinkFree(prevOff)
+			off = prevOff
+			size += prevSize
+		}
+	}
+	h.writeBlock(off, size, false)
+	h.setNextFree(off, h.freeHead)
+	h.freeHead = off
+	return nil
+}
+
+// unlinkFree removes a block from the free list.
+func (h *Heap) unlinkFree(off uint64) {
+	if h.freeHead == off {
+		h.freeHead = h.nextFree(off)
+		return
+	}
+	cur := h.freeHead
+	for cur != 0 {
+		n := h.nextFree(cur)
+		if n == off {
+			h.setNextFree(cur, h.nextFree(off))
+			return
+		}
+		cur = n
+	}
+}
+
+// Write stores p at an allocated payload offset.
+func (h *Heap) Write(ptr uint64, p []byte) error {
+	off := ptr - headerSize
+	if ptr < heapSentinel+headerSize || !h.blockUsed(off) {
+		return fmt.Errorf("%w: write at %#x", ErrBadPointer, ptr)
+	}
+	if uint64(len(p)) > h.blockSize(off)-2*headerSize {
+		return fmt.Errorf("%w: write of %d bytes overflows block", ErrBadPointer, len(p))
+	}
+	copy(h.arena[ptr:], p)
+	return nil
+}
+
+// Read loads len(p) bytes from an allocated payload offset.
+func (h *Heap) Read(ptr uint64, p []byte) error {
+	off := ptr - headerSize
+	if ptr < heapSentinel+headerSize || !h.blockUsed(off) {
+		return fmt.Errorf("%w: read at %#x", ErrBadPointer, ptr)
+	}
+	if uint64(len(p)) > h.blockSize(off)-2*headerSize {
+		return fmt.Errorf("%w: read of %d bytes overflows block", ErrBadPointer, len(p))
+	}
+	copy(p, h.arena[ptr:])
+	return nil
+}
+
+// Stats reports heap occupancy.
+func (h *Heap) Stats() (allocatedBytes uint64, liveBlocks int) {
+	return h.allocated, h.blocks
+}
+
+// CheckInvariant walks the arena: blocks tile it exactly, headers match
+// footers, free-list members are exactly the free blocks, and no two
+// adjacent blocks are both free (full coalescing).
+func (h *Heap) CheckInvariant() error {
+	freeSet := make(map[uint64]bool)
+	for cur := h.freeHead; cur != 0; cur = h.nextFree(cur) {
+		if freeSet[cur] {
+			return fmt.Errorf("%w: free-list cycle at %#x", ErrHeapCorrupt, cur)
+		}
+		freeSet[cur] = true
+	}
+	off := uint64(heapSentinel)
+	prevFree := false
+	walked := 0
+	for off < uint64(len(h.arena)) {
+		size := h.blockSize(off)
+		if size < minBlock || off+size > uint64(len(h.arena)) {
+			return fmt.Errorf("%w: block size %d at %#x", ErrHeapCorrupt, size, off)
+		}
+		foot := h.readWord(off + size - headerSize)
+		if foot != h.readWord(off) {
+			return fmt.Errorf("%w: header/footer mismatch at %#x", ErrHeapCorrupt, off)
+		}
+		used := h.blockUsed(off)
+		if !used {
+			if prevFree {
+				return fmt.Errorf("%w: adjacent free blocks at %#x", ErrHeapCorrupt, off)
+			}
+			if !freeSet[off] {
+				return fmt.Errorf("%w: free block %#x missing from free list", ErrHeapCorrupt, off)
+			}
+			delete(freeSet, off)
+		}
+		prevFree = !used
+		off += size
+		walked++
+		if walked > len(h.arena)/minBlock+1 {
+			return fmt.Errorf("%w: walk diverged", ErrHeapCorrupt)
+		}
+	}
+	if off != uint64(len(h.arena)) {
+		return fmt.Errorf("%w: blocks tile %d of %d bytes", ErrHeapCorrupt, off, len(h.arena))
+	}
+	if len(freeSet) != 0 {
+		return fmt.Errorf("%w: free list references non-free blocks", ErrHeapCorrupt)
+	}
+	return nil
+}

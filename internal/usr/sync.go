@@ -1,0 +1,142 @@
+package usr
+
+import (
+	"sync/atomic"
+)
+
+// Mutex is the futex-based user-space mutex, following Drepper's
+// "Futexes are Tricky" (the paper's citation [14]) mutex variant 2:
+// the word is 0 (unlocked), 1 (locked, no waiters) or 2 (locked,
+// waiters possible). The fast path is a single CAS with no kernel
+// involvement.
+type Mutex struct {
+	f    Futex
+	word atomic.Uint32
+}
+
+// NewMutex creates an unlocked mutex over the given futex facility.
+func NewMutex(f Futex) *Mutex { return &Mutex{f: f} }
+
+// Lock acquires the mutex.
+func (m *Mutex) Lock() {
+	if m.word.CompareAndSwap(0, 1) {
+		return // fast path: uncontended
+	}
+	for {
+		// Announce contention: move 1 -> 2 (or observe it already 2).
+		c := m.word.Load()
+		if c != 2 {
+			if c == 0 {
+				if m.word.CompareAndSwap(0, 2) {
+					return
+				}
+				continue
+			}
+			if !m.word.CompareAndSwap(1, 2) {
+				continue
+			}
+		}
+		m.f.Wait(&m.word, 2)
+		// Retake with state 2: we cannot know whether other waiters
+		// remain, so stay in the contended state.
+		if m.word.CompareAndSwap(0, 2) {
+			return
+		}
+	}
+}
+
+// TryLock acquires the mutex without blocking.
+func (m *Mutex) TryLock() bool { return m.word.CompareAndSwap(0, 1) }
+
+// Unlock releases the mutex, waking one waiter if contended.
+func (m *Mutex) Unlock() {
+	if m.word.Swap(0) == 2 {
+		m.f.Wake(&m.word, 1)
+	}
+}
+
+// Locked reports the current word (tests only).
+func (m *Mutex) Locked() bool { return m.word.Load() != 0 }
+
+// Semaphore is a counting semaphore over a futex word.
+type Semaphore struct {
+	f     Futex
+	count atomic.Uint32
+}
+
+// NewSemaphore creates a semaphore with the given initial count.
+func NewSemaphore(f Futex, initial uint32) *Semaphore {
+	s := &Semaphore{f: f}
+	s.count.Store(initial)
+	return s
+}
+
+// Acquire decrements the count, blocking while it is zero.
+func (s *Semaphore) Acquire() {
+	for {
+		c := s.count.Load()
+		if c == 0 {
+			s.f.Wait(&s.count, 0)
+			continue
+		}
+		if s.count.CompareAndSwap(c, c-1) {
+			return
+		}
+	}
+}
+
+// TryAcquire decrements without blocking.
+func (s *Semaphore) TryAcquire() bool {
+	for {
+		c := s.count.Load()
+		if c == 0 {
+			return false
+		}
+		if s.count.CompareAndSwap(c, c-1) {
+			return true
+		}
+	}
+}
+
+// Release increments the count and wakes one waiter.
+func (s *Semaphore) Release() {
+	s.count.Add(1)
+	s.f.Wake(&s.count, 1)
+}
+
+// Value returns the current count.
+func (s *Semaphore) Value() uint32 { return s.count.Load() }
+
+// Cond is a futex-based condition variable: the classic sequence-word
+// protocol. Waiters snapshot the sequence under the mutex, release it,
+// and sleep while the sequence is unchanged; signalers bump the
+// sequence and wake.
+type Cond struct {
+	f   Futex
+	seq atomic.Uint32
+}
+
+// NewCond creates a condition variable.
+func NewCond(f Futex) *Cond { return &Cond{f: f} }
+
+// Wait atomically releases m and parks until a signal, then reacquires
+// m. As with pthreads, spurious wakeups are possible; callers must
+// re-check their predicate in a loop.
+func (c *Cond) Wait(m *Mutex) {
+	snapshot := c.seq.Load()
+	m.Unlock()
+	c.f.Wait(&c.seq, snapshot)
+	m.Lock()
+}
+
+// Signal wakes one waiter.
+func (c *Cond) Signal() {
+	c.seq.Add(1)
+	c.f.Wake(&c.seq, 1)
+}
+
+// Broadcast wakes all waiters.
+func (c *Cond) Broadcast() {
+	c.seq.Add(1)
+	c.f.Wake(&c.seq, 1<<30)
+}

@@ -1,0 +1,253 @@
+package usr
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// RegisterObligations registers the user-space runtime verification
+// conditions: mutual exclusion of the futex mutex under contention,
+// semaphore counting, condition-variable wakeups, heap invariants and
+// conservation, and green-thread scheduling order.
+func RegisterObligations(g *verifier.Registry) {
+	registerMoreObligations(g)
+	registerEvenMoreObligations(g)
+	g.Register(
+		verifier.Obligation{Module: "usr", Name: "futex-mutex-mutual-exclusion", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				f := NewLocalFutex()
+				m := NewMutex(f)
+				var inside atomic.Int32
+				var violations atomic.Int32
+				counter := 0
+				var wg sync.WaitGroup
+				for t := 0; t < 8; t++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < 500; i++ {
+							m.Lock()
+							if inside.Add(1) != 1 {
+								violations.Add(1)
+							}
+							counter++
+							inside.Add(-1)
+							m.Unlock()
+						}
+					}()
+				}
+				wg.Wait()
+				if violations.Load() != 0 {
+					return fmt.Errorf("%d mutual-exclusion violations", violations.Load())
+				}
+				if counter != 8*500 {
+					return fmt.Errorf("counter = %d, want %d (lost updates)", counter, 8*500)
+				}
+				if m.Locked() {
+					return fmt.Errorf("mutex left locked")
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "usr", Name: "semaphore-bounds-concurrency", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				f := NewLocalFutex()
+				s := NewSemaphore(f, 3)
+				var inside, maxSeen atomic.Int32
+				var wg sync.WaitGroup
+				for t := 0; t < 10; t++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < 200; i++ {
+							s.Acquire()
+							n := inside.Add(1)
+							for {
+								m := maxSeen.Load()
+								if n <= m || maxSeen.CompareAndSwap(m, n) {
+									break
+								}
+							}
+							inside.Add(-1)
+							s.Release()
+						}
+					}()
+				}
+				wg.Wait()
+				if maxSeen.Load() > 3 {
+					return fmt.Errorf("semaphore admitted %d concurrent holders", maxSeen.Load())
+				}
+				if s.Value() != 3 {
+					return fmt.Errorf("final count = %d", s.Value())
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "usr", Name: "condvar-wakes-waiters", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				f := NewLocalFutex()
+				m := NewMutex(f)
+				c := NewCond(f)
+				queue := 0
+				var consumed atomic.Int32
+				var wg sync.WaitGroup
+				const items = 100
+				for t := 0; t < 4; t++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							m.Lock()
+							for queue == 0 && consumed.Load() < items {
+								c.Wait(m)
+							}
+							if consumed.Load() >= items && queue == 0 {
+								m.Unlock()
+								return
+							}
+							queue--
+							consumed.Add(1)
+							m.Unlock()
+						}
+					}()
+				}
+				for i := 0; i < items; i++ {
+					m.Lock()
+					queue++
+					m.Unlock()
+					c.Signal()
+				}
+				// Drain: broadcast until all consumers exit.
+				done := make(chan struct{})
+				go func() { wg.Wait(); close(done) }()
+				for {
+					select {
+					case <-done:
+						if consumed.Load() != items {
+							return fmt.Errorf("consumed %d of %d", consumed.Load(), items)
+						}
+						return nil
+					default:
+						c.Broadcast()
+					}
+				}
+			}},
+		verifier.Obligation{Module: "usr", Name: "heap-invariant-random", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				h, err := NewHeap(1 << 16)
+				if err != nil {
+					return err
+				}
+				var live []uint64
+				for i := 0; i < 2000; i++ {
+					if r.Intn(2) == 0 || len(live) == 0 {
+						if p, err := h.Alloc(1 + r.Intn(500)); err == nil {
+							live = append(live, p)
+						}
+					} else {
+						j := r.Intn(len(live))
+						if err := h.Free(live[j]); err != nil {
+							return err
+						}
+						live = append(live[:j], live[j+1:]...)
+					}
+					if i%100 == 0 {
+						if err := h.CheckInvariant(); err != nil {
+							return fmt.Errorf("iter %d: %w", i, err)
+						}
+					}
+				}
+				return h.CheckInvariant()
+			}},
+		verifier.Obligation{Module: "usr", Name: "heap-conservation-and-reuse", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				h, err := NewHeap(1 << 14)
+				if err != nil {
+					return err
+				}
+				var ptrs []uint64
+				for {
+					p, err := h.Alloc(64)
+					if err != nil {
+						break
+					}
+					ptrs = append(ptrs, p)
+				}
+				if len(ptrs) == 0 {
+					return fmt.Errorf("no allocations fit")
+				}
+				for _, p := range ptrs {
+					if err := h.Free(p); err != nil {
+						return err
+					}
+				}
+				alloc, blocks := h.Stats()
+				if alloc != 0 || blocks != 0 {
+					return fmt.Errorf("leak: %d bytes, %d blocks", alloc, blocks)
+				}
+				// Full coalescing: one max-size allocation must now fit.
+				if _, err := h.Alloc((1 << 14) - 64); err != nil {
+					return fmt.Errorf("arena did not coalesce: %v", err)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "usr", Name: "heap-rejects-double-free", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				h, err := NewHeap(1 << 12)
+				if err != nil {
+					return err
+				}
+				p, err := h.Alloc(32)
+				if err != nil {
+					return err
+				}
+				if err := h.Free(p); err != nil {
+					return err
+				}
+				if err := h.Free(p); err == nil {
+					return fmt.Errorf("double free accepted")
+				}
+				if err := h.Free(0); err == nil {
+					return fmt.Errorf("null free accepted")
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "usr", Name: "uthreads-cooperative-order", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				s := NewUScheduler()
+				var trace []int
+				for i := 0; i < 3; i++ {
+					i := i
+					s.Spawn(func(t *UThread) {
+						trace = append(trace, i)
+						t.Yield()
+						trace = append(trace, i+10)
+					})
+				}
+				if err := s.Run(); err != nil {
+					return err
+				}
+				want := []int{0, 1, 2, 10, 11, 12}
+				if len(trace) != len(want) {
+					return fmt.Errorf("trace = %v", trace)
+				}
+				for i := range want {
+					if trace[i] != want[i] {
+						return fmt.Errorf("round-robin order broken: %v", trace)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "usr", Name: "uthreads-detect-deadlock", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				s := NewUScheduler()
+				s.Spawn(func(t *UThread) { t.Park() }) // never unparked
+				if err := s.Run(); err == nil {
+					return fmt.Errorf("deadlock not detected")
+				}
+				return nil
+			}},
+	)
+}

@@ -1,0 +1,179 @@
+package usr
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerMoreObligations is the second wave of user-runtime VCs:
+// futex lost-wakeup freedom, mutex fairness-of-progress, green-thread
+// join correctness, heap payload integrity under churn, and semaphore
+// conservation.
+func registerMoreObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "usr", Name: "futex-no-lost-wakeups", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// The classic race: waiter checks the word, sleeper
+				// parks; waker flips the word then wakes. With the
+				// check-and-enqueue atomic, no schedule loses the wakeup.
+				for trial := 0; trial < 50; trial++ {
+					f := NewLocalFutex()
+					var word atomic.Uint32
+					done := make(chan struct{})
+					go func() {
+						f.Wait(&word, 0) // returns immediately if word != 0
+						close(done)
+					}()
+					// Flip then wake until the waiter is gone.
+					word.Store(1)
+					for {
+						select {
+						case <-done:
+							goto next
+						default:
+							f.Wake(&word, 1)
+							runtime.Gosched()
+						}
+					}
+				next:
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "usr", Name: "mutex-progress-all-threads", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// Every contender completes its critical sections — no
+				// thread starves outright under the futex protocol.
+				f := NewLocalFutex()
+				m := NewMutex(f)
+				const threads, iters = 6, 300
+				var completed [threads]atomic.Int32
+				var wg sync.WaitGroup
+				for t := 0; t < threads; t++ {
+					wg.Add(1)
+					go func(t int) {
+						defer wg.Done()
+						for i := 0; i < iters; i++ {
+							m.Lock()
+							completed[t].Add(1)
+							m.Unlock()
+						}
+					}(t)
+				}
+				wg.Wait()
+				for t := 0; t < threads; t++ {
+					if completed[t].Load() != iters {
+						return fmt.Errorf("thread %d completed %d of %d", t, completed[t].Load(), iters)
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "usr", Name: "uthread-join-sees-completion", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// Joins always observe the target's writes — join is a
+				// synchronization point.
+				s := NewUScheduler()
+				results := make([]int, 8)
+				var workers []*UThread
+				for i := 0; i < 8; i++ {
+					i := i
+					workers = append(workers, s.Spawn(func(t *UThread) {
+						for y := 0; y < 1+r.Intn(3); y++ {
+							t.Yield()
+						}
+						results[i] = i * i
+					}))
+				}
+				ok := true
+				s.Spawn(func(t *UThread) {
+					for i, w := range workers {
+						t.Join(w)
+						if results[i] != i*i {
+							ok = false
+						}
+					}
+				})
+				if err := s.Run(); err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("join observed incomplete worker state")
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "usr", Name: "heap-payload-integrity", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// Every live block's bytes survive arbitrary alloc/free
+				// churn around it (no metadata scribbling into payloads).
+				h, err := NewHeap(1 << 16)
+				if err != nil {
+					return err
+				}
+				type rec struct {
+					ptr uint64
+					pat []byte
+				}
+				var live []rec
+				for i := 0; i < 1500; i++ {
+					if r.Intn(2) == 0 || len(live) == 0 {
+						n := 1 + r.Intn(400)
+						p, err := h.Alloc(n)
+						if err != nil {
+							continue
+						}
+						pat := make([]byte, n)
+						r.Read(pat)
+						if err := h.Write(p, pat); err != nil {
+							return err
+						}
+						live = append(live, rec{p, pat})
+					} else {
+						j := r.Intn(len(live))
+						got := make([]byte, len(live[j].pat))
+						if err := h.Read(live[j].ptr, got); err != nil {
+							return err
+						}
+						for b := range got {
+							if got[b] != live[j].pat[b] {
+								return fmt.Errorf("block %#x byte %d corrupted", live[j].ptr, b)
+							}
+						}
+						if err := h.Free(live[j].ptr); err != nil {
+							return err
+						}
+						live = append(live[:j], live[j+1:]...)
+					}
+				}
+				return h.CheckInvariant()
+			}},
+		verifier.Obligation{Module: "usr", Name: "semaphore-conservation", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				// Tokens are conserved: after equal acquires and
+				// releases from many threads, the count returns to the
+				// initial value.
+				f := NewLocalFutex()
+				initial := uint32(1 + r.Intn(5))
+				s := NewSemaphore(f, initial)
+				var wg sync.WaitGroup
+				for t := 0; t < 8; t++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < 250; i++ {
+							s.Acquire()
+							s.Release()
+						}
+					}()
+				}
+				wg.Wait()
+				if s.Value() != initial {
+					return fmt.Errorf("count = %d, want %d", s.Value(), initial)
+				}
+				return nil
+			}},
+	)
+}

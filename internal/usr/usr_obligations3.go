@@ -1,0 +1,74 @@
+package usr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerEvenMoreObligations: heap alignment guarantees, trylock
+// never blocks nor lies, and green-thread spawn-from-thread ordering.
+func registerEvenMoreObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "usr", Name: "heap-alignment", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				h, err := NewHeap(1 << 16)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < 500; i++ {
+					p, err := h.Alloc(1 + r.Intn(300))
+					if err != nil {
+						break
+					}
+					if p%16 != 0 {
+						return fmt.Errorf("allocation at %#x not 16-byte aligned", p)
+					}
+				}
+				return h.CheckInvariant()
+			}},
+		verifier.Obligation{Module: "usr", Name: "trylock-accurate", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				f := NewLocalFutex()
+				m := NewMutex(f)
+				for i := 0; i < 500; i++ {
+					if !m.TryLock() {
+						return fmt.Errorf("iter %d: TryLock on free mutex failed", i)
+					}
+					if m.TryLock() {
+						return fmt.Errorf("iter %d: TryLock on held mutex succeeded", i)
+					}
+					m.Unlock()
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "usr", Name: "uthread-spawn-from-thread", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error {
+				// Threads spawned from running threads join the same
+				// round-robin and all complete; depth-first chains of
+				// spawns terminate.
+				s := NewUScheduler()
+				const depth = 20
+				ran := make([]bool, depth)
+				var spawn func(t *UThread, d int)
+				spawn = func(t *UThread, d int) {
+					ran[d] = true
+					if d+1 < depth {
+						child := t.Spawn(func(c *UThread) { spawn(c, d+1) })
+						t.Join(child)
+					}
+				}
+				s.Spawn(func(t *UThread) { spawn(t, 0) })
+				if err := s.Run(); err != nil {
+					return err
+				}
+				for d, ok := range ran {
+					if !ok {
+						return fmt.Errorf("depth %d never ran", d)
+					}
+				}
+				return nil
+			}},
+	)
+}

@@ -1,0 +1,319 @@
+package usr
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+func TestLocalFutexWaitWake(t *testing.T) {
+	f := NewLocalFutex()
+	var word atomic.Uint32
+	word.Store(7)
+
+	// Wait with a stale expectation returns immediately.
+	f.Wait(&word, 8)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	started := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(started)
+		f.Wait(&word, 7)
+	}()
+	<-started
+	// Wait for the waiter to park, then wake it.
+	for f.Waiters(&word) == 0 {
+	}
+	if n := f.Wake(&word, 1); n != 1 {
+		t.Fatalf("woke %d", n)
+	}
+	wg.Wait()
+	if n := f.Wake(&word, 1); n != 0 {
+		t.Fatalf("phantom wake %d", n)
+	}
+}
+
+func TestMutexBasic(t *testing.T) {
+	m := NewMutex(NewLocalFutex())
+	m.Lock()
+	if m.TryLock() {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	m.Unlock()
+	if !m.TryLock() {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	m.Unlock()
+	if m.Locked() {
+		t.Fatal("mutex left locked")
+	}
+}
+
+func TestMutexContended(t *testing.T) {
+	m := NewMutex(NewLocalFutex())
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Lock()
+				counter++
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 6000 {
+		t.Fatalf("counter = %d", counter)
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	s := NewSemaphore(NewLocalFutex(), 2)
+	s.Acquire()
+	s.Acquire()
+	if s.TryAcquire() {
+		t.Fatal("third acquire succeeded")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("acquire after release failed")
+	}
+	s.Release()
+	s.Release()
+	if s.Value() != 2 {
+		t.Fatalf("value = %d", s.Value())
+	}
+}
+
+func TestCondSignal(t *testing.T) {
+	f := NewLocalFutex()
+	m := NewMutex(f)
+	c := NewCond(f)
+	ready := false
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Lock()
+		for !ready {
+			c.Wait(m)
+		}
+		m.Unlock()
+	}()
+	m.Lock()
+	ready = true
+	m.Unlock()
+	// Signal until the waiter exits (spurious-wakeup-safe protocol
+	// means we may need more than one).
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			c.Signal()
+		}
+	}
+}
+
+func TestHeapAllocFreeReadWrite(t *testing.T) {
+	h, err := NewHeap(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := h.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := h.Alloc(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("heap payload")
+	if err := h.Write(p1, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := h.Read(p1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if err := h.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapOverflowGuards(t *testing.T) {
+	h, _ := NewHeap(1 << 12)
+	p, _ := h.Alloc(16)
+	if err := h.Write(p, make([]byte, 1000)); err == nil {
+		t.Fatal("overflowing write accepted")
+	}
+	if err := h.Read(p, make([]byte, 1000)); err == nil {
+		t.Fatal("overflowing read accepted")
+	}
+	if _, err := h.Alloc(-1); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+	if _, err := h.Alloc(1 << 20); !errors.Is(err, ErrHeapFull) {
+		t.Fatalf("huge alloc: %v", err)
+	}
+}
+
+func TestHeapQuickRandomTraffic(t *testing.T) {
+	prop := func(seed int64) bool {
+		h, err := NewHeap(1 << 14)
+		if err != nil {
+			return false
+		}
+		live := map[uint64][]byte{}
+		rng := seed
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int(rng>>33) % n
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		for i := 0; i < 300; i++ {
+			if next(2) == 0 || len(live) == 0 {
+				sz := 1 + next(200)
+				p, err := h.Alloc(sz)
+				if err != nil {
+					continue
+				}
+				pat := make([]byte, sz)
+				for j := range pat {
+					pat[j] = byte(next(256))
+				}
+				if h.Write(p, pat) != nil {
+					return false
+				}
+				live[p] = pat
+			} else {
+				for p, pat := range live {
+					got := make([]byte, len(pat))
+					if h.Read(p, got) != nil || !bytes.Equal(got, pat) {
+						return false // another block scribbled on us
+					}
+					if h.Free(p) != nil {
+						return false
+					}
+					delete(live, p)
+					break
+				}
+			}
+		}
+		return h.CheckInvariant() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUSchedulerJoin(t *testing.T) {
+	s := NewUScheduler()
+	var order []string
+	worker := s.Spawn(func(t *UThread) {
+		order = append(order, "worker-start")
+		t.Yield()
+		order = append(order, "worker-end")
+	})
+	s.Spawn(func(t *UThread) {
+		order = append(order, "joiner-start")
+		t.Join(worker)
+		order = append(order, "joined")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"worker-start", "joiner-start", "worker-end", "joined"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestUSchedulerJoinFinished(t *testing.T) {
+	s := NewUScheduler()
+	worker := s.Spawn(func(t *UThread) {})
+	s.Spawn(func(t *UThread) {
+		t.Yield() // let worker finish first
+		t.Join(worker)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUSchedulerParkUnpark(t *testing.T) {
+	s := NewUScheduler()
+	var got []int
+	var sleeper *UThread
+	sleeper = s.Spawn(func(t *UThread) {
+		got = append(got, 1)
+		t.Park()
+		got = append(got, 3)
+	})
+	s.Spawn(func(t *UThread) {
+		got = append(got, 2)
+		t.Unpark(sleeper)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestUSchedulerSpawnFromThread(t *testing.T) {
+	s := NewUScheduler()
+	ran := false
+	s.Spawn(func(t *UThread) {
+		child := t.Spawn(func(*UThread) { ran = true })
+		t.Join(child)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("child never ran")
+	}
+}
+
+func TestObligationsAllPass(t *testing.T) {
+	g := &verifier.Registry{}
+	RegisterObligations(g)
+	rep := g.Run(verifier.Options{Seed: 53})
+	for _, f := range rep.Failed() {
+		t.Errorf("VC %s failed: %v", f.Obligation.ID(), f.Err)
+	}
+}

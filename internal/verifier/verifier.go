@@ -1,0 +1,251 @@
+// Package verifier is the verification-condition engine: the repo's
+// executable stand-in for the Verus/SMT pipeline of the paper.
+//
+// Every module registers named obligations — invariant preservation,
+// refinement simulations, serialization round-trip lemmas,
+// linearizability of NR histories — and the runner discharges each one,
+// individually timed. The per-VC timing distribution regenerates
+// Figure 1a; the pass/fail ledger is what this repository means by
+// "verified".
+//
+// Obligations must be deterministic: randomized checks derive their
+// randomness from the obligation's seeded source so that a failure
+// reproduces.
+package verifier
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies an obligation, mirroring the proof categories in the
+// paper's methodology (§4.3–§4.4, §5).
+type Kind string
+
+// Obligation kinds.
+const (
+	KindInvariant       Kind = "invariant"       // state invariant preservation
+	KindRefinement      Kind = "refinement"      // impl ⊑ spec simulation
+	KindRoundTrip       Kind = "round-trip"      // marshalling lemmas (§3)
+	KindLinearizability Kind = "linearizability" // NR histories (§4.3)
+	KindModelCheck      Kind = "model-check"     // explicit-state exploration
+	KindSafety          Kind = "safety"          // memory-safety / bounds probes
+)
+
+// Obligation is one verification condition.
+type Obligation struct {
+	// Module is the subsystem the VC belongs to, e.g. "pt" or "fs".
+	Module string
+	// Name identifies the VC within the module, e.g. "map-refines-spec".
+	Name string
+	Kind Kind
+	// Check discharges the VC. It receives a deterministically seeded
+	// random source for randomized lemmas.
+	Check func(r *rand.Rand) error
+}
+
+// ID returns the fully qualified VC name.
+func (o Obligation) ID() string { return o.Module + ":" + o.Name }
+
+// Registry collects obligations from all modules. The zero value is
+// ready to use.
+type Registry struct {
+	mu   sync.Mutex
+	obls []Obligation
+	seen map[string]bool
+}
+
+// Register adds obligations, panicking on duplicate IDs (a duplicate is
+// a programming error in module wiring, caught at init/test time).
+func (g *Registry) Register(obls ...Obligation) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.seen == nil {
+		g.seen = make(map[string]bool)
+	}
+	for _, o := range obls {
+		if o.Check == nil {
+			panic("verifier: obligation " + o.ID() + " has nil Check")
+		}
+		if g.seen[o.ID()] {
+			panic("verifier: duplicate obligation " + o.ID())
+		}
+		g.seen[o.ID()] = true
+		g.obls = append(g.obls, o)
+	}
+}
+
+// Obligations returns the registered obligations sorted by ID.
+func (g *Registry) Obligations() []Obligation {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Obligation, len(g.obls))
+	copy(out, g.obls)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// Len returns the number of registered obligations.
+func (g *Registry) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.obls)
+}
+
+// Result is the outcome of discharging one obligation.
+type Result struct {
+	Obligation Obligation
+	Duration   time.Duration
+	Err        error
+}
+
+// Report is the outcome of a full verification run — the data behind
+// Figure 1a and the §5 "total time to verify" numbers.
+type Report struct {
+	Results []Result
+	Total   time.Duration
+}
+
+// Failed returns the failed results.
+func (r *Report) Failed() []Result {
+	var out []Result
+	for _, res := range r.Results {
+		if res.Err != nil {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// Max returns the slowest VC duration (the paper: "all functions are
+// individually verified in at most 11 seconds").
+func (r *Report) Max() time.Duration {
+	var m time.Duration
+	for _, res := range r.Results {
+		if res.Duration > m {
+			m = res.Duration
+		}
+	}
+	return m
+}
+
+// CDFPoint is one point of the verification-time CDF.
+type CDFPoint struct {
+	Duration time.Duration
+	Fraction float64 // cumulative fraction of VCs at or below Duration
+}
+
+// CDF returns the cumulative distribution of VC times, the series
+// plotted in Figure 1a.
+func (r *Report) CDF() []CDFPoint {
+	ds := make([]time.Duration, len(r.Results))
+	for i, res := range r.Results {
+		ds[i] = res.Duration
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	out := make([]CDFPoint, len(ds))
+	for i, d := range ds {
+		out[i] = CDFPoint{Duration: d, Fraction: float64(i+1) / float64(len(ds))}
+	}
+	return out
+}
+
+// ByModule groups result counts per module for the summary table.
+func (r *Report) ByModule() map[string]struct{ Passed, Failed int } {
+	out := make(map[string]struct{ Passed, Failed int })
+	for _, res := range r.Results {
+		e := out[res.Obligation.Module]
+		if res.Err != nil {
+			e.Failed++
+		} else {
+			e.Passed++
+		}
+		out[res.Obligation.Module] = e
+	}
+	return out
+}
+
+// Options configures a verification run.
+type Options struct {
+	// Seed is the base seed for randomized obligations. Each VC derives
+	// its own source from Seed and its ID so runs are order-independent.
+	Seed int64
+	// Module, if non-empty, restricts the run to one module.
+	Module string
+	// Progress, if non-nil, is called after each VC completes.
+	Progress func(Result)
+}
+
+// Run discharges every registered obligation sequentially (the paper
+// also reports single-job verification time) and returns the report.
+func (g *Registry) Run(opts Options) *Report {
+	rep := &Report{}
+	start := time.Now()
+	for _, o := range g.Obligations() {
+		if opts.Module != "" && o.Module != opts.Module {
+			continue
+		}
+		src := rand.New(rand.NewSource(opts.Seed ^ int64(hashID(o.ID()))))
+		t0 := time.Now()
+		err := safeCheck(o, src)
+		res := Result{Obligation: o, Duration: time.Since(t0), Err: err}
+		rep.Results = append(rep.Results, res)
+		if opts.Progress != nil {
+			opts.Progress(res)
+		}
+	}
+	rep.Total = time.Since(start)
+	return rep
+}
+
+// safeCheck converts a panicking obligation into a failure rather than
+// tearing down the whole verification run.
+func safeCheck(o Obligation, src *rand.Rand) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("obligation panicked: %v", p)
+		}
+	}()
+	return o.Check(src)
+}
+
+// hashID is a small FNV-1a so VC seeds differ per obligation.
+func hashID(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Summary renders a human-readable pass/fail table.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	byMod := r.ByModule()
+	mods := make([]string, 0, len(byMod))
+	for m := range byMod {
+		mods = append(mods, m)
+	}
+	sort.Strings(mods)
+	fmt.Fprintf(&b, "%-12s %8s %8s\n", "module", "passed", "failed")
+	totP, totF := 0, 0
+	for _, m := range mods {
+		e := byMod[m]
+		fmt.Fprintf(&b, "%-12s %8d %8d\n", m, e.Passed, e.Failed)
+		totP += e.Passed
+		totF += e.Failed
+	}
+	fmt.Fprintf(&b, "%-12s %8d %8d\n", "total", totP, totF)
+	fmt.Fprintf(&b, "verification conditions: %d   total time: %v   max single VC: %v\n",
+		len(r.Results), r.Total.Round(time.Millisecond), r.Max().Round(time.Microsecond))
+	return b.String()
+}
+
+// Default is the process-wide registry modules register into from their
+// RegisterObligations functions.
+var Default = &Registry{}

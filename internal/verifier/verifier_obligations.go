@@ -1,0 +1,121 @@
+package verifier
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// RegisterObligations registers the VC engine's self-checks: seeds are
+// deterministic and per-VC, failures and panics are captured rather
+// than aborting the run, the module filter is exact, and the CDF is a
+// valid distribution function. The engine's own soundness underpins
+// every other "verified" claim in the tree.
+func RegisterObligations(g *Registry) {
+	g.Register(
+		Obligation{Module: "verifier", Name: "seeds-deterministic-per-vc", Kind: KindSafety,
+			Check: func(r *rand.Rand) error {
+				inner := &Registry{}
+				var a1, a2, b1 int64
+				inner.Register(
+					Obligation{Module: "m", Name: "a", Kind: KindSafety,
+						Check: func(rr *rand.Rand) error {
+							if a1 == 0 {
+								a1 = rr.Int63()
+							} else {
+								a2 = rr.Int63()
+							}
+							return nil
+						}},
+					Obligation{Module: "m", Name: "b", Kind: KindSafety,
+						Check: func(rr *rand.Rand) error {
+							if b1 == 0 {
+								b1 = rr.Int63()
+							}
+							return nil
+						}},
+				)
+				inner.Run(Options{Seed: 7})
+				inner.Run(Options{Seed: 7})
+				if a1 != a2 {
+					return fmt.Errorf("same seed produced different VC randomness")
+				}
+				if a1 == b1 {
+					return fmt.Errorf("distinct VCs share randomness")
+				}
+				return nil
+			}},
+		Obligation{Module: "verifier", Name: "failures-isolated", Kind: KindSafety,
+			Check: func(r *rand.Rand) error {
+				inner := &Registry{}
+				ran := 0
+				inner.Register(
+					Obligation{Module: "m", Name: "boom", Kind: KindSafety,
+						Check: func(rr *rand.Rand) error { panic("boom") }},
+					Obligation{Module: "m", Name: "fail", Kind: KindSafety,
+						Check: func(rr *rand.Rand) error { return errors.New("no") }},
+					Obligation{Module: "m", Name: "after", Kind: KindSafety,
+						Check: func(rr *rand.Rand) error { ran++; return nil }},
+				)
+				rep := inner.Run(Options{})
+				if ran != 1 {
+					return fmt.Errorf("VC after a panic did not run")
+				}
+				if len(rep.Failed()) != 2 {
+					return fmt.Errorf("failed = %d, want 2", len(rep.Failed()))
+				}
+				return nil
+			}},
+		Obligation{Module: "verifier", Name: "cdf-is-distribution", Kind: KindInvariant,
+			Check: func(r *rand.Rand) error {
+				inner := &Registry{}
+				n := 5 + r.Intn(30)
+				for i := 0; i < n; i++ {
+					name := fmt.Sprintf("vc%d", i)
+					inner.Register(Obligation{Module: "m", Name: name, Kind: KindSafety,
+						Check: func(rr *rand.Rand) error {
+							// Busy-work of random size so durations vary.
+							k := rr.Intn(2000)
+							s := 0
+							for j := 0; j < k; j++ {
+								s += j
+							}
+							_ = s
+							return nil
+						}})
+				}
+				rep := inner.Run(Options{Seed: r.Int63()})
+				cdf := rep.CDF()
+				if len(cdf) != n {
+					return fmt.Errorf("cdf has %d points for %d VCs", len(cdf), n)
+				}
+				for i := 1; i < len(cdf); i++ {
+					if cdf[i].Duration < cdf[i-1].Duration || cdf[i].Fraction <= cdf[i-1].Fraction {
+						return fmt.Errorf("cdf not monotone at %d", i)
+					}
+				}
+				if cdf[len(cdf)-1].Fraction != 1 {
+					return fmt.Errorf("cdf ends at %f", cdf[len(cdf)-1].Fraction)
+				}
+				if rep.Max() != cdf[len(cdf)-1].Duration {
+					return fmt.Errorf("Max() disagrees with cdf tail")
+				}
+				return nil
+			}},
+		Obligation{Module: "verifier", Name: "module-filter-exact", Kind: KindSafety,
+			Check: func(r *rand.Rand) error {
+				inner := &Registry{}
+				inner.Register(
+					Obligation{Module: "aa", Name: "x", Kind: KindSafety,
+						Check: func(rr *rand.Rand) error { return nil }},
+					Obligation{Module: "aab", Name: "y", Kind: KindSafety,
+						Check: func(rr *rand.Rand) error { return nil }},
+				)
+				rep := inner.Run(Options{Module: "aa"})
+				if len(rep.Results) != 1 || rep.Results[0].Obligation.Module != "aa" {
+					return fmt.Errorf("module filter matched prefixes: %d results", len(rep.Results))
+				}
+				return nil
+			}},
+	)
+}

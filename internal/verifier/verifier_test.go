@@ -1,0 +1,169 @@
+package verifier
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func okObl(mod, name string, kind Kind) Obligation {
+	return Obligation{Module: mod, Name: name, Kind: kind,
+		Check: func(r *rand.Rand) error { return nil }}
+}
+
+func TestRegisterAndRun(t *testing.T) {
+	g := &Registry{}
+	g.Register(
+		okObl("pt", "a", KindInvariant),
+		okObl("pt", "b", KindRefinement),
+		okObl("fs", "c", KindInvariant),
+	)
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	rep := g.Run(Options{Seed: 1})
+	if len(rep.Results) != 3 {
+		t.Fatalf("results = %d", len(rep.Results))
+	}
+	if len(rep.Failed()) != 0 {
+		t.Fatalf("failures: %v", rep.Failed())
+	}
+	byMod := rep.ByModule()
+	if byMod["pt"].Passed != 2 || byMod["fs"].Passed != 1 {
+		t.Errorf("ByModule = %v", byMod)
+	}
+}
+
+func TestDuplicateIDPanics(t *testing.T) {
+	g := &Registry{}
+	g.Register(okObl("m", "x", KindSafety))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	g.Register(okObl("m", "x", KindSafety))
+}
+
+func TestNilCheckPanics(t *testing.T) {
+	g := &Registry{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil Check did not panic")
+		}
+	}()
+	g.Register(Obligation{Module: "m", Name: "bad"})
+}
+
+func TestFailureAndPanicCaptured(t *testing.T) {
+	g := &Registry{}
+	g.Register(
+		Obligation{Module: "m", Name: "fail", Kind: KindSafety,
+			Check: func(r *rand.Rand) error { return errors.New("nope") }},
+		Obligation{Module: "m", Name: "panic", Kind: KindSafety,
+			Check: func(r *rand.Rand) error { panic("boom") }},
+		okObl("m", "ok", KindSafety),
+	)
+	rep := g.Run(Options{})
+	failed := rep.Failed()
+	if len(failed) != 2 {
+		t.Fatalf("failed = %d, want 2", len(failed))
+	}
+	for _, f := range failed {
+		if f.Obligation.Name == "panic" && !strings.Contains(f.Err.Error(), "boom") {
+			t.Errorf("panic not captured: %v", f.Err)
+		}
+	}
+}
+
+func TestSeedsAreDeterministicAndPerVC(t *testing.T) {
+	var seen1, seen2 []int64
+	g := &Registry{}
+	g.Register(
+		Obligation{Module: "m", Name: "r1", Kind: KindRoundTrip,
+			Check: func(r *rand.Rand) error { seen1 = append(seen1, r.Int63()); return nil }},
+		Obligation{Module: "m", Name: "r2", Kind: KindRoundTrip,
+			Check: func(r *rand.Rand) error { seen2 = append(seen2, r.Int63()); return nil }},
+	)
+	g.Run(Options{Seed: 42})
+	g.Run(Options{Seed: 42})
+	if seen1[0] != seen1[1] || seen2[0] != seen2[1] {
+		t.Error("same seed must reproduce the same VC randomness")
+	}
+	if seen1[0] == seen2[0] {
+		t.Error("distinct VCs must get distinct randomness")
+	}
+}
+
+func TestModuleFilter(t *testing.T) {
+	g := &Registry{}
+	g.Register(okObl("a", "x", KindSafety), okObl("b", "y", KindSafety))
+	rep := g.Run(Options{Module: "a"})
+	if len(rep.Results) != 1 || rep.Results[0].Obligation.Module != "a" {
+		t.Fatalf("filter broken: %+v", rep.Results)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	g := &Registry{}
+	for i := 0; i < 20; i++ {
+		g.Register(okObl("m", string(rune('a'+i)), KindSafety))
+	}
+	rep := g.Run(Options{})
+	cdf := rep.CDF()
+	if len(cdf) != 20 {
+		t.Fatalf("cdf points = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Duration < cdf[i-1].Duration {
+			t.Fatal("durations not sorted")
+		}
+		if cdf[i].Fraction <= cdf[i-1].Fraction {
+			t.Fatal("fractions not strictly increasing")
+		}
+	}
+	if cdf[len(cdf)-1].Fraction != 1.0 {
+		t.Fatal("CDF must end at 1")
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	g := &Registry{}
+	g.Register(okObl("pt", "a", KindInvariant))
+	rep := g.Run(Options{})
+	s := rep.Summary()
+	for _, want := range []string{"module", "pt", "total", "verification conditions: 1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	g := &Registry{}
+	g.Register(okObl("m", "a", KindSafety), okObl("m", "b", KindSafety))
+	var ids []string
+	g.Run(Options{Progress: func(r Result) { ids = append(ids, r.Obligation.ID()) }})
+	if len(ids) != 2 || ids[0] != "m:a" || ids[1] != "m:b" {
+		t.Fatalf("progress = %v", ids)
+	}
+}
+
+func TestObligationsSorted(t *testing.T) {
+	g := &Registry{}
+	g.Register(okObl("z", "z", KindSafety), okObl("a", "a", KindSafety))
+	obls := g.Obligations()
+	if obls[0].ID() != "a:a" || obls[1].ID() != "z:z" {
+		t.Fatalf("not sorted: %v, %v", obls[0].ID(), obls[1].ID())
+	}
+}
+
+func TestObligationsAllPass(t *testing.T) {
+	g := &Registry{}
+	RegisterObligations(g)
+	rep := g.Run(Options{Seed: 113})
+	for _, f := range rep.Failed() {
+		t.Errorf("VC %s failed: %v", f.Obligation.ID(), f.Err)
+	}
+}

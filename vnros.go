@@ -1,0 +1,143 @@
+// Package vnros is the public API of the vnros project: a Go
+// reproduction of "Beyond isolation: OS verification as a foundation
+// for correct applications" (Brun et al., HotOS '23).
+//
+// It exposes the composed simulated operating system (a multi-core,
+// NR-replicated kernel with a process-centric, spec-checked syscall
+// contract), the verification-condition engine that stands in for the
+// paper's Verus pipeline, and the experiment harness that regenerates
+// the paper's evaluation.
+//
+// Quick start:
+//
+//	system, err := vnros.Boot(vnros.Config{Cores: 4})
+//	initSys, err := system.Init()
+//	system.Run(initSys, "hello", func(p *vnros.Process) int {
+//	    fd, _ := p.Sys.Open("/hello.txt", vnros.OCreate|vnros.ORdWr)
+//	    p.Sys.Write(fd, []byte("hello from a verified-OS contract"))
+//	    return 0
+//	})
+//
+// Every syscall a program issues is checked against the paper's §3
+// specification relations (read_spec and friends) through the kernel's
+// view abstraction; violations surface via Sys.ContractErr.
+package vnros
+
+import (
+	"github.com/verified-os/vnros/internal/core"
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/netstack"
+	"github.com/verified-os/vnros/internal/proc"
+	"github.com/verified-os/vnros/internal/sys"
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// Core system types.
+type (
+	// System is a booted instance of the simulated OS.
+	System = core.System
+	// Config sizes a System.
+	Config = core.Config
+	// Process is a running user program's handle.
+	Process = core.Process
+	// Program is a user program body; the return value is its exit code.
+	Program = core.Program
+	// Sys is the per-process syscall interface (the paper's Sys type).
+	Sys = sys.Sys
+	// Errno is the syscall error number.
+	Errno = sys.Errno
+	// FD is a file descriptor.
+	FD = fs.FD
+	// Stat describes a file.
+	Stat = fs.Stat
+	// DirEntry is a directory listing entry.
+	DirEntry = fs.DirEntry
+	// PID identifies a process.
+	PID = proc.PID
+	// Signal is a POSIX-style signal number.
+	Signal = proc.Signal
+	// WaitResult is a reaped child.
+	WaitResult = proc.WaitResult
+	// VAddr is a user virtual address.
+	VAddr = mmu.VAddr
+	// Network is a virtual switch connecting Systems.
+	Network = netstack.Network
+)
+
+// Open flags.
+const (
+	ORdOnly = fs.ORdOnly
+	OWrOnly = fs.OWrOnly
+	ORdWr   = fs.ORdWr
+	OCreate = fs.OCreate
+	OTrunc  = fs.OTrunc
+	OAppend = fs.OAppend
+)
+
+// Seek whence values.
+const (
+	SeekSet = fs.SeekSet
+	SeekCur = fs.SeekCur
+	SeekEnd = fs.SeekEnd
+)
+
+// Common errnos.
+const (
+	EOK    = sys.EOK
+	ENOENT = sys.ENOENT
+	EEXIST = sys.EEXIST
+	EBADF  = sys.EBADF
+	EAGAIN = sys.EAGAIN
+	EINVAL = sys.EINVAL
+	EFAULT = sys.EFAULT
+	ECHILD = sys.ECHILD
+	ENOMEM = sys.ENOMEM
+)
+
+// Signals.
+const (
+	SIGKILL = proc.SIGKILL
+	SIGTERM = proc.SIGTERM
+	SIGUSR1 = proc.SIGUSR1
+	SIGCHLD = proc.SIGCHLD
+)
+
+// PageSize is the base page size of the simulated machine.
+const PageSize = mmu.L1PageSize
+
+// InitPID is the init process's PID.
+const InitPID = proc.InitPID
+
+// Boot builds and starts a simulated OS instance.
+func Boot(cfg Config) (*System, error) { return core.Boot(cfg) }
+
+// NewNetwork creates a virtual switch; pass it in Config.Network to
+// connect multiple Systems (the blockstore example builds a small
+// cluster this way).
+func NewNetwork() *Network { return netstack.NewNetwork() }
+
+// Verification re-exports: the VC engine behind "verified" claims.
+type (
+	// VCRegistry collects verification conditions.
+	VCRegistry = verifier.Registry
+	// VCReport is a verification run's outcome (Figure 1a's data).
+	VCReport = verifier.Report
+	// VCOptions configures a run.
+	VCOptions = verifier.Options
+)
+
+// NewVCRegistry returns a registry pre-loaded with every module's
+// verification conditions — the full proof ledger of the system.
+func NewVCRegistry() *VCRegistry {
+	g := &verifier.Registry{}
+	core.RegisterAllObligations(g)
+	return g
+}
+
+// Verify discharges every verification condition and returns the
+// report. A failed VC means a broken invariant, refinement, round-trip
+// or linearizability property somewhere in the stack.
+func Verify(seed int64) *VCReport {
+	return NewVCRegistry().Run(verifier.Options{Seed: seed})
+}

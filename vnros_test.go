@@ -1,0 +1,163 @@
+package vnros_test
+
+import (
+	"strings"
+	"testing"
+
+	vnros "github.com/verified-os/vnros"
+)
+
+// TestPublicQuickstart exercises the README's quick-start path through
+// the public API only.
+func TestPublicQuickstart(t *testing.T) {
+	system, err := vnros.Boot(vnros.Config{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initSys, err := system.Init()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan string, 1)
+	_, err = system.Run(initSys, "hello", func(p *vnros.Process) int {
+		fd, e := p.Sys.Open("/hello.txt", vnros.OCreate|vnros.ORdWr)
+		if e != vnros.EOK {
+			got <- "open failed"
+			return 1
+		}
+		if _, e := p.Sys.Write(fd, []byte("hello from a verified-OS contract")); e != vnros.EOK {
+			got <- "write failed"
+			return 1
+		}
+		if _, e := p.Sys.Seek(fd, 0, vnros.SeekSet); e != vnros.EOK {
+			got <- "seek failed"
+			return 1
+		}
+		buf := make([]byte, 5)
+		if _, e := p.Sys.Read(fd, buf); e != vnros.EOK {
+			got <- "read failed"
+			return 1
+		}
+		got <- string(buf)
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg := <-got; msg != "hello" {
+		t.Fatalf("program result = %q", msg)
+	}
+	system.WaitAll()
+	res, e := initSys.Wait()
+	if e != vnros.EOK || res.ExitCode != 0 {
+		t.Fatalf("wait = %+v, %v", res, e)
+	}
+	if err := initSys.ContractErr(); err != nil {
+		t.Fatalf("contract violation: %v", err)
+	}
+}
+
+// TestPublicNetworkedSystems wires two systems through the exported
+// Network type.
+func TestPublicNetworkedSystems(t *testing.T) {
+	wire := vnros.NewNetwork()
+	sa, err := vnros.Boot(vnros.Config{Cores: 2, NICAddr: 1, Network: wire})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := vnros.Boot(vnros.Config{Cores: 2, NICAddr: 2, Network: wire})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, _ := sa.Init()
+	ib, _ := sb.Init()
+	ready := make(chan uint64, 1)
+	reply := make(chan string, 1)
+	sb.Run(ib, "server", func(p *vnros.Process) int {
+		sock, e := p.Sys.SockBind(99)
+		if e != vnros.EOK {
+			ready <- 0
+			return 1
+		}
+		ready <- sock
+		msg, from, port, e := p.Sys.SockRecvBlocking(sock)
+		if e != vnros.EOK {
+			return 1
+		}
+		p.Sys.SockSend(sock, from, port, append([]byte("re: "), msg...))
+		return 0
+	})
+	if <-ready == 0 {
+		t.Fatal("bind failed")
+	}
+	sa.Run(ia, "client", func(p *vnros.Process) int {
+		sock, e := p.Sys.SockBind(0)
+		if e != vnros.EOK {
+			reply <- "bind failed"
+			return 1
+		}
+		if e := p.Sys.SockSend(sock, 2, 99, []byte("ping")); e != vnros.EOK {
+			reply <- "send failed"
+			return 1
+		}
+		msg, _, _, e := p.Sys.SockRecvBlocking(sock)
+		if e != vnros.EOK {
+			reply <- "recv failed"
+			return 1
+		}
+		reply <- string(msg)
+		return 0
+	})
+	if msg := <-reply; msg != "re: ping" {
+		t.Fatalf("reply = %q", msg)
+	}
+	sa.WaitAll()
+	sb.WaitAll()
+}
+
+// TestVerifySubset runs one module's VCs through the public entry.
+func TestVerifySubset(t *testing.T) {
+	g := vnros.NewVCRegistry()
+	if g.Len() < 150 {
+		t.Fatalf("registry has %d VCs, expected >= 150", g.Len())
+	}
+	rep := g.Run(vnros.VCOptions{Seed: 1, Module: "marshal"})
+	if len(rep.Results) == 0 {
+		t.Fatal("no marshal VCs ran")
+	}
+	for _, f := range rep.Failed() {
+		t.Errorf("VC %s failed: %v", f.Obligation.ID(), f.Err)
+	}
+	if !strings.Contains(rep.Summary(), "marshal") {
+		t.Error("summary missing module")
+	}
+}
+
+// TestPersistencePublic checks the BootDisk/RestoreFS path through the
+// facade.
+func TestPersistencePublic(t *testing.T) {
+	s1, err := vnros.Boot(vnros.Config{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := s1.Init()
+	fd, e := i1.Open("/state", vnros.OCreate|vnros.ORdWr)
+	if e != vnros.EOK {
+		t.Fatal(e)
+	}
+	if _, e := i1.Write(fd, []byte("survives")); e != vnros.EOK {
+		t.Fatal(e)
+	}
+	if err := s1.SaveFS(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := vnros.Boot(vnros.Config{Cores: 2, RestoreFS: true, BootDisk: s1.BlockDev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, _ := s2.Init()
+	st, e := i2.Stat("/state")
+	if e != vnros.EOK || st.Size != 8 {
+		t.Fatalf("stat after reboot = %+v, %v", st, e)
+	}
+}
