@@ -21,9 +21,23 @@ import (
 	"github.com/verified-os/vnros/internal/hw/mmu"
 	"github.com/verified-os/vnros/internal/marshal"
 	"github.com/verified-os/vnros/internal/nr"
+	"github.com/verified-os/vnros/internal/obs"
 	"github.com/verified-os/vnros/internal/pt"
 	"github.com/verified-os/vnros/internal/sys"
 )
+
+// withStats runs a benchmark body with the kstats gate open, restoring
+// the disabled default afterwards. The *StatsEnabled variants pin the
+// internal/obs overhead budget: they must stay within a few percent of
+// their plain counterparts.
+func withStats(b *testing.B, f func(b *testing.B)) {
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	f(b)
+}
 
 // benchCores are the Figure 1b/1c x-axis values.
 var benchCores = []int{1, 8, 16, 24, 28}
@@ -155,6 +169,13 @@ func BenchmarkNRWriteSingleThread(b *testing.B) {
 	}
 }
 
+// BenchmarkNRWriteSingleThreadStatsEnabled is BenchmarkNRWriteSingleThread
+// with kstats recording on (batch-size and combine-latency histograms
+// live on this path).
+func BenchmarkNRWriteSingleThreadStatsEnabled(b *testing.B) {
+	withStats(b, BenchmarkNRWriteSingleThread)
+}
+
 // BenchmarkNRReadLocalReplica measures replica-local reads.
 func BenchmarkNRReadLocalReplica(b *testing.B) {
 	ras, err := pt.NewReplicated(pt.ReplicatedOptions{Variant: pt.VariantVerified, Replicas: 2})
@@ -248,6 +269,13 @@ func BenchmarkSyscallPath(b *testing.B) {
 	if err := initSys.ContractErr(); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// BenchmarkSyscallPathStatsEnabled is BenchmarkSyscallPath with kstats
+// recording on (dispatch-boundary OpStats, kernel.apply counts, trace
+// emit, fs latency histograms all fire).
+func BenchmarkSyscallPathStatsEnabled(b *testing.B) {
+	withStats(b, BenchmarkSyscallPath)
 }
 
 // BenchmarkMarshalSyscallCodec measures one op+resp round trip of the

@@ -20,13 +20,14 @@ func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 1a, 1b, 1c (empty with -all unset: all)")
 	table := flag.Int("table", 0, "table to print: 1 or 2")
 	ablations := flag.Bool("ablations", false, "run the DESIGN.md ablations")
+	stats := flag.Bool("stats", false, "run the kstats workload: combiner batch-size histogram + per-opcode syscall latency percentiles")
 	all := flag.Bool("all", false, "run everything")
-	ops := flag.Int("ops", 200, "operations per core for figures 1b/1c")
+	ops := flag.Int("ops", 200, "operations per core for figures 1b/1c and the kstats workload")
 	cores := flag.String("cores", "1,8,16,24,28", "comma-separated core counts")
 	seed := flag.Int64("seed", 2026, "VC seed for figure 1a")
 	flag.Parse()
 
-	if *fig == "" && *table == 0 && !*ablations {
+	if *fig == "" && *table == 0 && !*ablations && !*stats {
 		*all = true
 	}
 	coreCounts, err := parseCores(*cores)
@@ -79,6 +80,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(out)
+	}
+	if *all || *stats {
+		// The most contended configuration shows the combiner batching
+		// best: one worker per core on the largest requested core count.
+		c := coreCounts[len(coreCounts)-1]
+		if *all {
+			fmt.Println()
+		}
+		if err := runStats(c, c, *ops); err != nil {
+			fatal(err)
+		}
 	}
 }
 

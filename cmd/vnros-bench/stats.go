@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fmt"
+
+	vnros "github.com/verified-os/vnros"
+	"github.com/verified-os/vnros/internal/obs"
+	"github.com/verified-os/vnros/internal/sys"
+)
+
+// runStats drives a contended multi-process syscall workload with the
+// kernel observability subsystem enabled and reports what the combiner
+// and the syscall boundary saw: the flat-combining batch-size histogram
+// (how much batching the contention actually produced), the combine-pass
+// latency, and per-opcode syscall latency percentiles.
+func runStats(cores, workers, opsPerWorker int) error {
+	system, err := vnros.Boot(vnros.Config{Cores: cores})
+	if err != nil {
+		return err
+	}
+	initSys, err := system.Init()
+	if err != nil {
+		return err
+	}
+
+	// Measure the workload only, not boot; record every event (the
+	// sampled production default is for always-on overhead, not for a
+	// dedicated measurement run).
+	obs.Reset()
+	obs.SetSampleRate(1)
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.SetSampleRate(obs.DefaultSampleRate)
+	}()
+
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		_, err := system.Run(initSys, fmt.Sprintf("kstats-worker%d", w), func(p *vnros.Process) int {
+			path := fmt.Sprintf("/kstats-%d", p.PID)
+			fd, e := p.Sys.Open(path, vnros.OCreate|vnros.ORdWr)
+			if e != vnros.EOK {
+				errs <- fmt.Errorf("worker open: %v", e)
+				return 1
+			}
+			buf := make([]byte, 64)
+			for i := 0; i < opsPerWorker; i++ {
+				if _, e := p.Sys.Write(fd, []byte("kstats workload payload\n")); e != vnros.EOK {
+					errs <- fmt.Errorf("worker write: %v", e)
+					return 1
+				}
+				if _, e := p.Sys.Seek(fd, 0, vnros.SeekSet); e != vnros.EOK {
+					errs <- fmt.Errorf("worker seek: %v", e)
+					return 1
+				}
+				if _, e := p.Sys.Read(fd, buf); e != vnros.EOK {
+					errs <- fmt.Errorf("worker read: %v", e)
+					return 1
+				}
+				if i%16 == 0 {
+					base, e := p.Sys.MMap(vnros.PageSize)
+					if e != vnros.EOK {
+						errs <- fmt.Errorf("worker mmap: %v", e)
+						return 1
+					}
+					if e := p.Sys.MemWrite(base, buf[:8]); e != vnros.EOK {
+						errs <- fmt.Errorf("worker memwrite: %v", e)
+						return 1
+					}
+					if e := p.Sys.MUnmap(base); e != vnros.EOK {
+						errs <- fmt.Errorf("worker munmap: %v", e)
+						return 1
+					}
+				}
+			}
+			if e := p.Sys.Close(fd); e != vnros.EOK {
+				errs <- fmt.Errorf("worker close: %v", e)
+				return 1
+			}
+			errs <- nil
+			return 0
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	system.WaitAll()
+	for w := 0; w < workers; w++ {
+		if _, e := initSys.Wait(); e != vnros.EOK {
+			return fmt.Errorf("wait: %v", e)
+		}
+	}
+	if err := initSys.ContractErr(); err != nil {
+		return fmt.Errorf("contract violation: %w", err)
+	}
+	if err := system.CheckReplicaAgreement(); err != nil {
+		return err
+	}
+
+	snap := obs.TakeSnapshot()
+	fmt.Printf("kstats workload: %d cores, %d kernel replicas, %d workers x %d iterations\n\n",
+		cores, system.NumReplicas(), workers, opsPerWorker)
+	if h, ok := snap.Hists["nr.batch_size"]; ok && h.Count > 0 {
+		fmt.Print(h.Render())
+		fmt.Println()
+	}
+	if h, ok := snap.Hists["nr.combine_latency"]; ok && h.Count > 0 {
+		fmt.Print(h.Render())
+		fmt.Println()
+	}
+	fmt.Printf("nr.log_full_stalls: %d\n\n", snap.Counters["nr.log_full_stalls"])
+	fmt.Print(obs.RenderOps("syscall latency (dispatch boundary, once per call):",
+		snap.Ops["syscall"], sys.OpName))
+	return nil
+}

@@ -1,6 +1,11 @@
 // Command vnros boots the simulated OS, runs a small multi-process
 // demo workload against the spec-checked syscall contract, and prints
 // the console transcript plus the self-derived Table 1/2 columns.
+//
+// The `stats` subcommand runs the same workload with the kernel
+// observability subsystem (internal/obs) enabled and prints the
+// collected kstats: counters, latency histograms, per-opcode syscall
+// percentiles, and the tail of the kernel event trace.
 package main
 
 import (
@@ -9,7 +14,9 @@ import (
 	"os"
 
 	vnros "github.com/verified-os/vnros"
+	"github.com/verified-os/vnros/internal/obs"
 	"github.com/verified-os/vnros/internal/relwork"
+	"github.com/verified-os/vnros/internal/sys"
 )
 
 func main() {
@@ -17,13 +24,29 @@ func main() {
 	tables := flag.Bool("tables", false, "print the paper's Tables 1 and 2 with the derived vnros column")
 	flag.Parse()
 
-	if err := run(*cores, *tables); err != nil {
+	stats := false
+	switch flag.Arg(0) {
+	case "":
+	case "stats":
+		stats = true
+	default:
+		fmt.Fprintf(os.Stderr, "vnros: unknown subcommand %q (supported: stats)\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
+	if err := run(*cores, *tables, stats); err != nil {
 		fmt.Fprintln(os.Stderr, "vnros:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cores int, tables bool) error {
+func run(cores int, tables, stats bool) error {
+	if stats {
+		// The demo workload is tiny; record every event rather than the
+		// production sampled default.
+		obs.SetSampleRate(1)
+		obs.Enable()
+	}
 	system, err := vnros.Boot(vnros.Config{Cores: cores})
 	if err != nil {
 		return err
@@ -128,6 +151,22 @@ func run(cores int, tables bool) error {
 	system.Printf("vnros: workload complete; contract held; replicas agree\n")
 
 	fmt.Print(system.ConsoleOutput())
+
+	if stats {
+		snap := obs.TakeSnapshot()
+		fmt.Println()
+		fmt.Print(snap.RenderSummary())
+		fmt.Println()
+		fmt.Print(obs.RenderOps("syscall latency (dispatch boundary, once per call):",
+			snap.Ops["syscall"], sys.OpName))
+		fmt.Println()
+		fmt.Print(obs.RenderOps(
+			fmt.Sprintf("kernel applies (once per replica per op; %d replicas):", system.NumReplicas()),
+			snap.Ops["kernel.apply"], sys.OpName))
+		fmt.Println()
+		fmt.Println("kernel trace (last 20 events):")
+		fmt.Print(obs.RenderTrace(snap.Traces["kernel"], 20))
+	}
 
 	if tables {
 		self := system.Components.Derive("vnros")

@@ -19,6 +19,7 @@ import (
 	"github.com/verified-os/vnros/internal/mm"
 	"github.com/verified-os/vnros/internal/netstack"
 	"github.com/verified-os/vnros/internal/nr"
+	"github.com/verified-os/vnros/internal/obs"
 	"github.com/verified-os/vnros/internal/proc"
 	"github.com/verified-os/vnros/internal/pt"
 	"github.com/verified-os/vnros/internal/relwork"
@@ -266,8 +267,19 @@ type handler struct {
 	ctx  *nr.ThreadContext[sys.ReadOp, sys.WriteOp, sys.Resp]
 }
 
-// Syscall implements sys.Handler: the kernel side of the boundary.
+// Syscall implements sys.Handler: the kernel side of the boundary. It
+// wraps the dispatch in the kstat probe — one count + latency sample
+// per syscall, indexed by opcode and striped by core.
 func (h *handler) Syscall(frame marshal.SyscallFrame, payload []byte) (marshal.RetFrame, []byte) {
+	t0 := obs.Start()
+	ret, out := h.syscall(frame, payload)
+	obs.Syscalls.Observe(frame.Num, uint32(h.core), t0)
+	obs.KernelTrace.Emit(obs.KindSyscall, frame.Num, uint64(h.core))
+	return ret, out
+}
+
+// syscall is the uninstrumented dispatch body.
+func (h *handler) syscall(frame marshal.SyscallFrame, payload []byte) (marshal.RetFrame, []byte) {
 	s := h.s
 	// Drain pending device interrupts before entering the kernel proper
 	// (the simulation's interrupt delivery point). All cores are

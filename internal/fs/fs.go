@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"github.com/verified-os/vnros/internal/obs"
 )
 
 // Ino is an inode number.
@@ -66,11 +68,16 @@ type Inode struct {
 type FS struct {
 	inodes map[Ino]*Inode
 	next   Ino
+
+	// obsShard stripes this instance's kstat updates (one FS per
+	// kernel replica; fs.* kstats are apply-side, counted once per
+	// replica per logged op).
+	obsShard uint32
 }
 
 // New returns a filesystem containing only the root directory.
 func New() *FS {
-	f := &FS{inodes: make(map[Ino]*Inode), next: RootIno + 1}
+	f := &FS{inodes: make(map[Ino]*Inode), next: RootIno + 1, obsShard: obs.NextShard()}
 	f.inodes[RootIno] = &Inode{Ino: RootIno, Kind: KindDir, Children: make(map[string]Ino), Nlink: 1}
 	return f
 }
@@ -180,7 +187,14 @@ func (f *FS) Create(path string) (Ino, error) {
 	f.next++
 	f.inodes[ino] = &Inode{Ino: ino, Kind: KindFile, Nlink: 1}
 	parent.Children[name] = ino
+	f.metaOp(ino)
 	return ino, nil
+}
+
+// metaOp records one namespace mutation in the kstats.
+func (f *FS) metaOp(ino Ino) {
+	obs.FSMetaOps.Add(f.obsShard, 1)
+	obs.KernelTrace.Emit(obs.KindFSMeta, uint64(f.obsShard), uint64(ino))
 }
 
 // Mkdir makes a new directory.
@@ -196,6 +210,7 @@ func (f *FS) Mkdir(path string) (Ino, error) {
 	f.next++
 	f.inodes[ino] = &Inode{Ino: ino, Kind: KindDir, Children: make(map[string]Ino), Nlink: 1}
 	parent.Children[name] = ino
+	f.metaOp(ino)
 	return ino, nil
 }
 
@@ -221,6 +236,7 @@ func (f *FS) Unlink(path string) error {
 	if n.Nlink <= 0 {
 		delete(f.inodes, ino)
 	}
+	f.metaOp(ino)
 	return nil
 }
 
@@ -246,6 +262,7 @@ func (f *FS) Rmdir(path string) error {
 	}
 	delete(parent.Children, name)
 	delete(f.inodes, ino)
+	f.metaOp(ino)
 	return nil
 }
 
@@ -271,6 +288,7 @@ func (f *FS) Link(oldpath, newpath string) error {
 	}
 	parent.Children[name] = ino
 	n.Nlink++
+	f.metaOp(ino)
 	return nil
 }
 
@@ -325,6 +343,7 @@ func (f *FS) Rename(oldpath, newpath string) error {
 	}
 	np.Children[nname] = ino
 	delete(op.Children, oname)
+	f.metaOp(ino)
 	return nil
 }
 
@@ -389,6 +408,7 @@ func (f *FS) ReadDir(path string) ([]DirEntry, error) {
 // ReadAt reads up to len(p) bytes from the file at offset off,
 // returning the count (0 at or past EOF).
 func (f *FS) ReadAt(ino Ino, off uint64, p []byte) (int, error) {
+	t0 := obs.Start()
 	n, err := f.get(ino)
 	if err != nil {
 		return 0, err
@@ -396,6 +416,7 @@ func (f *FS) ReadAt(ino Ino, off uint64, p []byte) (int, error) {
 	if n.Kind != KindFile {
 		return 0, fmt.Errorf("%w: inode %d", ErrIsDir, ino)
 	}
+	defer obs.FSReadLatency.Since(f.obsShard, t0)
 	if off >= uint64(len(n.Data)) {
 		return 0, nil
 	}
@@ -405,6 +426,7 @@ func (f *FS) ReadAt(ino Ino, off uint64, p []byte) (int, error) {
 // WriteAt writes p at offset off, zero-filling any gap (sparse writes
 // materialize zeroes, as POSIX requires readers to observe).
 func (f *FS) WriteAt(ino Ino, off uint64, p []byte) (int, error) {
+	t0 := obs.Start()
 	n, err := f.get(ino)
 	if err != nil {
 		return 0, err
@@ -419,6 +441,7 @@ func (f *FS) WriteAt(ino Ino, off uint64, p []byte) (int, error) {
 		n.Data = grown
 	}
 	copy(n.Data[off:end], p)
+	obs.FSWriteLatency.Since(f.obsShard, t0)
 	return len(p), nil
 }
 

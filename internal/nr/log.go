@@ -19,6 +19,9 @@ package nr
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
+
+	"github.com/verified-os/vnros/internal/obs"
 )
 
 // DefaultLogSize is the default number of slots in the shared log ring.
@@ -96,16 +99,19 @@ func (l *log[Wr]) reserve(n uint64) uint64 {
 // advance its own replica — it holds its own combiner lock, so the
 // generic helpers cannot do it, and without self-help a combiner whose
 // own replica is the laggard would deadlock against itself.
-func (l *log[Wr]) waitForSpace(idx uint64, selfHelp func(target uint64)) {
+func (l *log[Wr]) waitForSpace(idx uint64, replica uint32, selfHelp func(target uint64)) {
 	ring := uint64(len(l.slots))
 	if idx < ring {
 		return
 	}
 	need := idx - ring + 1 // all replicas must have applied beyond this
+	var t0 stallTimer
 	for {
 		if h := l.head.Load(); h >= need {
+			t0.done(replica)
 			return
 		}
+		t0.start(idx, replica)
 		m := l.minApplied()
 		// head only moves forward.
 		for {
@@ -115,6 +121,7 @@ func (l *log[Wr]) waitForSpace(idx uint64, selfHelp func(target uint64)) {
 			}
 		}
 		if m >= need {
+			t0.done(replica)
 			return
 		}
 		// Entries below `need` are at least a full ring older than idx,
@@ -132,9 +139,33 @@ func (l *log[Wr]) waitForSpace(idx uint64, selfHelp func(target uint64)) {
 	}
 }
 
+// stallTimer accumulates one waitForSpace stall: counted once on first
+// blocked iteration, latency recorded when space frees up. Zero-cost
+// (no time.Now) when the ring has room or stats are disabled.
+type stallTimer struct {
+	t0      time.Time
+	started bool
+}
+
+func (s *stallTimer) start(idx uint64, replica uint32) {
+	if s.started {
+		return
+	}
+	s.started = true
+	obs.NRLogFullStalls.Add(replica, 1)
+	obs.KernelTrace.Emit(obs.KindLogStall, idx, uint64(replica))
+	s.t0 = obs.Start()
+}
+
+func (s *stallTimer) done(replica uint32) {
+	if s.started {
+		obs.NRLogStallTime.Since(replica, s.t0)
+	}
+}
+
 // publish writes the operation into slot idx and marks it readable.
 func (l *log[Wr]) publish(idx uint64, op Wr, replica, ctx uint32, selfHelp func(target uint64)) {
-	l.waitForSpace(idx, selfHelp)
+	l.waitForSpace(idx, replica, selfHelp)
 	s := &l.slots[idx&l.mask]
 	s.op = op
 	s.replica = replica

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/verified-os/vnros/internal/obs"
 )
 
 // DataStructure is the sequential data structure being replicated. Rd
@@ -40,6 +42,9 @@ type ThreadContext[Rd any, Wr any, Resp any] struct {
 	op   Wr
 	resp Resp
 	st   atomic.Uint32
+	// deregistered marks a released slot (guarded by r.mu); it exists
+	// only to catch double-Deregister misuse.
+	deregistered bool
 }
 
 // Replica is one node-local copy of the data structure plus the
@@ -60,8 +65,12 @@ type Replica[Rd any, Wr any, Resp any] struct {
 	// have been executed against ds.
 	applied atomic.Uint64
 
-	mu   sync.Mutex // guards ctxs registration
+	mu   sync.Mutex // guards ctxs and free registration state
 	ctxs []*ThreadContext[Rd, Wr, Resp]
+	// free holds slot ids released by Deregister, reused by the next
+	// Register so repeated register/deregister cycles (or unwound
+	// partial Sharded registrations) cannot exhaust the thread bound.
+	free []uint32
 
 	// combined counts batched operations, for the flat-combining stats
 	// exposed to the ablation bench.
@@ -123,20 +132,65 @@ func (n *NR[Rd, Wr, Resp]) Register(i int) (*ThreadContext[Rd, Wr, Resp], error)
 	r := n.replicas[i]
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.ctxs) >= MaxThreadsPerReplica {
+	active := len(r.ctxs) - len(r.free)
+	if active >= MaxThreadsPerReplica {
 		return nil, fmt.Errorf("nr: replica %d has %d threads registered (max %d)",
-			i, len(r.ctxs), MaxThreadsPerReplica)
+			i, active, MaxThreadsPerReplica)
 	}
-	// A combiner batch (at most one op per thread) must be smaller than
-	// half the log ring, or the log could fill with a single batch and
-	// reclamation could not keep ahead of publication.
-	if (len(r.ctxs)+1)*2 > len(n.log.slots) {
+	// A combiner batch (at most one op per active thread) must be
+	// smaller than half the log ring, or the log could fill with a
+	// single batch and reclamation could not keep ahead of publication.
+	if (active+1)*2 > len(n.log.slots) {
 		return nil, fmt.Errorf("nr: log ring (%d slots) too small for %d threads on replica %d",
-			len(n.log.slots), len(r.ctxs)+1, i)
+			len(n.log.slots), active+1, i)
+	}
+	if l := len(r.free); l > 0 {
+		id := r.free[l-1]
+		r.free = r.free[:l-1]
+		c := &ThreadContext[Rd, Wr, Resp]{r: r, id: id}
+		// Copy-on-write: combiners snapshot r.ctxs under mu and then
+		// walk the array unlocked, so a published backing array must
+		// never be mutated — install the reused slot in a fresh copy.
+		// (Append-path registrations keep the invariant naturally: they
+		// never write inside the snapshotted length.) A stale snapshot
+		// still holds the deregistered predecessor, which stays
+		// slotEmpty forever.
+		ctxs := make([]*ThreadContext[Rd, Wr, Resp], len(r.ctxs))
+		copy(ctxs, r.ctxs)
+		ctxs[id] = c
+		r.ctxs = ctxs
+		return c, nil
 	}
 	c := &ThreadContext[Rd, Wr, Resp]{r: r, id: uint32(len(r.ctxs))}
 	r.ctxs = append(r.ctxs, c)
 	return c, nil
+}
+
+// Deregister releases the thread's slot for reuse by a later Register.
+// The context must be quiescent — no Execute or ExecuteRead in flight —
+// and must not be used afterwards. Once Execute has returned, the
+// owning replica has applied every entry tagged with this slot, so a
+// successor thread reusing the id can never receive a stale response.
+func (c *ThreadContext[Rd, Wr, Resp]) Deregister() {
+	r := c.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c.deregistered {
+		panic(fmt.Sprintf("nr: double Deregister of thread %d on replica %d", c.id, r.id))
+	}
+	c.deregistered = true
+	// The slot stays in ctxs (the combiner may hold a snapshot that
+	// includes it; its state is slotEmpty forever) until reused.
+	r.free = append(r.free, c.id)
+}
+
+// NumThreads returns the number of active (registered, not
+// deregistered) threads on replica i.
+func (n *NR[Rd, Wr, Resp]) NumThreads(i int) int {
+	r := n.replicas[i]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ctxs) - len(r.free)
 }
 
 // MustRegister is Register, panicking on error (for tests and setup
@@ -167,7 +221,11 @@ func (c *ThreadContext[Rd, Wr, Resp]) Execute(op Wr) Resp {
 			// while we hold the pending flag, so reaching here means a
 			// concurrent combiner picked us up... which cannot happen:
 			// combine() always drains every pending slot. Loop for
-			// defense in depth.
+			// defense in depth — but yield first: on GOMAXPROCS=1 a
+			// tight TryLock/combine loop would otherwise never let the
+			// goroutine that could finish our slot run.
+			obs.NRExecuteRetries.Add(c.r.id, 1)
+			runtime.Gosched()
 			continue
 		}
 		// Another thread is combining on our behalf; wait for it.
@@ -210,6 +268,7 @@ func (c *ThreadContext[Rd, Wr, Resp]) ExecuteRead(op Rd) Resp {
 // and local — to the local data structure in log order, depositing
 // responses into local slots.
 func (r *Replica[Rd, Wr, Resp]) combine() {
+	t0 := obs.Start()
 	r.mu.Lock()
 	ctxs := r.ctxs
 	r.mu.Unlock()
@@ -247,6 +306,11 @@ func (r *Replica[Rd, Wr, Resp]) combine() {
 
 	// Apply everything up to (at least) our batch's end.
 	r.applyUpTo(last)
+
+	if len(batch) > 0 {
+		obs.NRBatchSize.Record(r.id, uint64(len(batch)))
+	}
+	obs.NRCombineLatency.Since(r.id, t0)
 }
 
 // applyUpTo applies log entries [applied, target) to the local replica.

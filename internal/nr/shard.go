@@ -34,17 +34,31 @@ func (s *Sharded[Rd, Wr, Resp]) NumShards() int { return len(s.shards) }
 // Shard returns shard i.
 func (s *Sharded[Rd, Wr, Resp]) Shard(i int) *NR[Rd, Wr, Resp] { return s.shards[i] }
 
-// Register attaches a thread to replica `replica` of every shard.
+// Register attaches a thread to replica `replica` of every shard. On
+// failure it releases the slots already claimed on earlier shards, so a
+// failing registration leaves no residue — repeated failures cannot
+// exhaust MaxThreadsPerReplica.
 func (s *Sharded[Rd, Wr, Resp]) Register(replica int) (*ShardedThread[Rd, Wr, Resp], error) {
 	t := &ShardedThread[Rd, Wr, Resp]{s: s}
 	for _, sh := range s.shards {
 		c, err := sh.Register(replica)
 		if err != nil {
+			for _, prev := range t.ctxs {
+				prev.Deregister()
+			}
 			return nil, err
 		}
 		t.ctxs = append(t.ctxs, c)
 	}
 	return t, nil
+}
+
+// Deregister releases the thread's slot on every shard. The same
+// quiescence rule as ThreadContext.Deregister applies.
+func (t *ShardedThread[Rd, Wr, Resp]) Deregister() {
+	for _, c := range t.ctxs {
+		c.Deregister()
+	}
 }
 
 // shardOf maps a key to a shard index.

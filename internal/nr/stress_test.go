@@ -1,0 +1,193 @@
+package nr
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStressSmallLogConcurrentMixed is the NR stress test: a
+// deliberately tiny log ring (so waitForSpace reclamation runs
+// constantly), two replicas, and concurrent writers, readers, and
+// late Register calls. The final check is the NR correctness
+// condition: after quiescence every replica's state is identical.
+// Run under -race; it exercises the combiner, helper, and log-
+// wraparound paths simultaneously.
+func TestStressSmallLogConcurrentMixed(t *testing.T) {
+	const (
+		replicas = 2
+		logSize  = 64
+		writers  = 6
+		readers  = 4
+		iters    = 2_000
+		keySpace = 31
+		lateRegs = 8
+	)
+	n := New(Options{Replicas: replicas, LogSize: logSize}, newKV)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	var writesDone atomic.Uint64
+
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := n.MustRegister(g % replicas)
+			<-start
+			for i := 0; i < iters; i++ {
+				c.Execute(kvWrite{key: uint64(i % keySpace), val: uint64(g)<<32 | uint64(i)})
+				writesDone.Add(1)
+			}
+		}(g)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := n.MustRegister(g % replicas)
+			<-start
+			for i := 0; i < iters; i++ {
+				c.ExecuteRead(kvRead{key: uint64(i % keySpace)})
+			}
+		}(g)
+	}
+	// Late registrations racing against active combiners, each issuing
+	// a few ops then deregistering (slot reuse under load).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for r := 0; r < lateRegs; r++ {
+			c, err := n.Register(r % replicas)
+			if err != nil {
+				t.Errorf("late register %d: %v", r, err)
+				return
+			}
+			for i := 0; i < 50; i++ {
+				c.Execute(kvWrite{key: uint64(keySpace + r), val: uint64(i)})
+			}
+			c.Deregister()
+		}
+	}()
+
+	close(start)
+	wg.Wait()
+
+	if got := writesDone.Load(); got != writers*iters {
+		t.Fatalf("writes completed = %d, want %d", got, writers*iters)
+	}
+	if wantTail := uint64(writers*iters + lateRegs*50); n.Tail() != wantTail {
+		t.Fatalf("log tail = %d, want %d", n.Tail(), wantTail)
+	}
+
+	// Cross-replica state equality via Inspect.
+	var states []map[uint64]uint64
+	for i := 0; i < replicas; i++ {
+		n.Replica(i).Inspect(func(ds DataStructure[kvRead, kvWrite, kvResp]) {
+			src := ds.(*kvStore).m
+			cp := make(map[uint64]uint64, len(src))
+			for k, v := range src {
+				cp[k] = v
+			}
+			states = append(states, cp)
+		})
+	}
+	for i := 1; i < replicas; i++ {
+		if len(states[i]) != len(states[0]) {
+			t.Fatalf("replica %d has %d keys, replica 0 has %d",
+				i, len(states[i]), len(states[0]))
+		}
+		for k, v := range states[0] {
+			if states[i][k] != v {
+				t.Fatalf("replica %d diverged at key %d: %#x != %#x", i, k, states[i][k], v)
+			}
+		}
+	}
+}
+
+// TestShardedRegisterUnwindsOnFailure is the regression test for the
+// slot leak: Sharded.Register used to abandon slots claimed on shards
+// 0..k-1 when shard k failed, so repeated failures permanently
+// exhausted MaxThreadsPerReplica on the earlier shards.
+func TestShardedRegisterUnwindsOnFailure(t *testing.T) {
+	// Small log ring: at most 8 threads per replica ((8+1)*2 > 16).
+	s := NewSharded(3, Options{Replicas: 1, LogSize: 16}, newKV)
+	capPerShard := 0
+	var hold []*ThreadContext[kvRead, kvWrite, kvResp]
+	for {
+		c, err := s.Shard(2).Register(0)
+		if err != nil {
+			break
+		}
+		hold = append(hold, c)
+		capPerShard++
+	}
+	if capPerShard == 0 {
+		t.Fatal("no capacity at all")
+	}
+
+	// Every Sharded.Register now fails on shard 2. Before the fix, each
+	// failure leaked one slot on shards 0 and 1; capPerShard+1 failures
+	// would exhaust them even after shard 2 freed up.
+	for i := 0; i < capPerShard+2; i++ {
+		if _, err := s.Register(0); err == nil {
+			t.Fatal("Sharded.Register succeeded with shard 2 full")
+		}
+	}
+	for sh := 0; sh < 2; sh++ {
+		if got := s.Shard(sh).NumThreads(0); got != 0 {
+			t.Fatalf("shard %d leaked %d slots after failed registrations", sh, got)
+		}
+	}
+
+	// Free shard 2 and confirm full registration works again.
+	for _, c := range hold {
+		c.Deregister()
+	}
+	th, err := s.Register(0)
+	if err != nil {
+		t.Fatalf("register after unwind: %v", err)
+	}
+	for k := uint64(0); k < 20; k++ {
+		th.Execute(k, kvWrite{key: k, val: k})
+	}
+	for k := uint64(0); k < 20; k++ {
+		if got := th.ExecuteRead(k, kvRead{key: k}); !got.ok || got.val != k {
+			t.Fatalf("key %d = %+v after re-registration", k, got)
+		}
+	}
+	th.Deregister()
+}
+
+// TestDeregisterReusesSlots pins the freelist behavior: register/
+// deregister cycles far beyond MaxThreadsPerReplica must keep working,
+// and a reused slot must deliver responses to its new owner.
+func TestDeregisterReusesSlots(t *testing.T) {
+	n := New(Options{Replicas: 1}, newKV)
+	for i := 0; i < 2*MaxThreadsPerReplica; i++ {
+		c, err := n.Register(0)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if r := c.Execute(kvWrite{key: 1, val: uint64(i)}); i > 0 && (!r.ok || r.val != uint64(i-1)) {
+			t.Fatalf("cycle %d: stale response %+v", i, r)
+		}
+		c.Deregister()
+	}
+	if got := n.NumThreads(0); got != 0 {
+		t.Fatalf("active threads = %d after balanced cycles", got)
+	}
+}
+
+func TestDoubleDeregisterPanics(t *testing.T) {
+	n := New(Options{Replicas: 1}, newKV)
+	c := n.MustRegister(0)
+	c.Deregister()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Deregister did not panic")
+		}
+	}()
+	c.Deregister()
+}

@@ -1,0 +1,54 @@
+package obs
+
+import "sync/atomic"
+
+// cell is one cache-line-padded counter shard. The padding keeps
+// concurrent recorders on different shards from false-sharing a line
+// (64-byte lines on the paper's testbed; 128 would also cover adjacent
+// prefetch, but doubles the footprint of the per-opcode histograms).
+type cell struct {
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+// Counter is a monotonically increasing, shard-striped counter.
+type Counter struct {
+	name  string
+	cells [NumShards]cell
+}
+
+// NewCounter creates and registers a counter.
+func NewCounter(name string) *Counter {
+	c := &Counter{name: name}
+	registry.mu.Lock()
+	registry.counters = append(registry.counters, c)
+	registry.mu.Unlock()
+	return c
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by n on the caller's shard. No-op while
+// stats are disabled.
+func (c *Counter) Add(shard uint32, n uint64) {
+	if !enabled.Load() {
+		return
+	}
+	c.cells[shard&shardMask].v.Add(n)
+}
+
+// Load sums the shards.
+func (c *Counter) Load() uint64 {
+	var total uint64
+	for i := range c.cells {
+		total += c.cells[i].v.Load()
+	}
+	return total
+}
+
+func (c *Counter) reset() {
+	for i := range c.cells {
+		c.cells[i].v.Store(0)
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The kernel-wide metric set. Instrumented layers (nr, sys, core,
+// sched, fs, pt) reference these directly; keeping the declarations
+// here means one place documents what the kernel measures, and the
+// instrumented packages add only record calls.
+//
+// Metrics recorded inside the replicated state machine (kernel.apply,
+// sched.*, fs.*, pt.*) count per *application*, not per syscall: NR
+// applies every logged operation once per replica, so with R replicas
+// those totals are R× the syscall counts. The dispatch-boundary metrics
+// (syscall family, nr.*) count once per call.
+var (
+	// NR flat-combining log (internal/nr).
+	NRBatchSize      = NewHist("nr.batch_size", UnitCount)      // ops per combiner pass
+	NRCombineLatency = NewHist("nr.combine_latency", UnitNanos) // full combine() pass
+	NRLogFullStalls  = NewCounter("nr.log_full_stalls")         // waitForSpace entries that had to wait
+	NRLogStallTime   = NewHist("nr.log_stall", UnitNanos)       // time spent waiting for ring space
+	NRExecuteRetries = NewCounter("nr.execute_retries")         // defensive retry in Execute
+
+	// Syscall dispatch boundary (internal/core handler), once per
+	// syscall, indexed by sys.Num*.
+	Syscalls = NewOpStats("syscall", MaxSyscallOps)
+
+	// Kernel state-machine applies (internal/sys DispatchWrite/
+	// DispatchRead), once per replica per op, indexed by sys.Num*.
+	KernelApplies = NewOpStats("kernel.apply", MaxSyscallOps)
+
+	// Scheduler (internal/sched).
+	SchedDispatches = NewCounter("sched.dispatches") // successful PickNext
+	SchedPreempts   = NewCounter("sched.preempts")   // Yield
+	SchedBlocks     = NewCounter("sched.blocks")
+	SchedWakes      = NewCounter("sched.wakes")
+
+	// Filesystem (internal/fs).
+	FSReadLatency  = NewHist("fs.read_latency", UnitNanos)
+	FSWriteLatency = NewHist("fs.write_latency", UnitNanos)
+	FSMetaOps      = NewCounter("fs.meta_ops") // create/unlink/mkdir/rmdir/link/rename
+
+	// Page tables (internal/pt).
+	PTMapLatency   = NewHist("pt.map_latency", UnitNanos)
+	PTUnmapLatency = NewHist("pt.unmap_latency", UnitNanos)
+
+	// Kernel event ring.
+	KernelTrace = NewTrace("kernel", 4096)
+)
+
+// MaxSyscallOps bounds the opcode space of the syscall OpStats. It must
+// be at least the highest sys.Num* + 1; sys's obligations assert this
+// at test time so adding a syscall without growing it fails loudly
+// instead of clamping silently.
+const MaxSyscallOps = 48
+
+// Kernel trace event kinds.
+var (
+	KindSyscall  = RegisterKind("syscall")   // A=opcode, B=pid
+	KindDispatch = RegisterKind("dispatch")  // A=tid, B=core
+	KindPreempt  = RegisterKind("preempt")   // A=tid
+	KindPTMap    = RegisterKind("pt.map")    // A=va, B=frame
+	KindPTUnmap  = RegisterKind("pt.unmap")  // A=va, B=frame
+	KindFSMeta   = RegisterKind("fs.meta")   // A=op hash, B=ino
+	KindLogStall = RegisterKind("log.stall") // A=log index, B=replica
+)
+
+// RenderSummary prints every counter and histogram of a snapshot in
+// name order — the `vnros stats` body. Op families need a namer, so
+// they are rendered by the caller via RenderOps.
+func (s Snapshot) RenderSummary() string {
+	var b strings.Builder
+	state := "disabled"
+	if s.Enabled {
+		state = "enabled"
+	}
+	fmt.Fprintf(&b, "kstats (%s)\n\ncounters:\n", state)
+	for _, k := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "  %-24s %12d\n", k, s.Counters[k])
+	}
+	b.WriteString("\nhistograms:\n")
+	for _, k := range sortedKeys(s.Hists) {
+		h := s.Hists[k]
+		if h.Count == 0 {
+			continue
+		}
+		for _, line := range strings.Split(strings.TrimRight(h.Render(), "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// OpStats tracks a family of operations indexed by a small integer
+// opcode: a count and a latency histogram per opcode. The syscall
+// boundary uses one instance indexed by sys.Num*; obs itself stays
+// ignorant of opcode names — callers supply a namer at render time, so
+// the dependency arrow keeps pointing from the instrumented layers into
+// obs and never back.
+type OpStats struct {
+	name  string
+	count []*Counter
+	lat   []*Hist
+}
+
+// NewOpStats creates and registers an operation family with numOps
+// opcodes (opcodes >= numOps are clamped onto the last slot rather than
+// dropped, so a new syscall never records out of bounds).
+func NewOpStats(name string, numOps int) *OpStats {
+	if numOps < 1 {
+		numOps = 1
+	}
+	o := &OpStats{name: name}
+	for i := 0; i < numOps; i++ {
+		// Members are not individually registered: OpStats snapshots
+		// them as a unit.
+		o.count = append(o.count, &Counter{name: fmt.Sprintf("%s.count.%d", name, i)})
+		o.lat = append(o.lat, &Hist{name: fmt.Sprintf("%s.latency.%d", name, i), unit: UnitNanos})
+	}
+	registry.mu.Lock()
+	registry.ops = append(registry.ops, o)
+	registry.mu.Unlock()
+	return o
+}
+
+func (o *OpStats) clamp(op uint64) int {
+	if op >= uint64(len(o.count)) {
+		return len(o.count) - 1
+	}
+	return int(op)
+}
+
+// Count increments the opcode's counter without latency.
+func (o *OpStats) Count(op uint64, shard uint32) {
+	if !enabled.Load() {
+		return
+	}
+	i := o.clamp(op)
+	o.count[i].cells[shard&shardMask].v.Add(1)
+}
+
+// Observe records one completed operation: a count plus its latency
+// from a Start token. Zero tokens record the count only.
+func (o *OpStats) Observe(op uint64, shard uint32, t0 time.Time) {
+	if !enabled.Load() {
+		return
+	}
+	i := o.clamp(op)
+	o.count[i].cells[shard&shardMask].v.Add(1)
+	o.lat[i].Since(shard, t0)
+}
+
+func (o *OpStats) reset() {
+	for i := range o.count {
+		o.count[i].reset()
+		o.lat[i].reset()
+	}
+}
+
+// OpSnapshot is one opcode's share of an OpStats snapshot.
+type OpSnapshot struct {
+	Op      uint64
+	Count   uint64
+	Latency HistSnapshot
+}
+
+// Snapshot returns the non-empty opcodes in opcode order.
+func (o *OpStats) Snapshot() []OpSnapshot {
+	var out []OpSnapshot
+	for i := range o.count {
+		n := o.count[i].Load()
+		if n == 0 {
+			continue
+		}
+		out = append(out, OpSnapshot{Op: uint64(i), Count: n, Latency: o.lat[i].Snapshot()})
+	}
+	return out
+}
+
+// RenderOps prints an OpStats snapshot as a percentile table. namer
+// maps opcodes to display names (nil falls back to the number).
+func RenderOps(title string, ops []OpSnapshot, namer func(uint64) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s %10s %10s\n", "op", "count", "mean", "p50", "p95", "p99")
+	for _, o := range ops {
+		name := fmt.Sprintf("op%d", o.Op)
+		if namer != nil {
+			name = namer(o.Op)
+		}
+		l := o.Latency
+		if l.Count == 0 {
+			fmt.Fprintf(&b, "%-14s %10d %10s %10s %10s %10s\n", name, o.Count, "-", "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%-14s %10d %10s %10s %10s %10s\n", name, o.Count,
+			l.formatValue(uint64(l.Mean())),
+			l.formatValue(l.Percentile(0.50)),
+			l.formatValue(l.Percentile(0.95)),
+			l.formatValue(l.Percentile(0.99)))
+	}
+	return b.String()
+}

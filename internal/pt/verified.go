@@ -5,6 +5,7 @@ import (
 
 	"github.com/verified-os/vnros/internal/hw/mem"
 	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/obs"
 )
 
 // Verified is the proof-structured page-table implementation. Each
@@ -36,6 +37,10 @@ type Verified struct {
 	// runtime, and with checks off the hot path is identical to
 	// Unverified's.
 	ghostChecksEnabled bool
+
+	// obsShard stripes this address space's kstat updates (pt.* kstats
+	// are apply-side: one count per replica per logged map/unmap).
+	obsShard uint32
 }
 
 // tableInfo is bookkeeping for one directory frame.
@@ -55,11 +60,12 @@ func NewVerified(m *mem.PhysMem, frames FrameSource, inval InvalidateFunc) (*Ver
 		inval = func(mmu.VAddr) {}
 	}
 	return &Verified{
-		m:      m,
-		frames: frames,
-		root:   root,
-		inval:  inval,
-		tables: make(map[mem.PAddr]*tableInfo),
+		m:        m,
+		frames:   frames,
+		root:     root,
+		inval:    inval,
+		tables:   make(map[mem.PAddr]*tableInfo),
+		obsShard: obs.NextShard(),
 	}, nil
 }
 
@@ -148,6 +154,7 @@ func (v *Verified) Map(va mmu.VAddr, frame mem.PAddr, size uint64, flags mmu.Fla
 	if err := checkArgs(va, frame, size); err != nil {
 		return err
 	}
+	t0 := obs.Start()
 	target := leafLevel(size)
 
 	// Phase 1: walk (and build) the directory path down to the target
@@ -181,6 +188,8 @@ func (v *Verified) Map(va mmu.VAddr, frame mem.PAddr, size uint64, flags mmu.Fla
 			return fmt.Errorf("pt: ghost check after map: %w", err)
 		}
 	}
+	obs.PTMapLatency.Since(v.obsShard, t0)
+	obs.KernelTrace.Emit(obs.KindPTMap, uint64(va), uint64(frame))
 	return nil
 }
 
@@ -202,6 +211,7 @@ func (v *Verified) Unmap(va mmu.VAddr) (mem.PAddr, error) {
 	if !va.IsCanonical() {
 		return 0, fmt.Errorf("%w: %v", ErrNonCanonical, va)
 	}
+	t0 := obs.Start()
 
 	// Phase 1: locate the leaf and record the path.
 	var path []pathStep
@@ -264,6 +274,8 @@ func (v *Verified) Unmap(va mmu.VAddr) (mem.PAddr, error) {
 			return 0, fmt.Errorf("pt: ghost check after unmap: %w", err)
 		}
 	}
+	obs.PTUnmapLatency.Since(v.obsShard, t0)
+	obs.KernelTrace.Emit(obs.KindPTUnmap, uint64(va), uint64(leaf.Addr()))
 	return leaf.Addr(), nil
 }
 

@@ -14,6 +14,8 @@ package sched
 import (
 	"errors"
 	"fmt"
+
+	"github.com/verified-os/vnros/internal/obs"
 )
 
 // TID is a thread identifier.
@@ -74,11 +76,17 @@ type TCB struct {
 type RunQueue struct {
 	threads map[TID]*TCB
 	queues  [NumPriorities][]TID // FIFO per priority, ready threads only
+
+	// obsShard stripes this instance's kstat updates (one RunQueue per
+	// kernel replica; replicas apply concurrently). Note the sched.*
+	// kstats are apply-side: with R replicas each dispatch is counted R
+	// times — see the internal/obs package comment.
+	obsShard uint32
 }
 
 // NewRunQueue returns an empty scheduler.
 func NewRunQueue() *RunQueue {
-	return &RunQueue{threads: make(map[TID]*TCB)}
+	return &RunQueue{threads: make(map[TID]*TCB), obsShard: obs.NextShard()}
 }
 
 // Add registers a new thread in the ready state.
@@ -115,6 +123,8 @@ func (q *RunQueue) PickNext(core int) (TID, error) {
 			t.State = StateRunning
 			t.Core = core
 			t.Runs++
+			obs.SchedDispatches.Add(q.obsShard, 1)
+			obs.KernelTrace.Emit(obs.KindDispatch, uint64(tid), uint64(core))
 			return tid, nil
 		}
 	}
@@ -133,6 +143,8 @@ func (q *RunQueue) Yield(tid TID) error {
 	}
 	t.State = StateReady
 	q.queues[t.Priority] = append(q.queues[t.Priority], tid)
+	obs.SchedPreempts.Add(q.obsShard, 1)
+	obs.KernelTrace.Emit(obs.KindPreempt, uint64(tid), 0)
 	return nil
 }
 
@@ -146,6 +158,7 @@ func (q *RunQueue) Block(tid TID) error {
 		return fmt.Errorf("%w: block of %v thread %d", ErrBadState, t.State, tid)
 	}
 	t.State = StateBlocked
+	obs.SchedBlocks.Add(q.obsShard, 1)
 	return nil
 }
 
@@ -160,6 +173,7 @@ func (q *RunQueue) Wake(tid TID) error {
 	}
 	t.State = StateReady
 	q.queues[t.Priority] = append(q.queues[t.Priority], tid)
+	obs.SchedWakes.Add(q.obsShard, 1)
 	return nil
 }
 

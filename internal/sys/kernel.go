@@ -7,6 +7,7 @@ import (
 	"github.com/verified-os/vnros/internal/hw/mem"
 	"github.com/verified-os/vnros/internal/hw/mmu"
 	"github.com/verified-os/vnros/internal/mm"
+	"github.com/verified-os/vnros/internal/obs"
 	"github.com/verified-os/vnros/internal/proc"
 	"github.com/verified-os/vnros/internal/pt"
 	"github.com/verified-os/vnros/internal/sched"
@@ -36,6 +37,10 @@ type Kernel struct {
 	// replica's private page-table frame source.
 	pmem   *mem.PhysMem
 	tables pt.FrameSource
+
+	// obsShard stripes this replica's kstat updates away from its
+	// peers' (assigned at construction; replicas apply concurrently).
+	obsShard uint32
 }
 
 // NewKernel creates a kernel replica. The init process (PID 1) exists
@@ -43,14 +48,15 @@ type Kernel struct {
 // caretaker process).
 func NewKernel(pmem *mem.PhysMem, tables pt.FrameSource) *Kernel {
 	k := &Kernel{
-		fs:     fs.New(),
-		fds:    make(map[proc.PID]*fs.FDTable),
-		procs:  proc.NewTable(),
-		rq:     sched.NewRunQueue(),
-		vs:     make(map[proc.PID]*mm.VSpace),
-		spaces: make(map[proc.PID]*pt.Verified),
-		pmem:   pmem,
-		tables: tables,
+		fs:       fs.New(),
+		fds:      make(map[proc.PID]*fs.FDTable),
+		procs:    proc.NewTable(),
+		rq:       sched.NewRunQueue(),
+		vs:       make(map[proc.PID]*mm.VSpace),
+		spaces:   make(map[proc.PID]*pt.Verified),
+		pmem:     pmem,
+		tables:   tables,
+		obsShard: obs.NextShard(),
 	}
 	k.fds[proc.InitPID] = fs.NewFDTable(k.fs)
 	return k
@@ -93,7 +99,11 @@ func (k *Kernel) fdTable(pid proc.PID) (*fs.FDTable, Errno) {
 }
 
 // DispatchWrite implements nr.DataStructure: the mutating syscalls.
+// The kernel.apply kstat counts once per replica per logged op (R× the
+// syscall count with R replicas) — the ratio against the syscall-level
+// counts is exactly the replication amplification.
 func (k *Kernel) DispatchWrite(op WriteOp) Resp {
+	obs.KernelApplies.Count(op.Num, k.obsShard)
 	switch op.Num {
 	case NumOpen:
 		t, e := k.fdTable(op.PID)
@@ -407,6 +417,7 @@ func (k *Kernel) munmap(op WriteOp) Resp {
 
 // DispatchRead implements nr.DataStructure: the read-only syscalls.
 func (k *Kernel) DispatchRead(op ReadOp) Resp {
+	obs.KernelApplies.Count(op.Num, k.obsShard)
 	switch op.Num {
 	case NumStat:
 		st, err := k.fs.StatPath(op.Path)

@@ -1,6 +1,8 @@
 package sys
 
 import (
+	"fmt"
+
 	"github.com/verified-os/vnros/internal/fs"
 	"github.com/verified-os/vnros/internal/hw/mem"
 	"github.com/verified-os/vnros/internal/hw/mmu"
@@ -54,6 +56,38 @@ const (
 	NumMemWrite
 	NumMemCAS
 )
+
+// opNames maps syscall numbers to their display names, for the
+// observability layer (obs records by number; tools render names).
+var opNames = map[uint64]string{
+	NumOpen: "open", NumClose: "close", NumRead: "read", NumWrite: "write",
+	NumSeek: "seek", NumStat: "stat", NumMkdir: "mkdir", NumUnlink: "unlink",
+	NumRmdir: "rmdir", NumRename: "rename", NumLink: "link",
+	NumReadDir: "readdir", NumTruncate: "truncate",
+	NumSpawn: "spawn", NumWaitPID: "waitpid", NumExit: "exit", NumKill: "kill",
+	NumGetPID: "getpid", NumTakeSignal: "takesignal",
+	NumMMap: "mmap", NumMUnmap: "munmap", NumMemResolve: "memresolve",
+	NumThreadAdd: "thread_add", NumThreadYield: "thread_yield",
+	NumThreadBlock: "thread_block", NumThreadWake: "thread_wake",
+	NumThreadExit: "thread_exit", NumPickNext: "picknext",
+	NumFutexWait: "futex_wait", NumFutexWake: "futex_wake",
+	NumSockBind: "sock_bind", NumSockSend: "sock_send",
+	NumSockRecv: "sock_recv", NumSockClose: "sock_close",
+	NumMemRead: "mem_read", NumMemWrite: "mem_write", NumMemCAS: "mem_cas",
+}
+
+// OpName returns the syscall's display name ("open", "mmap", ...), or
+// "sys<N>" for unknown numbers.
+func OpName(num uint64) string {
+	if s, ok := opNames[num]; ok {
+		return s
+	}
+	return fmt.Sprintf("sys%d", num)
+}
+
+// MaxOpNum is the highest assigned syscall number (wire ABI bound; the
+// obs opcode space must cover it).
+const MaxOpNum = NumMemCAS
 
 // WriteOp is a mutating kernel operation — one logged NR entry. A
 // single struct (rather than one type per syscall) keeps the NR

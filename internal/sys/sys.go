@@ -33,9 +33,11 @@ type Sys struct {
 	pid proc.PID
 	h   Handler
 
-	// contract checking (optional).
-	viewer Viewer
+	// contract checking (optional). mu guards viewer and cerr: the
+	// viewer may be attached by EnableContract after syscall goroutines
+	// are already running, so unsynchronized reads would race.
 	mu     sync.Mutex
+	viewer Viewer
 	cerr   error
 }
 
@@ -46,8 +48,15 @@ func NewSys(pid proc.PID, h Handler) *Sys { return &Sys{pid: pid, h: h} }
 func (s *Sys) PID() proc.PID { return s.pid }
 
 // EnableContract attaches a Viewer; from now on file syscalls are
-// checked against read_spec/write_spec/seek_spec.
-func (s *Sys) EnableContract(v Viewer) { s.viewer = v }
+// checked against read_spec/write_spec/seek_spec. Safe to call while
+// other goroutines are issuing syscalls through this handle: syscalls
+// already past their view() snapshot complete unchecked, later ones
+// are checked.
+func (s *Sys) EnableContract(v Viewer) {
+	s.mu.Lock()
+	s.viewer = v
+	s.mu.Unlock()
+}
 
 // ContractErr returns the first recorded contract violation, if any.
 func (s *Sys) ContractErr() error {
@@ -91,10 +100,15 @@ func (s *Sys) callRead(op ReadOp) Resp {
 // view snapshots the kernel's abstraction of this process's
 // descriptors (contract mode only).
 func (s *Sys) view() (fs.SpecState, bool) {
-	if s.viewer == nil {
+	s.mu.Lock()
+	v := s.viewer
+	s.mu.Unlock()
+	if v == nil {
 		return fs.SpecState{}, false
 	}
-	return s.viewer.ViewFDs(s.pid)
+	// ViewFDs runs outside the lock: it crosses into the kernel and
+	// must not serialize against recordViolation on other goroutines.
+	return v.ViewFDs(s.pid)
 }
 
 // Open opens (or with fs.OCreate creates) path.
