@@ -271,6 +271,86 @@ func BenchmarkSyscallPath(b *testing.B) {
 	}
 }
 
+// ringBenchBatch is the SQ depth the ring benchmarks submit per
+// crossing (the acceptance point for the batched-vs-scalar speedup).
+const ringBenchBatch = 32
+
+// ringBenchSetup boots a 2-core system and opens the benchmark file;
+// contract checking is live (Init enables it), so both ring benchmarks
+// measure the spec-checked path.
+func ringBenchSetup(b *testing.B) (*vnros.Sys, vnros.FD) {
+	b.Helper()
+	system, err := vnros.Boot(vnros.Config{Cores: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	initSys, err := system.Init()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fd, e := initSys.Open("/ring-bench", vnros.OCreate|vnros.ORdWr)
+	if e != vnros.EOK {
+		b.Fatal(e)
+	}
+	return initSys, fd
+}
+
+// BenchmarkRingSubmit measures the batched submission ring: one seek
+// plus 32 writes drained through a single SQ crossing (one combiner
+// round, one view-snapshot pair for the whole batch).
+func BenchmarkRingSubmit(b *testing.B) {
+	initSys, fd := ringBenchSetup(b)
+	payload := []byte("sixteen bytes!!!")
+	ops := make([]vnros.Op, 0, ringBenchBatch+1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops = ops[:0]
+		ops = append(ops, vnros.OpSeek(fd, 0, vnros.SeekSet))
+		for j := 0; j < ringBenchBatch; j++ {
+			ops = append(ops, vnros.OpWrite(fd, payload))
+		}
+		comps, e := initSys.SubmitWait(ops)
+		if e != vnros.EOK {
+			b.Fatal(e)
+		}
+		for _, c := range comps {
+			if c.Errno != vnros.EOK {
+				b.Fatal(c.Errno)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*(ringBenchBatch+1)/b.Elapsed().Seconds(), "ops/s")
+	if err := initSys.ContractErr(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRingPerCallBaseline issues the identical op sequence one
+// scalar syscall at a time — the loop BenchmarkRingSubmit must beat by
+// ≥2× (each call pays its own crossing, combiner round, and contract
+// snapshot pair).
+func BenchmarkRingPerCallBaseline(b *testing.B) {
+	initSys, fd := ringBenchSetup(b)
+	payload := []byte("sixteen bytes!!!")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, e := initSys.Seek(fd, 0, vnros.SeekSet); e != vnros.EOK {
+			b.Fatal(e)
+		}
+		for j := 0; j < ringBenchBatch; j++ {
+			if _, e := initSys.Write(fd, payload); e != vnros.EOK {
+				b.Fatal(e)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*(ringBenchBatch+1)/b.Elapsed().Seconds(), "ops/s")
+	if err := initSys.ContractErr(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkSyscallPathStatsEnabled is BenchmarkSyscallPath with kstats
 // recording on (dispatch-boundary OpStats, kernel.apply counts, trace
 // emit, fs latency histograms all fire).

@@ -21,13 +21,15 @@ func main() {
 	table := flag.Int("table", 0, "table to print: 1 or 2")
 	ablations := flag.Bool("ablations", false, "run the DESIGN.md ablations")
 	stats := flag.Bool("stats", false, "run the kstats workload: combiner batch-size histogram + per-opcode syscall latency percentiles")
+	ring := flag.Bool("ring", false, "compare the batched submission ring against the per-call syscall loop")
 	all := flag.Bool("all", false, "run everything")
 	ops := flag.Int("ops", 200, "operations per core for figures 1b/1c and the kstats workload")
+	batch := flag.Int("batch", 32, "submission-queue depth for the -ring comparison")
 	cores := flag.String("cores", "1,8,16,24,28", "comma-separated core counts")
 	seed := flag.Int64("seed", 2026, "VC seed for figure 1a")
 	flag.Parse()
 
-	if *fig == "" && *table == 0 && !*ablations && !*stats {
+	if *fig == "" && *table == 0 && !*ablations && !*stats && !*ring {
 		*all = true
 	}
 	coreCounts, err := parseCores(*cores)
@@ -89,6 +91,14 @@ func main() {
 			fmt.Println()
 		}
 		if err := runStats(c, c, *ops); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *ring {
+		if *all {
+			fmt.Println()
+		}
+		if err := runRing(2, *batch, 200); err != nil {
 			fatal(err)
 		}
 	}

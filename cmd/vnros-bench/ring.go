@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	vnros "github.com/verified-os/vnros"
+	"github.com/verified-os/vnros/internal/obs"
+)
+
+// runRing compares the batched submission ring against the equivalent
+// per-call syscall loop — the same ops, once drained through single
+// NumBatch crossings and once issued one boundary crossing at a time —
+// and reports the throughput of both plus the kernel's batch-size and
+// per-batch latency histograms. Contract checking is live on both
+// sides.
+func runRing(cores, batch, rounds int) error {
+	system, err := vnros.Boot(vnros.Config{Cores: cores})
+	if err != nil {
+		return err
+	}
+	initSys, err := system.Init()
+	if err != nil {
+		return err
+	}
+	fd, e := initSys.Open("/ring", vnros.OCreate|vnros.ORdWr)
+	if e != vnros.EOK {
+		return fmt.Errorf("open: %v", e)
+	}
+	payload := []byte("sixteen bytes!!!")
+
+	obs.Reset()
+	obs.SetSampleRate(1)
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.SetSampleRate(obs.DefaultSampleRate)
+	}()
+
+	// Ring: one seek plus `batch` writes per submission.
+	ops := make([]vnros.Op, 0, batch+1)
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		ops = ops[:0]
+		ops = append(ops, vnros.OpSeek(fd, 0, vnros.SeekSet))
+		for i := 0; i < batch; i++ {
+			ops = append(ops, vnros.OpWrite(fd, payload))
+		}
+		comps, e := initSys.SubmitWait(ops)
+		if e != vnros.EOK {
+			return fmt.Errorf("round %d: submit: %v", r, e)
+		}
+		for i, c := range comps {
+			if c.Errno != vnros.EOK {
+				return fmt.Errorf("round %d op %d: %v", r, i, c.Errno)
+			}
+		}
+	}
+	ringDur := time.Since(t0)
+
+	// Per-call baseline: the identical op sequence, one crossing each.
+	t0 = time.Now()
+	for r := 0; r < rounds; r++ {
+		if _, e := initSys.Seek(fd, 0, vnros.SeekSet); e != vnros.EOK {
+			return fmt.Errorf("round %d: seek: %v", r, e)
+		}
+		for i := 0; i < batch; i++ {
+			if _, e := initSys.Write(fd, payload); e != vnros.EOK {
+				return fmt.Errorf("round %d: write: %v", r, e)
+			}
+		}
+	}
+	callDur := time.Since(t0)
+
+	if err := initSys.ContractErr(); err != nil {
+		return fmt.Errorf("contract violation: %w", err)
+	}
+	if err := system.CheckReplicaAgreement(); err != nil {
+		return err
+	}
+
+	totalOps := float64(rounds * (batch + 1))
+	ringRate := totalOps / ringDur.Seconds()
+	callRate := totalOps / callDur.Seconds()
+	fmt.Printf("submission ring: %d cores, batch size %d, %d rounds (contract checking on)\n\n",
+		cores, batch, rounds)
+	fmt.Printf("  ring (Submit):    %10.0f ops/s\n", ringRate)
+	fmt.Printf("  per-call loop:    %10.0f ops/s\n", callRate)
+	fmt.Printf("  speedup:          %10.2fx\n\n", ringRate/callRate)
+
+	snap := obs.TakeSnapshot()
+	if h, ok := snap.Hists["syscall.batch_size"]; ok && h.Count > 0 {
+		fmt.Print(h.Render())
+		fmt.Println()
+	}
+	if h, ok := snap.Hists["syscall.batch_latency"]; ok && h.Count > 0 {
+		fmt.Print(h.Render())
+	}
+	return nil
+}

@@ -81,8 +81,8 @@ func storageNode(name string, replicateTo uint64, ready chan<- struct{}, served 
 			}
 			switch kind {
 			case msgPut:
-				if e := putBlock(p.Sys, block, payload); e != vnros.EOK {
-					_ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgErr, block, []byte(e.String())))
+				if err := putBlock(p.Sys, block, payload); err != nil {
+					_ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgErr, block, []byte(err.Error())))
 					continue
 				}
 				// Synchronous replication to the backup, if configured.
@@ -102,9 +102,9 @@ func storageNode(name string, replicateTo uint64, ready chan<- struct{}, served 
 				}
 				_ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgAck, block, nil))
 			case msgGet:
-				data, e := getBlock(p.Sys, block)
-				if e != vnros.EOK {
-					_ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgErr, block, []byte(e.String())))
+				data, err := getBlock(p.Sys, block)
+				if err != nil {
+					_ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgErr, block, []byte(err.Error())))
 					continue
 				}
 				_ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgData, block, data))
@@ -126,36 +126,36 @@ func storageNode(name string, replicateTo uint64, ready chan<- struct{}, served 
 
 // putBlock stores a block as a file, fsync-style durability via the
 // node's own snapshotting being left to its operator.
-func putBlock(s *vnros.Sys, block uint64, data []byte) vnros.Errno {
+func putBlock(s *vnros.Sys, block uint64, data []byte) error {
 	path := fmt.Sprintf("/blocks/%016x", block)
 	fd, e := s.Open(path, vnros.OCreate|vnros.ORdWr|vnros.OTrunc)
-	if e != vnros.EOK {
-		return e
+	if err := e.Err(); err != nil {
+		return err
 	}
 	defer s.Close(fd)
-	if _, e := s.Write(fd, data); e != vnros.EOK {
-		return e
+	if _, e := s.Write(fd, data); e.Err() != nil {
+		return e.Err()
 	}
-	return vnros.EOK
+	return nil
 }
 
 // getBlock reads a stored block.
-func getBlock(s *vnros.Sys, block uint64) ([]byte, vnros.Errno) {
+func getBlock(s *vnros.Sys, block uint64) ([]byte, error) {
 	path := fmt.Sprintf("/blocks/%016x", block)
 	st, e := s.Stat(path)
-	if e != vnros.EOK {
-		return nil, e
+	if err := e.Err(); err != nil {
+		return nil, err
 	}
 	fd, e := s.Open(path, vnros.ORdOnly)
-	if e != vnros.EOK {
-		return nil, e
+	if err := e.Err(); err != nil {
+		return nil, err
 	}
 	defer s.Close(fd)
 	buf := make([]byte, st.Size)
-	if _, e := s.Read(fd, buf); e != vnros.EOK {
-		return nil, e
+	if _, e := s.Read(fd, buf); e.Err() != nil {
+		return nil, e.Err()
 	}
-	return buf, vnros.EOK
+	return buf, nil
 }
 
 func main() {
@@ -273,9 +273,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	data, e := getBlock(initR, 3)
-	if e != vnros.EOK {
-		log.Fatalf("block 3 lost across restart: %v", e)
+	data, err := getBlock(initR, 3)
+	if err != nil {
+		log.Fatalf("block 3 lost across restart: %v", err)
 	}
 	fmt.Printf("after node restart from disk: block 3 = %q\n", data)
 }

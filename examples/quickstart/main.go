@@ -26,37 +26,39 @@ func main() {
 	// a contract violation, not silent corruption.
 	result := make(chan string, 1)
 	_, err = system.Run(initSys, "greeter", func(p *vnros.Process) int {
+		// Errno satisfies error; Err() converts to a nil-on-success
+		// error, so errno checks read like ordinary Go error handling.
 		fd, e := p.Sys.Open("/greeting.txt", vnros.OCreate|vnros.ORdWr)
-		if e != vnros.EOK {
-			result <- "open failed: " + e.String()
+		if err := e.Err(); err != nil {
+			result <- fmt.Sprintf("open failed: %v", err)
 			return 1
 		}
-		if _, e := p.Sys.Write(fd, []byte("hello from pid ")); e != vnros.EOK {
-			result <- "write failed"
+		// A vectored write crosses the boundary once for both buffers.
+		if _, e := p.Sys.Writev(fd, [][]byte{
+			[]byte("hello from pid "),
+			[]byte(fmt.Sprint(p.PID)),
+		}); e.Err() != nil {
+			result <- fmt.Sprintf("writev failed: %v", e.Err())
 			return 1
 		}
-		if _, e := p.Sys.Write(fd, []byte(fmt.Sprint(p.PID))); e != vnros.EOK {
-			result <- "write failed"
-			return 1
-		}
-		if _, e := p.Sys.Seek(fd, 0, vnros.SeekSet); e != vnros.EOK {
-			result <- "seek failed"
+		if _, e := p.Sys.Seek(fd, 0, vnros.SeekSet); e.Err() != nil {
+			result <- fmt.Sprintf("seek failed: %v", e.Err())
 			return 1
 		}
 		buf := make([]byte, 64)
 		n, e := p.Sys.Read(fd, buf)
-		if e != vnros.EOK {
-			result <- "read failed"
+		if err := e.Err(); err != nil {
+			result <- fmt.Sprintf("read failed: %v", err)
 			return 1
 		}
 		// Virtual memory: map two pages and use them.
 		base, e := p.Sys.MMap(2 * vnros.PageSize)
-		if e != vnros.EOK {
-			result <- "mmap failed"
+		if err := e.Err(); err != nil {
+			result <- fmt.Sprintf("mmap failed: %v", err)
 			return 1
 		}
-		if e := p.Sys.MemWrite(base, buf[:n]); e != vnros.EOK {
-			result <- "memwrite failed"
+		if err := p.Sys.MemWrite(base, buf[:n]).Err(); err != nil {
+			result <- fmt.Sprintf("memwrite failed: %v", err)
 			return 1
 		}
 		result <- string(buf[:n])
@@ -67,8 +69,8 @@ func main() {
 	}
 	fmt.Println("program says:", <-result)
 	system.WaitAll()
-	if _, e := initSys.Wait(); e != vnros.EOK {
-		log.Fatal("wait: ", e)
+	if _, e := initSys.Wait(); e.Err() != nil {
+		log.Fatal("wait: ", e.Err())
 	}
 	if err := initSys.ContractErr(); err != nil {
 		log.Fatal("contract violation: ", err)
@@ -88,13 +90,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fd, e := init2.Open("/greeting.txt", vnros.ORdOnly)
-	if e != vnros.EOK {
-		log.Fatal("open after reboot: ", e)
+	if err := e.Err(); err != nil {
+		log.Fatal("open after reboot: ", err)
 	}
 	buf := make([]byte, 64)
 	n, e := init2.Read(fd, buf)
-	if e != vnros.EOK {
-		log.Fatal("read after reboot: ", e)
+	if err := e.Err(); err != nil {
+		log.Fatal("read after reboot: ", err)
 	}
 	fmt.Println("after reboot:  ", string(buf[:n]))
 	fmt.Println("replica agreement:", check(system2.CheckReplicaAgreement()))

@@ -264,7 +264,32 @@ func (s *System) freeDataFrames(frames []mem.PAddr) {
 type handler struct {
 	s    *System
 	core int
-	ctx  *nr.ThreadContext[sys.ReadOp, sys.WriteOp, sys.Resp]
+	// ctxMu serializes use of the NR thread context: an asynchronous
+	// batch submission (Sys.Submit) crosses the boundary from its own
+	// goroutine, so a process's batch and its scalar syscalls can arrive
+	// concurrently on the same handler. Local ops (futex, sockets, raw
+	// memory) stay outside the mutex — FutexWait blocks, and holding
+	// ctxMu across it would deadlock the process's other traffic.
+	ctxMu sync.Mutex
+	ctx   *nr.ThreadContext[sys.ReadOp, sys.WriteOp, sys.Resp]
+}
+
+func (h *handler) execute(op sys.WriteOp) sys.Resp {
+	h.ctxMu.Lock()
+	defer h.ctxMu.Unlock()
+	return h.ctx.Execute(op)
+}
+
+func (h *handler) executeRead(op sys.ReadOp) sys.Resp {
+	h.ctxMu.Lock()
+	defer h.ctxMu.Unlock()
+	return h.ctx.ExecuteRead(op)
+}
+
+func (h *handler) executeBatch(ops []sys.WriteOp) []sys.Resp {
+	h.ctxMu.Lock()
+	defer h.ctxMu.Unlock()
+	return h.ctx.ExecuteBatch(ops)
 }
 
 // Syscall implements sys.Handler: the kernel side of the boundary. It
@@ -289,12 +314,15 @@ func (h *handler) syscall(frame marshal.SyscallFrame, payload []byte) (marshal.R
 		s.Dispatcher.Poll(c)
 	}
 
+	if frame.Num == sys.NumBatch {
+		return h.batch(frame, payload)
+	}
 	if sys.IsReadOp(frame.Num) {
 		op, err := sys.DecodeRead(frame, payload)
 		if err != nil {
 			return sys.EncodeResp(sys.Resp{Errno: sys.EINVAL})
 		}
-		return sys.EncodeResp(h.ctx.ExecuteRead(op))
+		return sys.EncodeResp(h.executeRead(op))
 	}
 	op, err := sys.DecodeWrite(frame, payload)
 	if err != nil {
@@ -315,14 +343,14 @@ func (h *handler) syscall(frame marshal.SyscallFrame, payload []byte) (marshal.R
 			return sys.EncodeResp(sys.Resp{Errno: sys.ENOMEM})
 		}
 		op.Frames = frames
-		resp := h.ctx.Execute(op)
+		resp := h.execute(op)
 		if resp.Errno != sys.EOK {
 			s.freeDataFrames(frames)
 		}
 		return sys.EncodeResp(resp)
 	}
 
-	resp := h.ctx.Execute(op)
+	resp := h.execute(op)
 	// munmap/exit return the data frames they released; give them back
 	// to the shared pool exactly once (here, on the calling path).
 	if resp.Errno == sys.EOK && len(resp.Freed) > 0 {
@@ -335,6 +363,58 @@ func (h *handler) syscall(frame marshal.SyscallFrame, payload []byte) (marshal.R
 		s.cleanupProcessLocal(op.Target)
 	}
 	return sys.EncodeResp(resp)
+}
+
+// batch drains one submission-queue vector through a single NR combiner
+// round: decode, fence off anything non-batchable, one ExecuteBatch
+// (one log reservation for the whole run), and reassemble the
+// completion queue in submission order. Non-batchable ops complete
+// individually with ENOSYS — a bad entry must not poison its
+// neighbours' completions.
+func (h *handler) batch(frame marshal.SyscallFrame, payload []byte) (marshal.RetFrame, []byte) {
+	t0 := obs.Start()
+	ops, err := sys.DecodeBatch(frame, payload)
+	if err != nil {
+		return sys.EncodeBatchResp(nil, sys.EINVAL)
+	}
+	comps := make([]sys.Completion, len(ops))
+	batchable := 0
+	for i := range ops {
+		if sys.IsBatchableOp(ops[i].Num) {
+			batchable++
+		}
+	}
+	switch {
+	case batchable == len(ops):
+		// Fast path: the whole vector rides the combiner as-is.
+		for j, r := range h.executeBatch(ops) {
+			comps[j] = sys.BatchCompletion(ops[j], r)
+		}
+	case batchable > 0:
+		// Non-batchable ops complete individually with ENOSYS; the rest
+		// still cross as one contiguous run, merged back in order.
+		valid := make([]sys.WriteOp, 0, batchable)
+		idx := make([]int, 0, batchable)
+		for i := range ops {
+			if !sys.IsBatchableOp(ops[i].Num) {
+				comps[i] = sys.Completion{Op: ops[i].Num, Errno: sys.ENOSYS}
+				continue
+			}
+			valid = append(valid, ops[i])
+			idx = append(idx, i)
+		}
+		for j, r := range h.executeBatch(valid) {
+			comps[idx[j]] = sys.BatchCompletion(valid[j], r)
+		}
+	default:
+		for i := range ops {
+			comps[i] = sys.Completion{Op: ops[i].Num, Errno: sys.ENOSYS}
+		}
+	}
+	obs.SyscallBatchSize.Record(uint32(h.core), uint64(len(ops)))
+	obs.SyscallBatchLatency.Since(uint32(h.core), t0)
+	obs.KernelTrace.Emit(obs.KindBatch, uint64(len(ops)), uint64(h.core))
+	return sys.EncodeBatchResp(comps, sys.EOK)
 }
 
 // cleanupProcessLocal tears down core-side state (sockets, futexes).

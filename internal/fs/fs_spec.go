@@ -1,6 +1,7 @@
 package fs
 
 import (
+	"bytes"
 	"fmt"
 )
 
@@ -23,11 +24,14 @@ import (
 // the relation, exactly as the `ensures` clause of the paper's read
 // wrapper demands.
 
-// SpecFile is the abstract view of one descriptor.
+// SpecFile is the abstract view of one descriptor. Ino identifies the
+// underlying file so checkers can tell when two descriptors alias the
+// same contents; the transition relations themselves never inspect it.
 type SpecFile struct {
 	Contents []byte
 	Offset   uint64
 	Locked   bool
+	Ino      Ino
 }
 
 // Size returns the abstract file size.
@@ -44,7 +48,7 @@ func (s SpecState) CloneSpec() SpecState {
 	for fd, f := range s.Files {
 		c := make([]byte, len(f.Contents))
 		copy(c, f.Contents)
-		out.Files[fd] = SpecFile{Contents: c, Offset: f.Offset, Locked: f.Locked}
+		out.Files[fd] = SpecFile{Contents: c, Offset: f.Offset, Locked: f.Locked, Ino: f.Ino}
 	}
 	return out
 }
@@ -71,10 +75,16 @@ func ReadSpec(pre, post SpecState, fd FD, bufferLen uint64, gotBuffer []byte, re
 		return fmt.Errorf("read_spec: read_len %d != min(buffer.len=%d, size-offset=%d)",
 			readLen, bufferLen, pf.Size()-min64(pf.Offset, pf.Size()))
 	}
-	for i := uint64(0); i < readLen; i++ {
-		if gotBuffer[i] != pf.Contents[pf.Offset+i] {
-			return fmt.Errorf("read_spec: buffer[%d] = %#x != contents[%d] = %#x",
-				i, gotBuffer[i], pf.Offset+i, pf.Contents[pf.Offset+i])
+	// Fast path: the whole-segment comparison is the relation; the byte
+	// loop only runs on mismatch to name the offending index.
+	// readLen > 0 implies offset+readLen <= size, so the slice is in
+	// bounds (readLen == 0 can coincide with an offset beyond EOF).
+	if readLen > 0 && !bytes.Equal(gotBuffer[:readLen], pf.Contents[pf.Offset:pf.Offset+readLen]) {
+		for i := uint64(0); i < readLen; i++ {
+			if gotBuffer[i] != pf.Contents[pf.Offset+i] {
+				return fmt.Errorf("read_spec: buffer[%d] = %#x != contents[%d] = %#x",
+					i, gotBuffer[i], pf.Offset+i, pf.Contents[pf.Offset+i])
+			}
 		}
 	}
 	qf, ok := post.Files[fd]
@@ -113,24 +123,54 @@ func WriteSpec(pre, post SpecState, fd FD, data []byte, wrote uint64) error {
 	if qf.Size() != wantSize {
 		return fmt.Errorf("write_spec: post size %d != %d", qf.Size(), wantSize)
 	}
-	for i := uint64(0); i < qf.Size(); i++ {
-		var want byte
-		switch {
-		case i >= pf.Offset && i < pf.Offset+wrote:
-			want = data[i-pf.Offset]
-		case i < pf.Size():
-			want = pf.Contents[i]
-		default:
-			want = 0 // gap beyond old EOF zero-fills
-		}
-		if qf.Contents[i] != want {
-			return fmt.Errorf("write_spec: post contents[%d] = %#x, want %#x", i, qf.Contents[i], want)
+	if !writeSpecContentsOK(pf, qf, data, wrote) {
+		// Slow path names the first offending index.
+		for i := uint64(0); i < qf.Size(); i++ {
+			var want byte
+			switch {
+			case i >= pf.Offset && i < pf.Offset+wrote:
+				want = data[i-pf.Offset]
+			case i < pf.Size():
+				want = pf.Contents[i]
+			default:
+				want = 0 // gap beyond old EOF zero-fills
+			}
+			if qf.Contents[i] != want {
+				return fmt.Errorf("write_spec: post contents[%d] = %#x, want %#x", i, qf.Contents[i], want)
+			}
 		}
 	}
 	if qf.Offset != pf.Offset+wrote {
 		return fmt.Errorf("write_spec: post offset %d != %d", qf.Offset, pf.Offset+wrote)
 	}
 	return nil
+}
+
+// writeSpecContentsOK is the segment form of WriteSpec's contents
+// clause: prefix preserved, any gap beyond old EOF zero-filled, the
+// written data at the pre offset, suffix preserved. The caller has
+// already established wrote == len(data) and post size == the expected
+// size, so every slice below is in bounds.
+func writeSpecContentsOK(pf, qf SpecFile, data []byte, wrote uint64) bool {
+	cut := min64(pf.Offset, pf.Size())
+	if !bytes.Equal(qf.Contents[:cut], pf.Contents[:cut]) {
+		return false
+	}
+	for _, b := range qf.Contents[cut:pf.Offset] { // gap beyond old EOF
+		if b != 0 {
+			return false
+		}
+	}
+	end := pf.Offset + wrote
+	if !bytes.Equal(qf.Contents[pf.Offset:end], data) {
+		return false
+	}
+	if end >= qf.Size() {
+		return true
+	}
+	// A tail implies the write ended inside the old contents, so
+	// qf.Size() == pf.Size() here.
+	return bytes.Equal(qf.Contents[end:], pf.Contents[end:qf.Size()])
 }
 
 // SeekSpec relates pre and post for a seek.
@@ -174,7 +214,7 @@ func AbstractFDs(t *FDTable) SpecState {
 			contents = make([]byte, len(n.Data))
 			copy(contents, n.Data)
 		}
-		out.Files[fd] = SpecFile{Contents: contents, Offset: of.Offset, Locked: of.Locked}
+		out.Files[fd] = SpecFile{Contents: contents, Offset: of.Offset, Locked: of.Locked, Ino: of.Ino}
 	}
 	return out
 }

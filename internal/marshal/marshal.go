@@ -197,5 +197,26 @@ func (d *Decoder) BytesField() []byte {
 	return out
 }
 
+// BytesFieldRef reads a length-prefixed byte string without copying:
+// the result aliases the decoder's buffer. Safe only when the buffer is
+// a per-crossing payload that is never mutated after encoding — the
+// syscall codec's Data fields qualify, since every crossing encodes
+// into a fresh buffer.
+func (d *Decoder) BytesFieldRef() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxBytes {
+		d.err = fmt.Errorf("%w: %d", ErrTooLong, n)
+		return nil
+	}
+	p := d.take(int(n))
+	if p == nil {
+		return nil
+	}
+	return p
+}
+
 // String reads a length-prefixed string.
 func (d *Decoder) String() string { return string(d.BytesField()) }

@@ -42,9 +42,29 @@ type ThreadContext[Rd any, Wr any, Resp any] struct {
 	op   Wr
 	resp Resp
 	st   atomic.Uint32
+	// ops/resps/filled carry a multi-op submission (ExecuteBatch): when
+	// ops is non-nil the slot contributes len(ops) contiguous log
+	// entries instead of one, and combiners deposit responses in log
+	// order at resps[filled++], marking slotDone only when the last one
+	// lands. All three are written by the owner before the slotPending
+	// store and otherwise touched only under r.combiner, so the same
+	// release/acquire edges that protect op/resp protect them.
+	ops    []Wr
+	resps  []Resp
+	filled uint32
 	// deregistered marks a released slot (guarded by r.mu); it exists
 	// only to catch double-Deregister misuse.
 	deregistered bool
+}
+
+// numOps returns how many log entries the slot's pending submission
+// occupies. Callers must have acquired visibility via st (slotPending)
+// or r.combiner.
+func (c *ThreadContext[Rd, Wr, Resp]) numOps() uint64 {
+	if c.ops != nil {
+		return uint64(len(c.ops))
+	}
+	return 1
 }
 
 // Replica is one node-local copy of the data structure plus the
@@ -137,9 +157,10 @@ func (n *NR[Rd, Wr, Resp]) Register(i int) (*ThreadContext[Rd, Wr, Resp], error)
 		return nil, fmt.Errorf("nr: replica %d has %d threads registered (max %d)",
 			i, active, MaxThreadsPerReplica)
 	}
-	// A combiner batch (at most one op per active thread) must be
-	// smaller than half the log ring, or the log could fill with a
-	// single batch and reclamation could not keep ahead of publication.
+	// A combiner batch (at most one op per active thread; multi-op
+	// slots are separately capped by MaxBatchOps) must be smaller than
+	// half the log ring, or the log could fill with a single batch and
+	// reclamation could not keep ahead of publication.
 	if (active+1)*2 > len(n.log.slots) {
 		return nil, fmt.Errorf("nr: log ring (%d slots) too small for %d threads on replica %d",
 			len(n.log.slots), active+1, i)
@@ -207,15 +228,23 @@ func (n *NR[Rd, Wr, Resp]) MustRegister(i int) *ThreadContext[Rd, Wr, Resp] {
 // the operation has been applied at this thread's replica. The
 // linearization point is the operation's position in the shared log.
 func (c *ThreadContext[Rd, Wr, Resp]) Execute(op Wr) Resp {
-	r := c.r
 	c.op = op
 	c.st.Store(slotPending)
+	c.awaitDone()
+	c.st.Store(slotEmpty)
+	return c.resp
+}
+
+// awaitDone drives the combiner until this slot's pending submission
+// has been applied and its response(s) deposited.
+func (c *ThreadContext[Rd, Wr, Resp]) awaitDone() {
+	r := c.r
 	for {
 		if r.combiner.TryLock() {
 			r.combine()
 			r.combiner.Unlock()
 			if c.st.Load() == slotDone {
-				break
+				return
 			}
 			// Our slot can only be batched by our own combiner pass
 			// while we hold the pending flag, so reaching here means a
@@ -230,12 +259,62 @@ func (c *ThreadContext[Rd, Wr, Resp]) Execute(op Wr) Resp {
 		}
 		// Another thread is combining on our behalf; wait for it.
 		if c.st.Load() == slotDone {
-			break
+			return
 		}
 		runtime.Gosched()
 	}
+}
+
+// MaxBatchOps is the largest submission one slot may publish in a
+// single combiner pass. The Register invariant guarantees a combiner
+// batch of one-op slots stays under half the log ring; multi-op slots
+// scale that bound by their length, so the cap keeps the worst case
+// (every possible thread pending a full batch) at exactly the same
+// half-ring ceiling: MaxThreadsPerReplica * cap <= len(slots)/2.
+func (n *NR[Rd, Wr, Resp]) MaxBatchOps() int {
+	m := len(n.log.slots) / (2 * MaxThreadsPerReplica)
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// ExecuteBatch performs a vector of mutating operations as contiguous
+// entries in the shared log — one combiner pass and one log reservation
+// for the whole batch (amortizing the per-op reserve/publish and
+// combine-pass cost) — and returns their responses in submission order.
+// The ops linearize as an uninterrupted run: no foreign operation is
+// applied between two ops of the same batch at any replica.
+//
+// Batches longer than MaxBatchOps are split into runs of that size
+// (each run still contiguous) so a single slot can never reserve more
+// than its share of the ring.
+func (c *ThreadContext[Rd, Wr, Resp]) ExecuteBatch(ops []Wr) []Resp {
+	if len(ops) == 0 {
+		return nil
+	}
+	max := c.r.nr.MaxBatchOps()
+	out := make([]Resp, 0, len(ops))
+	for start := 0; start < len(ops); start += max {
+		end := start + max
+		if end > len(ops) {
+			end = len(ops)
+		}
+		out = append(out, c.executeRun(ops[start:end])...)
+	}
+	return out
+}
+
+func (c *ThreadContext[Rd, Wr, Resp]) executeRun(ops []Wr) []Resp {
+	c.ops = ops
+	c.resps = make([]Resp, len(ops))
+	c.filled = 0
+	c.st.Store(slotPending)
+	c.awaitDone()
 	c.st.Store(slotEmpty)
-	return c.resp
+	resps := c.resps
+	c.ops, c.resps = nil, nil
+	return resps
 }
 
 // ExecuteRead performs a read-only operation against the local replica
@@ -283,7 +362,11 @@ func (r *Replica[Rd, Wr, Resp]) combine() {
 	lg := r.nr.log
 	var last uint64
 	if len(batch) > 0 {
-		first := lg.reserve(uint64(len(batch)))
+		var total uint64
+		for _, c := range batch {
+			total += c.numOps()
+		}
+		first := lg.reserve(total)
 		// selfHelp: we hold our own combiner lock, so when the ring is
 		// full and we are the laggard, apply entries ourselves. The
 		// target is capped below `first`, so we never try to apply our
@@ -294,12 +377,23 @@ func (r *Replica[Rd, Wr, Resp]) combine() {
 			}
 			r.applyUpTo(target)
 		}
-		for i, c := range batch {
-			lg.publish(first+uint64(i), c.op, r.id, c.id, selfHelp)
+		idx := first
+		for _, c := range batch {
+			if c.ops != nil {
+				// Multi-op submission: contiguous run tagged with the
+				// same slot; applyUpTo deposits responses positionally.
+				for j := range c.ops {
+					lg.publish(idx, c.ops[j], r.id, c.id, selfHelp)
+					idx++
+				}
+			} else {
+				lg.publish(idx, c.op, r.id, c.id, selfHelp)
+				idx++
+			}
 		}
-		last = first + uint64(len(batch))
+		last = first + total
 		r.batches.Add(1)
-		r.combined.Add(uint64(len(batch)))
+		r.combined.Add(total)
 	} else {
 		last = lg.Tail()
 	}
@@ -330,8 +424,20 @@ func (r *Replica[Rd, Wr, Resp]) applyUpTo(target uint64) {
 		resp := r.ds.DispatchWrite(op)
 		if rep == r.id {
 			c := ctxs[ctx]
-			c.resp = resp
-			c.st.Store(slotDone)
+			if c.ops != nil {
+				// Entries of a multi-op submission arrive in log order,
+				// which is submission order; slotDone only once the
+				// whole run has been deposited, so the owner never
+				// observes a partially filled response vector.
+				c.resps[c.filled] = resp
+				c.filled++
+				if int(c.filled) == len(c.ops) {
+					c.st.Store(slotDone)
+				}
+			} else {
+				c.resp = resp
+				c.st.Store(slotDone)
+			}
 		}
 	}
 	r.applied.Store(cur)

@@ -31,6 +31,11 @@ var (
 	// DispatchRead), once per replica per op, indexed by sys.Num*.
 	KernelApplies = NewOpStats("kernel.apply", MaxSyscallOps)
 
+	// Batched submission ring (sys.Submit / core batch dispatch), once
+	// per submitted batch.
+	SyscallBatchSize    = NewHist("syscall.batch_size", UnitCount)    // ops per batch
+	SyscallBatchLatency = NewHist("syscall.batch_latency", UnitNanos) // full batch round
+
 	// Scheduler (internal/sched).
 	SchedDispatches = NewCounter("sched.dispatches") // successful PickNext
 	SchedPreempts   = NewCounter("sched.preempts")   // Yield
@@ -65,6 +70,7 @@ var (
 	KindPTUnmap  = RegisterKind("pt.unmap")  // A=va, B=frame
 	KindFSMeta   = RegisterKind("fs.meta")   // A=op hash, B=ino
 	KindLogStall = RegisterKind("log.stall") // A=log index, B=replica
+	KindBatch    = RegisterKind("batch")     // A=batch size, B=core
 )
 
 // RenderSummary prints every counter and histogram of a snapshot in

@@ -90,6 +90,17 @@ func (e Errno) String() string {
 // an error value.
 func (e Errno) Error() string { return "sys: " + e.String() }
 
+// Err converts an errno to the idiomatic Go error shape: nil on
+// success, the Errno itself otherwise. `if err := e.Err(); err != nil`
+// replaces the `if e != EOK` comparison at call sites that propagate
+// errors rather than branch on specific errno values.
+func (e Errno) Err() error {
+	if e == EOK {
+		return nil
+	}
+	return e
+}
+
 func itoa(v uint64) string {
 	if v == 0 {
 		return "0"

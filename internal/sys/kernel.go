@@ -106,6 +106,12 @@ func (k *Kernel) DispatchWrite(op WriteOp) Resp {
 	obs.KernelApplies.Count(op.Num, k.obsShard)
 	switch op.Num {
 	case NumOpen:
+		// Re-validate the flag set kernel-side: Sys.Open already rejects
+		// bad combinations, but a hand-rolled frame reaches this switch
+		// directly. The check is pure, so every replica decides alike.
+		if e := OpenFlag(op.Flags).Validate(); e != EOK {
+			return Resp{Errno: e}
+		}
 		t, e := k.fdTable(op.PID)
 		if e != EOK {
 			return Resp{Errno: e}

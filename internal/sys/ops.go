@@ -55,6 +55,11 @@ const (
 	NumMemRead
 	NumMemWrite
 	NumMemCAS
+
+	// NumBatch carries a vector of batchable write ops (the submission
+	// ring, Sys.Submit): core decodes it and drains the whole vector
+	// through a single NR combiner round.
+	NumBatch
 )
 
 // opNames maps syscall numbers to their display names, for the
@@ -74,6 +79,7 @@ var opNames = map[uint64]string{
 	NumSockBind: "sock_bind", NumSockSend: "sock_send",
 	NumSockRecv: "sock_recv", NumSockClose: "sock_close",
 	NumMemRead: "mem_read", NumMemWrite: "mem_write", NumMemCAS: "mem_cas",
+	NumBatch: "batch",
 }
 
 // OpName returns the syscall's display name ("open", "mmap", ...), or
@@ -87,7 +93,7 @@ func OpName(num uint64) string {
 
 // MaxOpNum is the highest assigned syscall number (wire ABI bound; the
 // obs opcode space must cover it).
-const MaxOpNum = NumMemCAS
+const MaxOpNum = NumBatch
 
 // WriteOp is a mutating kernel operation — one logged NR entry. A
 // single struct (rather than one type per syscall) keeps the NR

@@ -1,0 +1,403 @@
+package sys
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/verified-os/vnros/internal/fs"
+)
+
+// This file is the user half of the batched syscall submission ring —
+// an io_uring-shaped surface over the NR combiner. A program enqueues N
+// encoded ops (the submission queue), crosses the boundary once with a
+// NumBatch frame, the kernel drains the whole vector through a single
+// NR combiner round (one log reservation, one combine pass), and the
+// completions come back as an ordered completion queue.
+//
+// Contract checking stays on: instead of two view() snapshots per call,
+// the batch takes one pre and one post snapshot and *replays* the §3
+// spec relations op by op against a model it evolves from the pre view
+// — each ReadSpec/WriteSpec/SeekSpec is checked against the model's
+// rolling state, and the model's endpoint must coincide with the real
+// post view. See checkBatch for the precise argument and its two
+// documented degradations.
+
+// Op is one submission-queue entry. Ops are built by the Op*
+// constructors only — the wrapped WriteOp stays unexported so every Op
+// that can exist is batchable and well-formed. The byte and string
+// payloads are borrowed until the batch completes.
+type Op struct {
+	w WriteOp
+}
+
+// Num returns the syscall number the entry encodes.
+func (o Op) Num() uint64 { return o.w.Num }
+
+// OpOpen enqueues open(path, flags). The flag set is validated at
+// submission, like Sys.Open.
+func OpOpen(path string, flags OpenFlag) Op {
+	return Op{w: WriteOp{Num: NumOpen, Path: path, Flags: uint64(flags)}}
+}
+
+// OpClose enqueues close(fd).
+func OpClose(fd fs.FD) Op { return Op{w: WriteOp{Num: NumClose, FD: fd}} }
+
+// OpRead enqueues read(fd, n); the bytes come back in the completion's
+// Data.
+func OpRead(fd fs.FD, n uint64) Op { return Op{w: WriteOp{Num: NumRead, FD: fd, Len: n}} }
+
+// OpWrite enqueues write(fd, data).
+func OpWrite(fd fs.FD, data []byte) Op { return Op{w: WriteOp{Num: NumWrite, FD: fd, Data: data}} }
+
+// OpSeek enqueues seek(fd, off, whence).
+func OpSeek(fd fs.FD, off int64, whence int) Op {
+	return Op{w: WriteOp{Num: NumSeek, FD: fd, Off: off, Whence: whence}}
+}
+
+// OpTruncate enqueues truncate(fd, size).
+func OpTruncate(fd fs.FD, size uint64) Op {
+	return Op{w: WriteOp{Num: NumTruncate, FD: fd, Len: size}}
+}
+
+// OpMkdir enqueues mkdir(path).
+func OpMkdir(path string) Op { return Op{w: WriteOp{Num: NumMkdir, Path: path}} }
+
+// OpUnlink enqueues unlink(path).
+func OpUnlink(path string) Op { return Op{w: WriteOp{Num: NumUnlink, Path: path}} }
+
+// OpRmdir enqueues rmdir(path).
+func OpRmdir(path string) Op { return Op{w: WriteOp{Num: NumRmdir, Path: path}} }
+
+// OpRename enqueues rename(old, new).
+func OpRename(old, new string) Op { return Op{w: WriteOp{Num: NumRename, Path: old, Path2: new}} }
+
+// OpLink enqueues link(old, new).
+func OpLink(old, new string) Op { return Op{w: WriteOp{Num: NumLink, Path: old, Path2: new}} }
+
+// Completion is one completion-queue entry, in submission order.
+type Completion struct {
+	Op    uint64 // syscall number of the submitted op
+	Errno Errno
+	Val   uint64 // the op's scalar result (fd, count, offset, ...)
+	Data  []byte // read payload, when the op returns bytes
+}
+
+// Err returns nil for a successful completion, the Errno otherwise.
+func (c Completion) Err() error { return c.Errno.Err() }
+
+// BatchCompletion projects a kernel response onto the completion-queue
+// entry for the given submitted op (the kernel side of the CQ).
+func BatchCompletion(op WriteOp, r Resp) Completion {
+	return Completion{Op: op.Num, Errno: r.Errno, Val: r.Val, Data: r.Data}
+}
+
+// Batch is an in-flight submission. Wait blocks until the kernel has
+// drained the queue and returns the completions in submission order.
+type Batch struct {
+	done  chan struct{}
+	comps []Completion
+	errno Errno
+}
+
+// Wait reaps the completion queue. The batch-level errno reports
+// failures of the submission itself (malformed batch, boundary
+// error); per-op failures live in the completions.
+func (b *Batch) Wait() ([]Completion, Errno) {
+	<-b.done
+	return b.comps, b.errno
+}
+
+// Submit enqueues ops and crosses the boundary asynchronously; the
+// caller reaps results via the returned Batch. The submission executes
+// on its own goroutine, so a program can overlap batch preparation with
+// kernel execution; ops and their payloads are borrowed until Wait
+// returns.
+//
+// The batch's contract check snapshots the process view once around the
+// whole batch, so — like the per-call checker — it assumes no
+// concurrent syscall on the same process mutates the descriptors the
+// batch touches while it is in flight.
+func (s *Sys) Submit(ops []Op) *Batch {
+	b := &Batch{done: make(chan struct{})}
+	if len(ops) == 0 {
+		close(b.done)
+		return b
+	}
+	go func() {
+		defer close(b.done)
+		b.comps, b.errno = s.submit(ops)
+	}()
+	return b
+}
+
+// SubmitWait is Submit followed by Wait: the synchronous form. It runs
+// the submission on the calling goroutine (no spawn, no channel), so it
+// is also the cheaper form when nothing overlaps the batch.
+func (s *Sys) SubmitWait(ops []Op) ([]Completion, Errno) {
+	if len(ops) == 0 {
+		return nil, EOK
+	}
+	return s.submit(ops)
+}
+
+func (s *Sys) submit(ops []Op) ([]Completion, Errno) {
+	ws := make([]WriteOp, len(ops))
+	for i, op := range ops {
+		if op.w.Num == NumOpen {
+			if e := OpenFlag(op.w.Flags).Validate(); e != EOK {
+				return nil, e
+			}
+		}
+		ws[i] = op.w
+		ws[i].PID = s.pid
+	}
+	pre, checking := s.view()
+	frame, payload := EncodeBatch(s.pid, ws)
+	ret, out := s.h.Syscall(frame, payload)
+	comps, errno, err := DecodeBatchResp(ret, out)
+	if err != nil {
+		return nil, EINVAL
+	}
+	if errno != EOK {
+		return comps, errno
+	}
+	if len(comps) != len(ws) {
+		s.recordViolation(fmt.Errorf("batch: %d completions for %d submitted ops", len(comps), len(ws)))
+		return comps, EINVAL
+	}
+	if checking {
+		post, _ := s.view()
+		if err := checkBatch(pre, post, ws, comps); err != nil {
+			s.recordViolation(err)
+		}
+	}
+	return comps, EOK
+}
+
+// Writev writes the buffers in order through one batch submission,
+// returning the total byte count. It stops at the first failing buffer.
+func (s *Sys) Writev(fd fs.FD, bufs [][]byte) (uint64, Errno) {
+	ops := make([]Op, len(bufs))
+	for i, b := range bufs {
+		ops[i] = OpWrite(fd, b)
+	}
+	comps, e := s.SubmitWait(ops)
+	if e != EOK {
+		return 0, e
+	}
+	var total uint64
+	for _, c := range comps {
+		if c.Errno != EOK {
+			return total, c.Errno
+		}
+		total += c.Val
+	}
+	return total, EOK
+}
+
+// Readv fills the buffers in order through one batch submission,
+// returning the total byte count. A short read (EOF inside a buffer)
+// ends the vector without error, matching the scalar Read contract.
+func (s *Sys) Readv(fd fs.FD, bufs [][]byte) (uint64, Errno) {
+	ops := make([]Op, len(bufs))
+	for i, b := range bufs {
+		ops[i] = OpRead(fd, uint64(len(b)))
+	}
+	comps, e := s.SubmitWait(ops)
+	if e != EOK {
+		return 0, e
+	}
+	var total uint64
+	for i, c := range comps {
+		if c.Errno != EOK {
+			return total, c.Errno
+		}
+		total += uint64(copy(bufs[i], c.Data))
+		if c.Val < uint64(len(bufs[i])) {
+			break
+		}
+	}
+	return total, EOK
+}
+
+// batchFD is the model's state for one descriptor during replay.
+type batchFD struct {
+	ino fs.Ino
+	off uint64
+	// tracked is false for descriptors the batch itself opened: their
+	// pre-state is not in the snapshot, so ops on them go unchecked.
+	tracked bool
+}
+
+// checkBatch validates a drained batch against the §3 spec relations
+// with one pre/post snapshot pair for the whole batch.
+//
+// The argument: seed a model from the pre view (per-inode contents, so
+// aliased descriptors stay coherent, plus per-descriptor offsets).
+// For op k, construct the model's pre state, apply the op's *expected*
+// transition to get the model's post state, and check the real
+// completion against the actual relation (ReadSpec/WriteSpec/SeekSpec)
+// over that model pair. Inductively, if every per-op relation holds and
+// the model's endpoint equals the real post view, the batch behaved as
+// the sequential composition of the specified transitions.
+//
+// Two documented degradations keep the check free of false positives:
+// descriptors opened inside the batch are untracked (their prior
+// contents are unknowable from the snapshot), and a successful
+// namespace mutation (unlink/rename, or open-with-OTrunc whose target
+// inode the model cannot name) marks contents untrusted — from there on
+// only offset evolution is checked.
+func checkBatch(pre, post fs.SpecState, ops []WriteOp, comps []Completion) error {
+	model := make(map[fs.FD]*batchFD, len(pre.Files))
+	contents := make(map[fs.Ino][]byte, len(pre.Files))
+	for fd, f := range pre.Files {
+		model[fd] = &batchFD{ino: f.Ino, off: f.Offset, tracked: true}
+		if _, ok := contents[f.Ino]; !ok {
+			c := make([]byte, len(f.Contents))
+			copy(c, f.Contents)
+			contents[f.Ino] = c
+		}
+	}
+	trusted := true
+
+	// The per-op spec calls each need a one-descriptor pre and post
+	// state; two reused maps keep the replay loop allocation-free.
+	preM := make(map[fs.FD]fs.SpecFile, 1)
+	postM := make(map[fs.FD]fs.SpecFile, 1)
+	single := func(m map[fs.FD]fs.SpecFile, fd fs.FD, data []byte, off uint64, locked bool) fs.SpecState {
+		clear(m)
+		m[fd] = fs.SpecFile{Contents: data, Offset: off, Locked: locked}
+		return fs.SpecState{Files: m}
+	}
+
+	for i, op := range ops {
+		c := comps[i]
+		if c.Op != op.Num {
+			return fmt.Errorf("batch op %d: completion for %s, submitted %s",
+				i, OpName(c.Op), OpName(op.Num))
+		}
+		if c.Errno != EOK {
+			// Failed transitions leave the abstract state unchanged; the
+			// endpoint comparison below catches a kernel that mutated
+			// state on a reported failure.
+			continue
+		}
+		switch op.Num {
+		case NumOpen:
+			model[fs.FD(c.Val)] = &batchFD{}
+			if OpenFlag(op.Flags)&OTrunc != 0 {
+				trusted = false
+			}
+		case NumClose:
+			delete(model, op.FD)
+		case NumRead:
+			m := model[op.FD]
+			if m == nil || !m.tracked {
+				continue
+			}
+			if uint64(len(c.Data)) != c.Val {
+				return fmt.Errorf("batch op %d (read fd %d): %d payload bytes for count %d",
+					i, op.FD, len(c.Data), c.Val)
+			}
+			if trusted {
+				preS := single(preM, op.FD, contents[m.ino], m.off, true)
+				postS := single(postM, op.FD, contents[m.ino], m.off+c.Val, false)
+				if err := fs.ReadSpec(preS, postS, op.FD, op.Len, c.Data, c.Val); err != nil {
+					return fmt.Errorf("batch op %d: %w", i, err)
+				}
+			}
+			m.off += c.Val
+		case NumWrite:
+			m := model[op.FD]
+			if m == nil || !m.tracked {
+				continue
+			}
+			if trusted {
+				cur := contents[m.ino]
+				next := spliceWrite(cur, m.off, op.Data)
+				preS := single(preM, op.FD, cur, m.off, true)
+				postS := single(postM, op.FD, next, m.off+c.Val, false)
+				if err := fs.WriteSpec(preS, postS, op.FD, op.Data, c.Val); err != nil {
+					return fmt.Errorf("batch op %d: %w", i, err)
+				}
+				contents[m.ino] = next
+			}
+			m.off += c.Val
+		case NumSeek:
+			m := model[op.FD]
+			if m == nil || !m.tracked {
+				continue
+			}
+			if trusted {
+				preS := single(preM, op.FD, contents[m.ino], m.off, false)
+				postS := single(postM, op.FD, contents[m.ino], c.Val, false)
+				if err := fs.SeekSpec(preS, postS, op.FD, op.Off, op.Whence, c.Val); err != nil {
+					return fmt.Errorf("batch op %d: %w", i, err)
+				}
+			}
+			m.off = c.Val
+		case NumTruncate:
+			m := model[op.FD]
+			if m == nil || !m.tracked {
+				continue
+			}
+			if trusted {
+				cur := contents[m.ino]
+				next := make([]byte, op.Len)
+				copy(next, cur)
+				contents[m.ino] = next
+			}
+		case NumUnlink, NumRename:
+			// The model cannot map paths to inodes; the mutated inode
+			// may alias a tracked descriptor, so contents become
+			// untrusted (offsets remain exact).
+			trusted = false
+		}
+	}
+
+	// Endpoint: every tracked, still-open descriptor of the model must
+	// coincide with the real post view.
+	for fd, m := range model {
+		if !m.tracked {
+			continue
+		}
+		qf, ok := post.Files[fd]
+		if !ok {
+			return fmt.Errorf("batch endpoint: fd %d open in model but absent from post view", fd)
+		}
+		if qf.Offset != m.off {
+			return fmt.Errorf("batch endpoint: fd %d offset %d, model expects %d", fd, qf.Offset, m.off)
+		}
+		if trusted && !bytes.Equal(qf.Contents, contents[m.ino]) {
+			return fmt.Errorf("batch endpoint: fd %d contents diverge from model (%d vs %d bytes)",
+				fd, len(qf.Contents), len(contents[m.ino]))
+		}
+	}
+	return nil
+}
+
+// spliceWrite applies WriteSpec's expected contents transition: data
+// lands at off, zero-filling any gap beyond old EOF. The model owns cur
+// (it is seeded as a private copy and truncate replaces it wholesale),
+// so the splice mutates in place, reallocating only on growth past
+// capacity — the pre-state slice header the caller still holds keeps
+// the correct old length either way.
+func spliceWrite(cur []byte, off uint64, data []byte) []byte {
+	end := off + uint64(len(data))
+	switch {
+	case end <= uint64(len(cur)):
+		// Overwrite within the current extent.
+	case end <= uint64(cap(cur)):
+		grown := cur[:end]
+		for i := len(cur); uint64(i) < off; i++ {
+			grown[i] = 0 // gap beyond old EOF zero-fills
+		}
+		cur = grown
+	default:
+		next := make([]byte, end, end+end/2)
+		copy(next, cur)
+		cur = next
+	}
+	copy(cur[off:], data)
+	return cur
+}

@@ -1,0 +1,169 @@
+package sys
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/proc"
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+func randBytes(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+// registerRingObligations: the batched submission ring discharges the
+// same §3 marshalling obligation as the scalar path (batch vectors
+// round-trip exactly), and batching is a pure amortization — a batch
+// crossing is observationally identical to issuing its ops one by one.
+func registerRingObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "sys", Name: "batch-round-trip", Kind: verifier.KindRoundTrip,
+			Check: func(r *rand.Rand) error {
+				for i := 0; i < 200; i++ {
+					pid := proc.PID(r.Uint64())
+					n := 1 + r.Intn(48)
+					ops := make([]WriteOp, n)
+					for j := range ops {
+						ops[j] = randomWriteOp(r)
+						ops[j].PID = pid
+					}
+					frame, payload := EncodeBatch(pid, ops)
+					got, err := DecodeBatch(frame, payload)
+					if err != nil {
+						return err
+					}
+					if len(got) != n {
+						return fmt.Errorf("batch round trip: %d ops in, %d out", n, len(got))
+					}
+					for j := range ops {
+						if !reflect.DeepEqual(normalizeOp(ops[j]), normalizeOp(got[j])) {
+							return fmt.Errorf("batch op %d mismatch:\n  in  %+v\n  out %+v",
+								j, ops[j], got[j])
+						}
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "sys", Name: "batch-resp-round-trip", Kind: verifier.KindRoundTrip,
+			Check: func(r *rand.Rand) error {
+				for i := 0; i < 200; i++ {
+					n := r.Intn(48)
+					comps := make([]Completion, n)
+					for j := range comps {
+						comps[j] = Completion{
+							Op:    uint64(r.Intn(int(MaxOpNum) + 1)),
+							Errno: Errno(r.Intn(100)),
+							Val:   r.Uint64(),
+						}
+						if r.Intn(2) == 0 {
+							comps[j].Data = randBytes(r, r.Intn(64))
+						}
+					}
+					errno := Errno(r.Intn(3))
+					ret, payload := EncodeBatchResp(comps, errno)
+					got, gotErrno, err := DecodeBatchResp(ret, payload)
+					if err != nil {
+						return err
+					}
+					if gotErrno != errno || len(got) != n {
+						return fmt.Errorf("batch resp header: errno %v/%v count %d/%d",
+							gotErrno, errno, len(got), n)
+					}
+					for j := range comps {
+						a, b := comps[j], got[j]
+						if len(a.Data) == 0 {
+							a.Data = nil
+						}
+						if len(b.Data) == 0 {
+							b.Data = nil
+						}
+						if !reflect.DeepEqual(a, b) {
+							return fmt.Errorf("completion %d mismatch: %+v vs %+v", j, a, b)
+						}
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "sys", Name: "batch-refines-sequential", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				// Two identical kernels: one drains random file-op
+				// batches through the NumBatch crossing, the other
+				// dispatches the same ops one by one. Completions and
+				// the resulting FD views must coincide — batching is an
+				// amortization, never a semantic change.
+				for trial := 0; trial < 25; trial++ {
+					kBatch, kSeq := newTestKernel(), newTestKernel()
+					sBatch := NewSys(proc.InitPID, &directHandler{k: kBatch})
+					ops := randomFileOps(r, 1+r.Intn(32))
+
+					comps, e := sBatch.SubmitWait(ops)
+					if e != EOK {
+						return fmt.Errorf("batch submit: %v", e)
+					}
+					for i, op := range ops {
+						w := op.w
+						w.PID = proc.InitPID
+						want := BatchCompletion(w, kSeq.DispatchWrite(w))
+						got := comps[i]
+						if len(want.Data) == 0 {
+							want.Data = nil
+						}
+						if len(got.Data) == 0 {
+							got.Data = nil
+						}
+						if !reflect.DeepEqual(got, want) {
+							return fmt.Errorf("trial %d op %d (%s): batch %+v, sequential %+v",
+								trial, i, OpName(w.Num), got, want)
+						}
+					}
+					vb, okb := kBatch.ViewFDs(proc.InitPID)
+					vs, oks := kSeq.ViewFDs(proc.InitPID)
+					if okb != oks || !reflect.DeepEqual(vb, vs) {
+						return fmt.Errorf("trial %d: FD views diverge after batch vs sequential", trial)
+					}
+				}
+				return nil
+			}},
+	)
+}
+
+// randomFileOps builds a random batch over a tiny path set so opens,
+// writes, and namespace ops collide interestingly.
+func randomFileOps(r *rand.Rand, n int) []Op {
+	paths := []string{"/a", "/b", "/c", "/d/x", "/d"}
+	path := func() string { return paths[r.Intn(len(paths))] }
+	fd := func() fs.FD { return fs.FD(3 + r.Intn(6)) }
+	ops := make([]Op, n)
+	for i := range ops {
+		switch r.Intn(11) {
+		case 0:
+			ops[i] = OpOpen(path(), OCreate|ORdWr)
+		case 1:
+			ops[i] = OpClose(fd())
+		case 2:
+			ops[i] = OpRead(fd(), uint64(r.Intn(32)))
+		case 3:
+			ops[i] = OpWrite(fd(), randBytes(r, r.Intn(32)))
+		case 4:
+			ops[i] = OpSeek(fd(), int64(r.Intn(16)), r.Intn(3))
+		case 5:
+			ops[i] = OpTruncate(fd(), uint64(r.Intn(64)))
+		case 6:
+			ops[i] = OpMkdir(path())
+		case 7:
+			ops[i] = OpUnlink(path())
+		case 8:
+			ops[i] = OpRmdir(path())
+		case 9:
+			ops[i] = OpRename(path(), path())
+		default:
+			ops[i] = OpLink(path(), path())
+		}
+	}
+	return ops
+}

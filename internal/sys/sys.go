@@ -111,8 +111,13 @@ func (s *Sys) view() (fs.SpecState, bool) {
 	return v.ViewFDs(s.pid)
 }
 
-// Open opens (or with fs.OCreate creates) path.
-func (s *Sys) Open(path string, flags int) (fs.FD, Errno) {
+// Open opens (or with OCreate creates) path. Invalid flag combinations
+// are rejected here, before the boundary crossing — the typed OpenFlag
+// surface makes "deep in fs" rejection unnecessary.
+func (s *Sys) Open(path string, flags OpenFlag) (fs.FD, Errno) {
+	if e := flags.Validate(); e != EOK {
+		return 0, e
+	}
 	r := s.callWrite(WriteOp{Num: NumOpen, Path: path, Flags: uint64(flags)})
 	return fs.FD(r.Val), r.Errno
 }

@@ -24,6 +24,7 @@ import (
 func RegisterObligations(g *verifier.Registry) {
 	registerMoreObligations(g)
 	registerEvenMoreObligations(g)
+	registerRingObligations(g)
 	g.Register(
 		verifier.Obligation{Module: "sys", Name: "writeop-round-trip", Kind: verifier.KindRoundTrip,
 			Check: func(r *rand.Rand) error {
@@ -285,6 +286,21 @@ type directHandler struct {
 
 // Syscall implements Handler.
 func (h *directHandler) Syscall(frame marshal.SyscallFrame, payload []byte) (marshal.RetFrame, []byte) {
+	if frame.Num == NumBatch {
+		ops, err := DecodeBatch(frame, payload)
+		if err != nil {
+			return EncodeBatchResp(nil, EINVAL)
+		}
+		comps := make([]Completion, len(ops))
+		for i, op := range ops {
+			if !IsBatchableOp(op.Num) {
+				comps[i] = Completion{Op: op.Num, Errno: ENOSYS}
+				continue
+			}
+			comps[i] = BatchCompletion(op, h.k.DispatchWrite(op))
+		}
+		return EncodeBatchResp(comps, EOK)
+	}
 	if IsReadOp(frame.Num) {
 		op, err := DecodeRead(frame, payload)
 		if err != nil {

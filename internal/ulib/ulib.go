@@ -238,8 +238,8 @@ type File struct {
 	rpos int
 }
 
-// Open opens a buffered stream (flags as in fs: ORdWr|OCreate etc).
-func (rt *Runtime) Open(path string, flags int) (*File, error) {
+// Open opens a buffered stream (flags as in sys: ORdWr|OCreate etc).
+func (rt *Runtime) Open(path string, flags sys.OpenFlag) (*File, error) {
 	fd, e := rt.S.Open(path, flags)
 	if e != sys.EOK {
 		return nil, errnoErr("open "+path, e)
@@ -313,6 +313,27 @@ func (f *File) Flush() error {
 	}
 	f.wbuf = f.wbuf[:0]
 	return nil
+}
+
+// Writev flushes any buffered data and then writes the buffers through
+// one batched submission (Sys.Writev): one boundary crossing and one
+// combiner round for the whole vector, where a Write loop would pay the
+// crossing per buffer.
+func (f *File) Writev(bufs [][]byte) (uint64, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if err := f.syncForWrite(); err != nil {
+		return 0, err
+	}
+	if err := f.Flush(); err != nil {
+		return 0, err
+	}
+	n, e := f.rt.S.Writev(f.fd, bufs)
+	if e != sys.EOK {
+		return n, errnoErr("writev", e)
+	}
+	return n, nil
 }
 
 // Read fills p from the read-ahead buffer, refilling via the read

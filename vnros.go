@@ -63,16 +63,39 @@ type (
 	VAddr = mmu.VAddr
 	// Network is a virtual switch connecting Systems.
 	Network = netstack.Network
+	// NetAddr is a machine address on a Network.
+	NetAddr = netstack.Addr
+	// Ino is an inode number.
+	Ino = fs.Ino
+	// FileKind distinguishes files from directories in Stat/DirEntry.
+	FileKind = fs.Kind
+
+	// OpenFlag is the typed flag set of Sys.Open; invalid combinations
+	// are rejected before the boundary crossing.
+	OpenFlag = sys.OpenFlag
+	// Op is one entry of a batched submission (Sys.Submit).
+	Op = sys.Op
+	// Batch is an in-flight batched submission; reap it with Wait.
+	Batch = sys.Batch
+	// Completion is one completion-queue entry of a drained batch.
+	Completion = sys.Completion
 )
 
-// Open flags.
+// Open flags (typed; untyped constant combinations like OCreate|ORdWr
+// still convert implicitly).
 const (
-	ORdOnly = fs.ORdOnly
-	OWrOnly = fs.OWrOnly
-	ORdWr   = fs.ORdWr
-	OCreate = fs.OCreate
-	OTrunc  = fs.OTrunc
-	OAppend = fs.OAppend
+	ORdOnly = sys.ORdOnly
+	OWrOnly = sys.OWrOnly
+	ORdWr   = sys.ORdWr
+	OCreate = sys.OCreate
+	OTrunc  = sys.OTrunc
+	OAppend = sys.OAppend
+)
+
+// File kinds.
+const (
+	KindFile = fs.KindFile
+	KindDir  = fs.KindDir
 )
 
 // Seek whence values.
@@ -82,17 +105,27 @@ const (
 	SeekEnd = fs.SeekEnd
 )
 
-// Common errnos.
+// Errnos (the full kernel error ABI; Errno.Err() converts to a nil-on-
+// success error).
 const (
-	EOK    = sys.EOK
-	ENOENT = sys.ENOENT
-	EEXIST = sys.EEXIST
-	EBADF  = sys.EBADF
-	EAGAIN = sys.EAGAIN
-	EINVAL = sys.EINVAL
-	EFAULT = sys.EFAULT
-	ECHILD = sys.ECHILD
-	ENOMEM = sys.ENOMEM
+	EOK        = sys.EOK
+	EPERM      = sys.EPERM
+	ENOENT     = sys.ENOENT
+	ESRCH      = sys.ESRCH
+	EBADF      = sys.EBADF
+	ECHILD     = sys.ECHILD
+	EAGAIN     = sys.EAGAIN
+	ENOMEM     = sys.ENOMEM
+	EFAULT     = sys.EFAULT
+	EBUSY      = sys.EBUSY
+	EEXIST     = sys.EEXIST
+	ENOTDIR    = sys.ENOTDIR
+	EISDIR     = sys.EISDIR
+	EINVAL     = sys.EINVAL
+	ENFILE     = sys.ENFILE
+	ENOSYS     = sys.ENOSYS
+	ENOTEMPTY  = sys.ENOTEMPTY
+	EADDRINUSE = sys.EADDRINUSE
 )
 
 // Signals.
@@ -111,6 +144,26 @@ const InitPID = proc.InitPID
 
 // Boot builds and starts a simulated OS instance.
 func Boot(cfg Config) (*System, error) { return core.Boot(cfg) }
+
+// FlagsFromInt converts bare-int open flags (the pre-typed API shape)
+// to the typed OpenFlag set.
+func FlagsFromInt(flags int) OpenFlag { return sys.FlagsFromInt(flags) }
+
+// Submission-queue entry constructors (see Sys.Submit). Each enqueues
+// one syscall; the completion's Val carries the scalar result.
+func OpOpen(path string, flags OpenFlag) Op { return sys.OpOpen(path, flags) }
+func OpClose(fd FD) Op                      { return sys.OpClose(fd) }
+func OpRead(fd FD, n uint64) Op             { return sys.OpRead(fd, n) }
+func OpWrite(fd FD, data []byte) Op         { return sys.OpWrite(fd, data) }
+func OpSeek(fd FD, off int64, whence int) Op {
+	return sys.OpSeek(fd, off, whence)
+}
+func OpTruncate(fd FD, size uint64) Op { return sys.OpTruncate(fd, size) }
+func OpMkdir(path string) Op           { return sys.OpMkdir(path) }
+func OpUnlink(path string) Op          { return sys.OpUnlink(path) }
+func OpRmdir(path string) Op           { return sys.OpRmdir(path) }
+func OpRename(old, new string) Op      { return sys.OpRename(old, new) }
+func OpLink(old, new string) Op        { return sys.OpLink(old, new) }
 
 // NewNetwork creates a virtual switch; pass it in Config.Network to
 // connect multiple Systems (the blockstore example builds a small
