@@ -351,6 +351,81 @@ func BenchmarkRingPerCallBaseline(b *testing.B) {
 	}
 }
 
+// walBenchSetup boots a journaled 2-core system and opens the benchmark
+// file; every write is recorded in the WAL and every sync is a journal
+// flush.
+func walBenchSetup(b *testing.B) (*vnros.Sys, vnros.FD) {
+	b.Helper()
+	system, err := vnros.Boot(vnros.Config{Cores: 2, WAL: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	initSys, err := system.Init()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fd, e := initSys.Open("/wal-bench", vnros.OCreate|vnros.ORdWr)
+	if e != vnros.EOK {
+		b.Fatal(e)
+	}
+	return initSys, fd
+}
+
+// BenchmarkWalGroupCommit measures journal group commit: 32 writes plus
+// one sync marker per submission — the whole batch becomes durable via
+// a single journal flush.
+func BenchmarkWalGroupCommit(b *testing.B) {
+	initSys, fd := walBenchSetup(b)
+	payload := []byte("sixteen bytes!!!")
+	ops := make([]vnros.Op, 0, ringBenchBatch+1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops = ops[:0]
+		for j := 0; j < ringBenchBatch; j++ {
+			ops = append(ops, vnros.OpWrite(fd, payload))
+		}
+		ops = append(ops, vnros.OpSync())
+		comps, e := initSys.SubmitWait(ops)
+		if e != vnros.EOK {
+			b.Fatal(e)
+		}
+		for _, c := range comps {
+			if c.Errno != vnros.EOK {
+				b.Fatal(c.Errno)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*ringBenchBatch/b.Elapsed().Seconds(), "ops/s")
+	if err := initSys.ContractErr(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWalPerOpCommit issues the identical writes with a scalar
+// Sync after each — one journal flush per operation, the baseline
+// BenchmarkWalGroupCommit must beat by ≥2× at batch 32.
+func BenchmarkWalPerOpCommit(b *testing.B) {
+	initSys, fd := walBenchSetup(b)
+	payload := []byte("sixteen bytes!!!")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < ringBenchBatch; j++ {
+			if _, e := initSys.Write(fd, payload); e != vnros.EOK {
+				b.Fatal(e)
+			}
+			if e := initSys.Sync(); e != vnros.EOK {
+				b.Fatal(e)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*ringBenchBatch/b.Elapsed().Seconds(), "ops/s")
+	if err := initSys.ContractErr(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkSyscallPathStatsEnabled is BenchmarkSyscallPath with kstats
 // recording on (dispatch-boundary OpStats, kernel.apply counts, trace
 // emit, fs latency histograms all fire).

@@ -22,6 +22,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the DESIGN.md ablations")
 	stats := flag.Bool("stats", false, "run the kstats workload: combiner batch-size histogram + per-opcode syscall latency percentiles")
 	ring := flag.Bool("ring", false, "compare the batched submission ring against the per-call syscall loop")
+	walBench := flag.Bool("wal", false, "compare journal group commit against per-op commit, plus recovery-time series")
 	all := flag.Bool("all", false, "run everything")
 	ops := flag.Int("ops", 200, "operations per core for figures 1b/1c and the kstats workload")
 	batch := flag.Int("batch", 32, "submission-queue depth for the -ring comparison")
@@ -29,7 +30,7 @@ func main() {
 	seed := flag.Int64("seed", 2026, "VC seed for figure 1a")
 	flag.Parse()
 
-	if *fig == "" && *table == 0 && !*ablations && !*stats && !*ring {
+	if *fig == "" && *table == 0 && !*ablations && !*stats && !*ring && !*walBench {
 		*all = true
 	}
 	coreCounts, err := parseCores(*cores)
@@ -99,6 +100,14 @@ func main() {
 			fmt.Println()
 		}
 		if err := runRing(2, *batch, 200); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *walBench {
+		if *all {
+			fmt.Println()
+		}
+		if err := runWal(2, *batch, 200); err != nil {
 			fatal(err)
 		}
 	}

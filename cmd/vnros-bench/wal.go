@@ -1,0 +1,189 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	vnros "github.com/verified-os/vnros"
+	"github.com/verified-os/vnros/internal/obs"
+	"github.com/verified-os/vnros/internal/wal"
+)
+
+// runWal measures the write-ahead journal two ways. First, commit
+// strategy: the same stream of file writes made durable once per
+// submission-ring batch (one OpSync marker drains the whole batch into
+// a single journal flush — group commit) versus once per operation (a
+// scalar Sync after every write). Second, recovery: how long journal
+// replay takes at boot as a function of how many records the crash left
+// in the record area. Contract checking is live throughout.
+func runWal(cores, batch, rounds int) error {
+	payload := []byte("sixteen bytes!!!")
+	totalOps := rounds * batch
+
+	// Group commit: `batch` writes plus one sync marker per submission.
+	// obs captures the WAL histograms for this side.
+	obs.Reset()
+	obs.SetSampleRate(1)
+	obs.Enable()
+	groupRate, err := walCommitRun(cores, totalOps, func(s *vnros.Sys, fd vnros.FD) error {
+		ops := make([]vnros.Op, 0, batch+1)
+		for r := 0; r < rounds; r++ {
+			ops = ops[:0]
+			for i := 0; i < batch; i++ {
+				ops = append(ops, vnros.OpWrite(fd, payload))
+			}
+			ops = append(ops, vnros.OpSync())
+			comps, e := s.SubmitWait(ops)
+			if e != vnros.EOK {
+				return fmt.Errorf("round %d: submit: %v", r, e)
+			}
+			for i, c := range comps {
+				if c.Errno != vnros.EOK {
+					return fmt.Errorf("round %d op %d: %v", r, i, c.Errno)
+				}
+			}
+		}
+		return nil
+	})
+	obs.Disable()
+	obs.SetSampleRate(obs.DefaultSampleRate)
+	if err != nil {
+		return err
+	}
+	snap := obs.TakeSnapshot()
+
+	// Per-op commit: the identical writes, each followed by its own
+	// boundary crossing and journal flush.
+	perOpRate, err := walCommitRun(cores, totalOps, func(s *vnros.Sys, fd vnros.FD) error {
+		for i := 0; i < totalOps; i++ {
+			if _, e := s.Write(fd, payload); e != vnros.EOK {
+				return fmt.Errorf("write %d: %v", i, e)
+			}
+			if e := s.Sync(); e != vnros.EOK {
+				return fmt.Errorf("sync %d: %v", i, e)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("write-ahead journal: %d cores, batch size %d, %d rounds (contract checking on)\n\n",
+		cores, batch, rounds)
+	fmt.Printf("  group commit (1 sync/batch): %10.0f ops/s\n", groupRate)
+	fmt.Printf("  per-op commit (1 sync/op):   %10.0f ops/s\n", perOpRate)
+	fmt.Printf("  speedup:                     %10.2fx\n\n", groupRate/perOpRate)
+
+	if h, ok := snap.Hists["wal.commit_records"]; ok && h.Count > 0 {
+		fmt.Print(h.Render())
+		fmt.Println()
+	}
+	if h, ok := snap.Hists["wal.flush_latency"]; ok && h.Count > 0 {
+		fmt.Print(h.Render())
+		fmt.Println()
+	}
+
+	// Recovery time vs journal length: crash a system after n journaled
+	// records (no checkpoint) and time the replay a rebooting kernel
+	// performs.
+	fmt.Printf("  recovery time vs journal length:\n")
+	for _, n := range []int{64, 256, 1024, 4096} {
+		d, replayed, err := walRecoveryRun(n, batch)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("    %5d records: replayed %5d in %8s (%6.0f records/ms)\n",
+			n, replayed, d.Round(time.Microsecond), float64(replayed)/(float64(d.Microseconds())/1000))
+	}
+	return nil
+}
+
+// walCommitRun boots a journaled system, runs the workload against one
+// file, and returns mutation throughput (totalOps / wall time).
+func walCommitRun(cores, totalOps int, work func(*vnros.Sys, vnros.FD) error) (float64, error) {
+	system, err := vnros.Boot(vnros.Config{Cores: cores, WAL: true})
+	if err != nil {
+		return 0, err
+	}
+	initSys, err := system.Init()
+	if err != nil {
+		return 0, err
+	}
+	fd, e := initSys.Open("/wal-bench", vnros.OCreate|vnros.ORdWr)
+	if e != vnros.EOK {
+		return 0, fmt.Errorf("open: %v", e)
+	}
+
+	// Untimed warmup: touch the write+sync path so neither side pays
+	// cold-start costs (combiner spin-up, allocator growth) inside its
+	// measured window.
+	for i := 0; i < 64; i++ {
+		if _, e := initSys.Write(fd, []byte("warmup")); e != vnros.EOK {
+			return 0, fmt.Errorf("warmup write: %v", e)
+		}
+	}
+	if e := initSys.Sync(); e != vnros.EOK {
+		return 0, fmt.Errorf("warmup sync: %v", e)
+	}
+
+	t0 := time.Now()
+	if err := work(initSys, fd); err != nil {
+		return 0, err
+	}
+	dur := time.Since(t0)
+
+	if err := initSys.ContractErr(); err != nil {
+		return 0, fmt.Errorf("contract violation: %w", err)
+	}
+	if err := system.CheckReplicaAgreement(); err != nil {
+		return 0, err
+	}
+	return float64(totalOps) / dur.Seconds(), nil
+}
+
+// walRecoveryRun journals n 16-byte writes (flushing every `batch`
+// records, never checkpointing), abandons the system uncleanly, and
+// times a fresh Journal's Recover over the same disk. Returns the
+// replay duration and the number of records re-applied.
+func walRecoveryRun(n, batch int) (time.Duration, uint64, error) {
+	system, err := vnros.Boot(vnros.Config{Cores: 1, WAL: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	initSys, err := system.Init()
+	if err != nil {
+		return 0, 0, err
+	}
+	fd, e := initSys.Open("/recovery-bench", vnros.OCreate|vnros.ORdWr)
+	if e != vnros.EOK {
+		return 0, 0, fmt.Errorf("open: %v", e)
+	}
+	payload := []byte("sixteen bytes!!!")
+	for i := 0; i < n; i++ {
+		if _, e := initSys.Write(fd, payload); e != vnros.EOK {
+			return 0, 0, fmt.Errorf("write %d: %v", i, e)
+		}
+		if (i+1)%batch == 0 {
+			if e := initSys.Sync(); e != vnros.EOK {
+				return 0, 0, fmt.Errorf("sync at %d: %v", i, e)
+			}
+		}
+	}
+	if e := initSys.Sync(); e != vnros.EOK {
+		return 0, 0, fmt.Errorf("final sync: %v", e)
+	}
+
+	// Reboot: a fresh journal over the crashed disk replays the log.
+	j, err := wal.New(system.BlockDev, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	t0 := time.Now()
+	if _, err := j.Recover(); err != nil {
+		return 0, 0, err
+	}
+	d := time.Since(t0)
+	replayed := j.DurableSeq()
+	return d, replayed, nil
+}

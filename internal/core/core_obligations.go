@@ -23,6 +23,7 @@ import (
 	"github.com/verified-os/vnros/internal/ulib"
 	"github.com/verified-os/vnros/internal/usr"
 	"github.com/verified-os/vnros/internal/verifier"
+	"github.com/verified-os/vnros/internal/wal"
 )
 
 // RegisterAllObligations registers every module's verification
@@ -46,6 +47,7 @@ func RegisterAllObligations(g *verifier.Registry) {
 	usr.RegisterObligations(g)
 	sys.RegisterObligations(g)
 	ulib.RegisterObligations(g, newUlibEnv())
+	wal.RegisterObligations(g)
 	relwork.RegisterObligations(g)
 	verifier.RegisterObligations(g)
 	RegisterObligations(g)
@@ -65,6 +67,8 @@ func RegisterObligations(g *verifier.Registry) {
 			Check: func(r *rand.Rand) error { return endToEndWorkload(r, 16, 4) }},
 		verifier.Obligation{Module: "core", Name: "persistence-across-reboot", Kind: verifier.KindRoundTrip,
 			Check: func(r *rand.Rand) error { return rebootWorkload(r) }},
+		verifier.Obligation{Module: "core", Name: "wal-crash-recovery-end-to-end", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error { return walCrashWorkload(r) }},
 		verifier.Obligation{Module: "core", Name: "futex-mutex-cross-process-memory", Kind: verifier.KindSafety,
 			Check: func(r *rand.Rand) error { return futexWorkload(r) }},
 	)
@@ -221,6 +225,82 @@ func rebootWorkload(r *rand.Rand) error {
 		}
 	}
 	return nil
+}
+
+// walCrashWorkload is the composed-system crash story: a journaled
+// system runs file mutations, Syncs some of them, then "loses power"
+// (the System is simply abandoned — no SaveFS). A new system boots from
+// the same disk and must see every synced mutation (journal replay),
+// while never observing a torn state. The final write after the last
+// Sync is allowed to survive or vanish; the contract only promises the
+// prefix.
+func walCrashWorkload(r *rand.Rand) error {
+	s1, err := Boot(Config{Cores: 2, MemBytes: 256 << 20, WAL: true})
+	if err != nil {
+		return err
+	}
+	init1, err := s1.Init()
+	if err != nil {
+		return err
+	}
+	synced := make(map[string][]byte)
+	for i := 0; i < 5; i++ {
+		path := fmt.Sprintf("/f%d", i)
+		payload := make([]byte, 100+r.Intn(2000))
+		r.Read(payload)
+		fd, e := init1.Open(path, fs.OCreate|fs.ORdWr)
+		if e != sys.EOK {
+			return fmt.Errorf("open %s: %v", path, e)
+		}
+		if _, e := init1.Write(fd, payload); e != sys.EOK {
+			return fmt.Errorf("write %s: %v", path, e)
+		}
+		if e := init1.Close(fd); e != sys.EOK {
+			return fmt.Errorf("close %s: %v", path, e)
+		}
+		if e := init1.Sync(); e != sys.EOK {
+			return fmt.Errorf("sync %d: %v", i, e)
+		}
+		synced[path] = payload
+	}
+	// One unsynced straggler: may or may not survive the crash, but the
+	// synced set must.
+	if fd, e := init1.Open("/unsynced", fs.OCreate|fs.ORdWr); e == sys.EOK {
+		_, _ = init1.Write(fd, []byte("straggler"))
+		_ = init1.Close(fd)
+	}
+	// Crash: no SaveFS, no shutdown. Boot a second system from the
+	// frozen disk and recover through the journal.
+	s2, err := Boot(Config{Cores: 2, MemBytes: 256 << 20, WAL: true, RestoreFS: true, BootDisk: s1.BlockDev})
+	if err != nil {
+		return err
+	}
+	init2, err := s2.Init()
+	if err != nil {
+		return err
+	}
+	for path, payload := range synced {
+		fd, e := init2.Open(path, fs.ORdOnly)
+		if e != sys.EOK {
+			return fmt.Errorf("after crash: open %s: %v (synced mutation lost)", path, e)
+		}
+		got := make([]byte, len(payload))
+		if n, e := init2.Read(fd, got); e != sys.EOK || int(n) != len(payload) {
+			return fmt.Errorf("after crash: read %s: %d bytes, %v", path, n, e)
+		}
+		for i := range got {
+			if got[i] != payload[i] {
+				return fmt.Errorf("after crash: %s corrupted at byte %d", path, i)
+			}
+		}
+		if e := init2.Close(fd); e != sys.EOK {
+			return fmt.Errorf("after crash: close %s: %v", path, e)
+		}
+	}
+	if err := s2.CheckReplicaAgreement(); err != nil {
+		return err
+	}
+	return s2.CheckKernelInvariants()
 }
 
 // futexWorkload runs two threads of one process contending on a

@@ -81,6 +81,17 @@ func (s *System) localOp(h *handler, op sys.WriteOp) sys.Resp {
 		}
 		return sys.Resp{Errno: sys.EOK, Val: uint64(r.From), TID: sched.TID(r.FromPort), Data: r.Payload}
 
+	case sys.NumSync:
+		// The durability transition (§3 contract extended with crash
+		// consistency): one journal group commit — or a full snapshot
+		// without a journal. Local because the disk is a device, not
+		// replicated state; replica ordering comes from the flush
+		// running under replica 0's Inspect (see syncDurable).
+		if err := s.syncDurable(); err != nil {
+			return sys.Resp{Errno: sys.EIO}
+		}
+		return sys.Resp{Errno: sys.EOK}
+
 	case sys.NumSockClose:
 		s.sockMu.Lock()
 		sock := s.sockets[op.PID][op.Sock]

@@ -109,11 +109,18 @@ func (s *System) Printf(format string, args ...any) {
 func (s *System) ConsoleOutput() string { return s.Machine.Serial.Output() }
 
 // SaveFS snapshots the filesystem (replica 0's copy — all replicas are
-// checked identical by the agreement obligation) to the disk.
+// checked identical by the agreement obligation) to the disk. On a
+// journaled system this is a checkpoint: the snapshot carries the
+// journal sequence stamp and truncates the record area.
 func (s *System) SaveFS() error {
 	var err error
 	s.nr.Replica(0).Inspect(func(d nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp]) {
-		err = fs.Save(d.(*sys.Kernel).FS(), s.BlockDev)
+		k := d.(*sys.Kernel)
+		if s.journal != nil {
+			err = s.journal.Checkpoint(k.FS())
+			return
+		}
+		err = fs.Save(k.FS(), s.BlockDev)
 	})
 	return err
 }
@@ -173,6 +180,7 @@ func (s *System) registerComponents() {
 	r.AddComponent(relwork.Component{Table2Row: "Memory management", Package: "internal/mm", Checked: true})
 	r.AddComponent(relwork.Component{Table2Row: "Memory management", Package: "internal/pt", Checked: true})
 	r.AddComponent(relwork.Component{Table2Row: "Filesystem", Package: "internal/fs", Checked: true})
+	r.AddComponent(relwork.Component{Table2Row: "Filesystem", Package: "internal/wal", Checked: true})
 	r.AddComponent(relwork.Component{Table2Row: "Complex drivers", Package: "internal/dev", Checked: true})
 	r.AddComponent(relwork.Component{Table2Row: "Process management", Package: "internal/proc", Checked: true})
 	r.AddComponent(relwork.Component{Table2Row: "Threads and synchronization", Package: "internal/usr", Checked: true})

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -24,6 +25,7 @@ import (
 	"github.com/verified-os/vnros/internal/pt"
 	"github.com/verified-os/vnros/internal/relwork"
 	"github.com/verified-os/vnros/internal/sys"
+	"github.com/verified-os/vnros/internal/wal"
 )
 
 // CoresPerNode is the simulated NUMA topology: how many cores share one
@@ -46,11 +48,22 @@ type Config struct {
 	// Network, if non-nil, attaches the machine to a virtual switch.
 	Network *netstack.Network
 	// RestoreFS loads the filesystem from disk at boot (each replica
-	// deserializes the same snapshot, keeping them bit-identical).
+	// deserializes the same snapshot, keeping them bit-identical). With
+	// WAL set, boot additionally replays the journal's record tail, so
+	// the replicas recover everything acknowledged by a Sync — not just
+	// the last explicit snapshot.
 	RestoreFS bool
 	// BootDisk, if non-nil, is copied onto the machine's disk before
 	// boot ("inserting" an existing disk image).
 	BootDisk fs.BlockStore
+	// WAL enables the write-ahead journal (internal/wal): filesystem
+	// mutations stream into a group-committed record log, Sync becomes
+	// a journal flush instead of a full snapshot, and boot recovery
+	// replays the log over the last checkpoint.
+	WAL bool
+	// JournalBlocks overrides the journal region size in blocks
+	// (default: 1/8 of the disk).
+	JournalBlocks uint64
 }
 
 // System is a booted instance of the OS.
@@ -61,6 +74,12 @@ type System struct {
 	// The replicated kernel.
 	nr       *nr.NR[sys.ReadOp, sys.WriteOp, sys.Resp]
 	replicas []*sys.Kernel
+
+	// journal, when Config.WAL is set, is the write-ahead journal over
+	// the block device. Replica 0's FS carries the record sink (each
+	// mutation is journaled once, in apply order); Sync and SaveFS
+	// drive Flush/Checkpoint under replica 0's Inspect lock.
+	journal *wal.Journal
 
 	// Shared data-frame allocator (physical pages for user memory).
 	dataMu    sync.Mutex
@@ -180,11 +199,35 @@ func Boot(cfg Config) (*System, error) {
 		}
 	}
 
+	// Optional write-ahead journal over the tail of the disk.
+	if cfg.WAL {
+		if s.journal, err = wal.New(s.BlockDev, cfg.JournalBlocks); err != nil {
+			return nil, err
+		}
+		if !cfg.RestoreFS {
+			// Fresh boot: initialize the journal region (a restore boots
+			// through Recover instead, which adopts the on-disk epoch).
+			if err := s.journal.Format(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	// Optional boot-time filesystem restore, shared by the replica
 	// constructor below.
 	var bootFS func() *fs.FS
 	if cfg.RestoreFS {
 		bootFS = func() *fs.FS {
+			if s.journal != nil {
+				// Checkpoint snapshot + journal replay. Recover is
+				// idempotent: each replica's call yields an identical,
+				// independently owned filesystem.
+				f, err := s.journal.Recover()
+				if err != nil {
+					return fs.New()
+				}
+				return f
+			}
 			f, err := fs.Load(s.BlockDev)
 			if err != nil {
 				return fs.New() // fresh disk: empty root
@@ -212,8 +255,41 @@ func Boot(cfg Config) (*System, error) {
 			return k
 		})
 
+	// Attach the journal sink to replica 0's filesystem: every replica
+	// applies every mutation, but exactly one replica's stream is the
+	// journal's linearization.
+	if s.journal != nil {
+		s.replicas[0].FS().SetJournal(s.journal)
+	}
+
 	s.registerComponents()
 	return s, nil
+}
+
+// syncDurable is the Sync syscall's kernel half: make every mutation
+// applied so far durable. Under the journal this is one group commit
+// (Flush), escalating to a checkpoint when the record area is full —
+// the checkpoint absorbs the pending records into the snapshot, so no
+// retry is needed. Without a journal, durability means a full snapshot.
+//
+// The work runs inside replica 0's Inspect, which first syncs that
+// replica to the log tail: every operation completed before this sync
+// has then been applied — and therefore journaled — before the flush,
+// which is exactly the ordering the durability contract needs.
+func (s *System) syncDurable() error {
+	var err error
+	s.nr.Replica(0).Inspect(func(d nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp]) {
+		k := d.(*sys.Kernel)
+		if s.journal == nil {
+			err = fs.Save(k.FS(), s.BlockDev)
+			return
+		}
+		err = s.journal.Flush()
+		if errors.Is(err, wal.ErrJournalFull) {
+			err = s.journal.Checkpoint(k.FS())
+		}
+	})
+	return err
 }
 
 // replicaOf maps a core to its kernel replica index.
@@ -371,6 +447,14 @@ func (h *handler) syscall(frame marshal.SyscallFrame, payload []byte) (marshal.R
 // completion queue in submission order. Non-batchable ops complete
 // individually with ENOSYS — a bad entry must not poison its
 // neighbours' completions.
+//
+// Sync entries are the group-commit hook: they are pulled out of the
+// state-machine run and served with ONE durability action after every
+// other op of the batch has been applied — the journal flush then
+// covers the entire batch, however many sync markers it carried. This
+// is the "drain whole submission-ring batches into one journal flush"
+// path; per-op commit (Write+Sync round trips) exists only as the
+// baseline vnros-bench compares against.
 func (h *handler) batch(frame marshal.SyscallFrame, payload []byte) (marshal.RetFrame, []byte) {
 	t0 := obs.Start()
 	ops, err := sys.DecodeBatch(frame, payload)
@@ -378,37 +462,34 @@ func (h *handler) batch(frame marshal.SyscallFrame, payload []byte) (marshal.Ret
 		return sys.EncodeBatchResp(nil, sys.EINVAL)
 	}
 	comps := make([]sys.Completion, len(ops))
-	batchable := 0
+	valid := make([]sys.WriteOp, 0, len(ops))
+	idx := make([]int, 0, len(ops))
+	syncIdx := make([]int, 0, 1)
 	for i := range ops {
-		if sys.IsBatchableOp(ops[i].Num) {
-			batchable++
-		}
-	}
-	switch {
-	case batchable == len(ops):
-		// Fast path: the whole vector rides the combiner as-is.
-		for j, r := range h.executeBatch(ops) {
-			comps[j] = sys.BatchCompletion(ops[j], r)
-		}
-	case batchable > 0:
-		// Non-batchable ops complete individually with ENOSYS; the rest
-		// still cross as one contiguous run, merged back in order.
-		valid := make([]sys.WriteOp, 0, batchable)
-		idx := make([]int, 0, batchable)
-		for i := range ops {
-			if !sys.IsBatchableOp(ops[i].Num) {
-				comps[i] = sys.Completion{Op: ops[i].Num, Errno: sys.ENOSYS}
-				continue
-			}
+		switch {
+		case sys.IsBatchableOp(ops[i].Num):
 			valid = append(valid, ops[i])
 			idx = append(idx, i)
+		case ops[i].Num == sys.NumSync:
+			syncIdx = append(syncIdx, i)
+		default:
+			comps[i] = sys.Completion{Op: ops[i].Num, Errno: sys.ENOSYS}
 		}
+	}
+	if len(valid) > 0 {
 		for j, r := range h.executeBatch(valid) {
 			comps[idx[j]] = sys.BatchCompletion(valid[j], r)
 		}
-	default:
-		for i := range ops {
-			comps[i] = sys.Completion{Op: ops[i].Num, Errno: sys.ENOSYS}
+	}
+	if len(syncIdx) > 0 {
+		// One group commit for the whole batch (after its ops applied;
+		// outside ctxMu — the flush takes replica 0's lock instead).
+		e := sys.EOK
+		if err := h.s.syncDurable(); err != nil {
+			e = sys.EIO
+		}
+		for _, i := range syncIdx {
+			comps[i] = sys.Completion{Op: sys.NumSync, Errno: e}
 		}
 	}
 	obs.SyscallBatchSize.Record(uint32(h.core), uint64(len(ops)))

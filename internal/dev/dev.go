@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/verified-os/vnros/internal/fs"
 	"github.com/verified-os/vnros/internal/hw/machine"
 	"github.com/verified-os/vnros/internal/hw/mem"
 )
@@ -206,8 +207,15 @@ func (b *BlockDriver) NumBlocks() uint64 { return b.disk.NumBlocks() }
 // completion, matching by request ID (other completions are drained
 // first, which is safe because the driver serializes requests).
 func (b *BlockDriver) submit(write bool, block uint64, p []byte) error {
-	if len(p) != machine.DiskBlockSize {
-		return fmt.Errorf("dev: bad buffer length %d", len(p))
+	// Same typed guards as every other BlockStore implementation: bad
+	// index and bad buffer length are caller bugs rejected up front,
+	// before anything touches the DMA bounce buffer.
+	op := "read"
+	if write {
+		op = "write"
+	}
+	if err := fs.CheckBlockAccess(b, op, block, p); err != nil {
+		return err
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -73,6 +73,9 @@ type FS struct {
 	// kernel replica; fs.* kstats are apply-side, counted once per
 	// replica per logged op).
 	obsShard uint32
+
+	// jrn, when set, receives every successful mutation (journal.go).
+	jrn Journal
 }
 
 // New returns a filesystem containing only the root directory.
@@ -188,6 +191,7 @@ func (f *FS) Create(path string) (Ino, error) {
 	f.inodes[ino] = &Inode{Ino: ino, Kind: KindFile, Nlink: 1}
 	parent.Children[name] = ino
 	f.metaOp(ino)
+	f.record(Mutation{Kind: MutCreate, Path: path})
 	return ino, nil
 }
 
@@ -211,6 +215,7 @@ func (f *FS) Mkdir(path string) (Ino, error) {
 	f.inodes[ino] = &Inode{Ino: ino, Kind: KindDir, Children: make(map[string]Ino), Nlink: 1}
 	parent.Children[name] = ino
 	f.metaOp(ino)
+	f.record(Mutation{Kind: MutMkdir, Path: path})
 	return ino, nil
 }
 
@@ -237,6 +242,7 @@ func (f *FS) Unlink(path string) error {
 		delete(f.inodes, ino)
 	}
 	f.metaOp(ino)
+	f.record(Mutation{Kind: MutUnlink, Path: path})
 	return nil
 }
 
@@ -263,6 +269,7 @@ func (f *FS) Rmdir(path string) error {
 	delete(parent.Children, name)
 	delete(f.inodes, ino)
 	f.metaOp(ino)
+	f.record(Mutation{Kind: MutRmdir, Path: path})
 	return nil
 }
 
@@ -289,6 +296,7 @@ func (f *FS) Link(oldpath, newpath string) error {
 	parent.Children[name] = ino
 	n.Nlink++
 	f.metaOp(ino)
+	f.record(Mutation{Kind: MutLink, Path: oldpath, Path2: newpath})
 	return nil
 }
 
@@ -344,6 +352,7 @@ func (f *FS) Rename(oldpath, newpath string) error {
 	np.Children[nname] = ino
 	delete(op.Children, oname)
 	f.metaOp(ino)
+	f.record(Mutation{Kind: MutRename, Path: oldpath, Path2: newpath})
 	return nil
 }
 
@@ -442,6 +451,7 @@ func (f *FS) WriteAt(ino Ino, off uint64, p []byte) (int, error) {
 	}
 	copy(n.Data[off:end], p)
 	obs.FSWriteLatency.Since(f.obsShard, t0)
+	f.record(Mutation{Kind: MutWrite, Ino: ino, Off: off, Data: p})
 	return len(p), nil
 }
 
@@ -462,6 +472,7 @@ func (f *FS) Truncate(ino Ino, size uint64) error {
 		copy(grown, n.Data)
 		n.Data = grown
 	}
+	f.record(Mutation{Kind: MutTruncate, Ino: ino, Size: size})
 	return nil
 }
 

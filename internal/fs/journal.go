@@ -1,0 +1,114 @@
+package fs
+
+import "fmt"
+
+// This file is the filesystem's side of write-ahead journaling: the
+// logical mutation record (the unit the journal sequences and replays)
+// and the hook a journal implementation attaches through. The journal
+// itself — wire format, group commit, checkpointing, recovery — lives
+// in internal/wal; fs only defines *what* a mutation is and how to
+// re-apply one, so the two packages compose without an import cycle.
+//
+// Mutations are fs-level (paths and inode numbers), not syscall-level:
+// descriptor tables are volatile process state that does not survive a
+// crash, while inode assignment is deterministic (next-Ino counter), so
+// replaying the mutation sequence from a snapshot reconstructs the
+// exact inode graph the original execution built.
+
+// MutKind enumerates the journaled mutation types.
+type MutKind uint8
+
+// Mutation kinds — one per mutating FS entry point.
+const (
+	MutCreate MutKind = iota + 1
+	MutMkdir
+	MutUnlink
+	MutRmdir
+	MutLink
+	MutRename
+	MutWrite
+	MutTruncate
+)
+
+func (k MutKind) String() string {
+	switch k {
+	case MutCreate:
+		return "create"
+	case MutMkdir:
+		return "mkdir"
+	case MutUnlink:
+		return "unlink"
+	case MutRmdir:
+		return "rmdir"
+	case MutLink:
+		return "link"
+	case MutRename:
+		return "rename"
+	case MutWrite:
+		return "write"
+	case MutTruncate:
+		return "truncate"
+	}
+	return fmt.Sprintf("mut%d", uint8(k))
+}
+
+// Mutation is one logical filesystem mutation — the replayable record
+// of a successful state transition. Unused fields are zero; Data is
+// borrowed (a journal must copy or encode it before returning).
+type Mutation struct {
+	Kind  MutKind
+	Path  string
+	Path2 string
+	Ino   Ino
+	Off   uint64
+	Size  uint64
+	Data  []byte
+}
+
+// Journal receives the mutation stream of an FS instance. Record is
+// called after the mutation has been applied in memory, in apply order
+// (on a replicated kernel, the FS carrying the journal observes ops in
+// log order, so the record stream is a linearization of the workload).
+type Journal interface {
+	Record(m Mutation)
+}
+
+// SetJournal attaches (or detaches, with nil) the journal sink. On an
+// NR-replicated kernel exactly one replica's FS carries the sink, so
+// each mutation is recorded once even though every replica applies it.
+func (f *FS) SetJournal(j Journal) { f.jrn = j }
+
+// record forwards a successful mutation to the attached journal.
+func (f *FS) record(m Mutation) {
+	if f.jrn != nil {
+		f.jrn.Record(m)
+	}
+}
+
+// Apply re-executes a journaled mutation — the replay half of the
+// crash-recovery story. Replay must run with no journal attached (or
+// the recovery would re-journal its own input).
+func (f *FS) Apply(m Mutation) error {
+	switch m.Kind {
+	case MutCreate:
+		_, err := f.Create(m.Path)
+		return err
+	case MutMkdir:
+		_, err := f.Mkdir(m.Path)
+		return err
+	case MutUnlink:
+		return f.Unlink(m.Path)
+	case MutRmdir:
+		return f.Rmdir(m.Path)
+	case MutLink:
+		return f.Link(m.Path, m.Path2)
+	case MutRename:
+		return f.Rename(m.Path, m.Path2)
+	case MutWrite:
+		_, err := f.WriteAt(m.Ino, m.Off, m.Data)
+		return err
+	case MutTruncate:
+		return f.Truncate(m.Ino, m.Size)
+	}
+	return fmt.Errorf("%w: unknown mutation kind %d", ErrInval, m.Kind)
+}

@@ -23,6 +23,14 @@ var (
 	ErrTooBig     = errors.New("fs: snapshot exceeds device capacity")
 	ErrBadImage   = errors.New("fs: corrupt filesystem image")
 	ErrNoSnapshot = errors.New("fs: device holds no snapshot")
+
+	// Block-access errors, shared by every BlockStore implementation
+	// (MemBlockStore here, the disk driver in internal/dev, the
+	// journal's views in internal/wal): a block index past the device
+	// and a buffer that is not exactly one block are programming
+	// errors surfaced as typed values, never silently tolerated.
+	ErrBlockRange = errors.New("fs: block index out of range")
+	ErrBlockSize  = errors.New("fs: buffer length != block size")
 )
 
 // snapshotMagic identifies a valid image header.
@@ -33,10 +41,19 @@ const snapshotMagic = 0x76_6e_72_6f_73_66_73_31 // "vnrosfs1"
 // referenced by the current header, and the header (with checksum and
 // slot pointer) is written last. A crash at any point leaves the
 // previous snapshot fully intact and loadable; a torn header or payload
-// is detected by magic/checksum. This is the persistence story scoped
-// to the paper's prototype; journaled crash consistency is future work
-// there too.
-func Save(f *FS, d BlockStore) error {
+// is detected by magic/checksum. Journaled crash consistency between
+// snapshots is provided by internal/wal, which checkpoints through
+// SaveStamped.
+func Save(f *FS, d BlockStore) error { return SaveStamped(f, d, 0) }
+
+// SaveStamped is Save with a caller-owned stamp recorded in the header.
+// internal/wal stores the journal sequence number the snapshot covers,
+// making the snapshot header the checkpoint's single commit point:
+// recovery reads the stamp back via LoadStamped and replays only the
+// journal records after it. Images written by Save carry stamp 0, and
+// pre-stamp images read back as stamp 0 (the header block's padding
+// was already zero).
+func SaveStamped(f *FS, d BlockStore, stamp uint64) error {
 	e := marshal.NewEncoder(nil)
 	// Deterministic inode order for reproducible images.
 	inos := make([]Ino, 0, len(f.inodes))
@@ -92,10 +109,10 @@ func Save(f *FS, d BlockStore) error {
 			return err
 		}
 	}
-	// Header: magic, slot, length, checksum — written last (the commit
-	// point).
+	// Header: magic, slot, length, checksum, stamp — written last (the
+	// commit point).
 	h := marshal.NewEncoder(nil)
-	h.U64(snapshotMagic).U64(slot).U64(uint64(len(payload))).U64(fletcher64(payload))
+	h.U64(snapshotMagic).U64(slot).U64(uint64(len(payload))).U64(fletcher64(payload)).U64(stamp)
 	hb := make([]byte, bs)
 	copy(hb, h.Bytes())
 	return d.WriteBlock(0, hb)
@@ -106,6 +123,7 @@ type header struct {
 	slot   uint64
 	length uint64
 	sum    uint64
+	stamp  uint64
 }
 
 func readHeader(d BlockStore) (header, error) {
@@ -114,37 +132,44 @@ func readHeader(d BlockStore) (header, error) {
 	if err := d.ReadBlock(0, hb); err != nil {
 		return header{}, err
 	}
-	h := marshal.NewDecoder(hb[:32])
-	magic, slot, length, sum := h.U64(), h.U64(), h.U64(), h.U64()
+	h := marshal.NewDecoder(hb[:40])
+	magic, slot, length, sum, stamp := h.U64(), h.U64(), h.U64(), h.U64(), h.U64()
 	if h.Err() != nil || magic != snapshotMagic || slot > 1 {
 		return header{}, ErrNoSnapshot
 	}
-	return header{slot: slot, length: length, sum: sum}, nil
+	return header{slot: slot, length: length, sum: sum, stamp: stamp}, nil
 }
 
 // Load reconstructs a filesystem from the block store.
 func Load(d BlockStore) (*FS, error) {
+	f, _, err := LoadStamped(d)
+	return f, err
+}
+
+// LoadStamped is Load returning the header stamp as well (the journal
+// sequence number a wal checkpoint recorded; see SaveStamped).
+func LoadStamped(d BlockStore) (*FS, uint64, error) {
 	bs := d.BlockSize()
 	hd, err := readHeader(d)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	length, sum := hd.length, hd.sum
 	blocks := (int(length) + bs - 1) / bs
 	slotCap := (d.NumBlocks() - 1) / 2
 	if uint64(blocks) > slotCap {
-		return nil, fmt.Errorf("%w: header claims %d bytes", ErrBadImage, length)
+		return nil, 0, fmt.Errorf("%w: header claims %d bytes", ErrBadImage, length)
 	}
 	base := 1 + hd.slot*slotCap
 	payload := make([]byte, blocks*bs)
 	for i := 0; i < blocks; i++ {
 		if err := d.ReadBlock(base+uint64(i), payload[i*bs:(i+1)*bs]); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	payload = payload[:length]
 	if fletcher64(payload) != sum {
-		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadImage)
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrBadImage)
 	}
 
 	dec := marshal.NewDecoder(payload)
@@ -152,7 +177,7 @@ func Load(d BlockStore) (*FS, error) {
 	f.next = Ino(dec.U64())
 	count := dec.U64()
 	if dec.Err() != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadImage, dec.Err())
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadImage, dec.Err())
 	}
 	for i := uint64(0); i < count; i++ {
 		n := &Inode{
@@ -163,36 +188,36 @@ func Load(d BlockStore) (*FS, error) {
 		}
 		nc := dec.U64()
 		if dec.Err() != nil {
-			return nil, fmt.Errorf("%w: inode %d: %v", ErrBadImage, i, dec.Err())
+			return nil, 0, fmt.Errorf("%w: inode %d: %v", ErrBadImage, i, dec.Err())
 		}
 		if n.Kind == KindDir {
 			n.Children = make(map[string]Ino, nc)
 		} else if nc != 0 {
-			return nil, fmt.Errorf("%w: file with children", ErrBadImage)
+			return nil, 0, fmt.Errorf("%w: file with children", ErrBadImage)
 		}
 		for j := uint64(0); j < nc; j++ {
 			name := dec.String()
 			child := Ino(dec.U64())
 			if dec.Err() != nil {
-				return nil, fmt.Errorf("%w: dirent: %v", ErrBadImage, dec.Err())
+				return nil, 0, fmt.Errorf("%w: dirent: %v", ErrBadImage, dec.Err())
 			}
 			n.Children[name] = child
 		}
 		if _, dup := f.inodes[n.Ino]; dup {
-			return nil, fmt.Errorf("%w: duplicate inode %d", ErrBadImage, n.Ino)
+			return nil, 0, fmt.Errorf("%w: duplicate inode %d", ErrBadImage, n.Ino)
 		}
 		f.inodes[n.Ino] = n
 	}
 	if err := dec.Finish(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadImage, err)
 	}
 	if _, ok := f.inodes[RootIno]; !ok {
-		return nil, fmt.Errorf("%w: no root inode", ErrBadImage)
+		return nil, 0, fmt.Errorf("%w: no root inode", ErrBadImage)
 	}
 	if err := f.CheckInvariant(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadImage, err)
 	}
-	return f, nil
+	return f, hd.stamp, nil
 }
 
 // Equal reports whether two filesystems have identical observable
@@ -246,10 +271,26 @@ func (m *MemBlockStore) BlockSize() int { return m.bs }
 // NumBlocks implements BlockStore.
 func (m *MemBlockStore) NumBlocks() uint64 { return uint64(len(m.blocks)) }
 
+// CheckBlockAccess validates a block index and buffer length against a
+// store's geometry, returning the typed block-access errors. Every
+// BlockStore implementation (here, internal/dev, internal/wal) guards
+// its entry points with it so the whole storage stack rejects malformed
+// accesses identically.
+func CheckBlockAccess(d BlockStore, op string, i uint64, p []byte) error {
+	if i >= d.NumBlocks() {
+		return fmt.Errorf("%w: %s block %d of %d", ErrBlockRange, op, i, d.NumBlocks())
+	}
+	if len(p) != d.BlockSize() {
+		return fmt.Errorf("%w: %s block %d with %d bytes, block size %d",
+			ErrBlockSize, op, i, len(p), d.BlockSize())
+	}
+	return nil
+}
+
 // ReadBlock implements BlockStore.
 func (m *MemBlockStore) ReadBlock(i uint64, p []byte) error {
-	if i >= uint64(len(m.blocks)) || len(p) != m.bs {
-		return fmt.Errorf("fs: bad block read %d len %d", i, len(p))
+	if err := CheckBlockAccess(m, "read", i, p); err != nil {
+		return err
 	}
 	if m.blocks[i] == nil {
 		for j := range p {
@@ -263,8 +304,8 @@ func (m *MemBlockStore) ReadBlock(i uint64, p []byte) error {
 
 // WriteBlock implements BlockStore.
 func (m *MemBlockStore) WriteBlock(i uint64, p []byte) error {
-	if i >= uint64(len(m.blocks)) || len(p) != m.bs {
-		return fmt.Errorf("fs: bad block write %d len %d", i, len(p))
+	if err := CheckBlockAccess(m, "write", i, p); err != nil {
+		return err
 	}
 	if m.blocks[i] == nil {
 		m.blocks[i] = make([]byte, m.bs)

@@ -1,0 +1,158 @@
+package fs
+
+import (
+	"errors"
+	"testing"
+)
+
+func buildFS(t *testing.T, files map[string]string) *FS {
+	t.Helper()
+	f := New()
+	for path, content := range files {
+		ino, err := f.Create(path)
+		if err != nil {
+			t.Fatalf("create %s: %v", path, err)
+		}
+		if _, err := f.WriteAt(ino, 0, []byte(content)); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+	}
+	return f
+}
+
+func TestLoadTornHeader(t *testing.T) {
+	d := NewMemBlockStore(512, 64)
+	f := buildFS(t, map[string]string{"/a": "alpha"})
+	if err := Save(f, d); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the header: corrupt the magic's bytes.
+	hb := make([]byte, 512)
+	if err := d.ReadBlock(0, hb); err != nil {
+		t.Fatal(err)
+	}
+	hb[3] ^= 0xFF
+	if err := d.WriteBlock(0, hb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(d); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("load with torn header: %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestLoadTornPayload(t *testing.T) {
+	d := NewMemBlockStore(512, 64)
+	f := buildFS(t, map[string]string{"/a": "payload under test"})
+	if err := Save(f, d); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the first payload block of the active slot.
+	hd, err := readHeader(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slotCap := (d.NumBlocks() - 1) / 2
+	base := 1 + hd.slot*slotCap
+	pb := make([]byte, 512)
+	if err := d.ReadBlock(base, pb); err != nil {
+		t.Fatal(err)
+	}
+	pb[10] ^= 0x01
+	if err := d.WriteBlock(base, pb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(d); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("load with torn payload: %v, want ErrBadImage", err)
+	}
+}
+
+func TestSaveAlternatesSlots(t *testing.T) {
+	d := NewMemBlockStore(512, 64)
+	f := buildFS(t, map[string]string{"/a": "v1"})
+	slots := make([]uint64, 0, 4)
+	for i := 0; i < 4; i++ {
+		if err := Save(f, d); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+		hd, err := readHeader(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, hd.slot)
+	}
+	for i := 1; i < len(slots); i++ {
+		if slots[i] == slots[i-1] {
+			t.Fatalf("saves %d and %d share slot %d (A/B alternation broken)", i-1, i, slots[i])
+		}
+	}
+	// A torn save must leave the previous snapshot loadable: Save puts
+	// the new payload in the OTHER slot before touching the header, so
+	// scribbling over that slot (a save that crashed mid-payload) is
+	// invisible to Load.
+	hd, err := readHeader(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slotCap := (d.NumBlocks() - 1) / 2
+	otherBase := 1 + (1-hd.slot)*slotCap
+	junk := make([]byte, 512)
+	for i := range junk {
+		junk[i] = 0xEE
+	}
+	if err := d.WriteBlock(otherBase, junk); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(d)
+	if err != nil {
+		t.Fatalf("load after torn save into inactive slot: %v", err)
+	}
+	if !Equal(g, f) {
+		t.Fatal("previous snapshot damaged by a torn save")
+	}
+}
+
+func TestSaveStampRoundTrip(t *testing.T) {
+	d := NewMemBlockStore(512, 64)
+	f := buildFS(t, map[string]string{"/s": "stamped"})
+	if err := SaveStamped(f, d, 777); err != nil {
+		t.Fatal(err)
+	}
+	g, stamp, err := LoadStamped(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamp != 777 {
+		t.Fatalf("stamp %d, want 777", stamp)
+	}
+	if !Equal(f, g) {
+		t.Fatal("filesystem changed across stamped round trip")
+	}
+	// Plain Save writes stamp 0 (and pre-stamp images decode as 0).
+	if err := Save(f, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, stamp, err = LoadStamped(d); err != nil || stamp != 0 {
+		t.Fatalf("unstamped save read back stamp %d, %v", stamp, err)
+	}
+}
+
+func TestBlockAccessErrors(t *testing.T) {
+	d := NewMemBlockStore(512, 8)
+	good := make([]byte, 512)
+	short := make([]byte, 100)
+	if err := d.WriteBlock(8, good); !errors.Is(err, ErrBlockRange) {
+		t.Fatalf("out-of-range write: %v, want ErrBlockRange", err)
+	}
+	if err := d.ReadBlock(9, good); !errors.Is(err, ErrBlockRange) {
+		t.Fatalf("out-of-range read: %v, want ErrBlockRange", err)
+	}
+	if err := d.WriteBlock(0, short); !errors.Is(err, ErrBlockSize) {
+		t.Fatalf("short-buffer write: %v, want ErrBlockSize", err)
+	}
+	if err := d.ReadBlock(0, short); !errors.Is(err, ErrBlockSize) {
+		t.Fatalf("short-buffer read: %v, want ErrBlockSize", err)
+	}
+	if err := d.WriteBlock(0, good); err != nil {
+		t.Fatalf("valid write rejected: %v", err)
+	}
+}

@@ -51,6 +51,15 @@ var (
 	PTMapLatency   = NewHist("pt.map_latency", UnitNanos)
 	PTUnmapLatency = NewHist("pt.unmap_latency", UnitNanos)
 
+	// Write-ahead journal (internal/wal).
+	WALAppends         = NewCounter("wal.appends")                // mutations recorded
+	WALCommits         = NewCounter("wal.commits")                // group-commit flushes
+	WALCheckpoints     = NewCounter("wal.checkpoints")            // snapshot + truncate
+	WALReplayedRecords = NewCounter("wal.replayed_records")       // mutations re-applied at boot
+	WALTornChunks      = NewCounter("wal.torn_chunks")            // chunks rejected by integrity checks
+	WALCommitRecords   = NewHist("wal.commit_records", UnitCount) // records per group commit
+	WALFlushLatency    = NewHist("wal.flush_latency", UnitNanos)  // one Flush
+
 	// Kernel event ring.
 	KernelTrace = NewTrace("kernel", 4096)
 )
@@ -63,14 +72,15 @@ const MaxSyscallOps = 48
 
 // Kernel trace event kinds.
 var (
-	KindSyscall  = RegisterKind("syscall")   // A=opcode, B=pid
-	KindDispatch = RegisterKind("dispatch")  // A=tid, B=core
-	KindPreempt  = RegisterKind("preempt")   // A=tid
-	KindPTMap    = RegisterKind("pt.map")    // A=va, B=frame
-	KindPTUnmap  = RegisterKind("pt.unmap")  // A=va, B=frame
-	KindFSMeta   = RegisterKind("fs.meta")   // A=op hash, B=ino
-	KindLogStall = RegisterKind("log.stall") // A=log index, B=replica
-	KindBatch    = RegisterKind("batch")     // A=batch size, B=core
+	KindSyscall   = RegisterKind("syscall")    // A=opcode, B=pid
+	KindDispatch  = RegisterKind("dispatch")   // A=tid, B=core
+	KindPreempt   = RegisterKind("preempt")    // A=tid
+	KindPTMap     = RegisterKind("pt.map")     // A=va, B=frame
+	KindPTUnmap   = RegisterKind("pt.unmap")   // A=va, B=frame
+	KindFSMeta    = RegisterKind("fs.meta")    // A=op hash, B=ino
+	KindLogStall  = RegisterKind("log.stall")  // A=log index, B=replica
+	KindBatch     = RegisterKind("batch")      // A=batch size, B=core
+	KindWALCommit = RegisterKind("wal.commit") // A=first seq, B=record count
 )
 
 // RenderSummary prints every counter and histogram of a snapshot in

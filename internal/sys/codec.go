@@ -34,7 +34,11 @@ func IsReadOp(num uint64) bool {
 func IsLocalOp(num uint64) bool {
 	switch num {
 	case NumFutexWait, NumFutexWake, NumSockBind, NumSockSend,
-		NumSockRecv, NumSockClose, NumMemRead, NumMemWrite, NumMemCAS:
+		NumSockRecv, NumSockClose, NumMemRead, NumMemWrite, NumMemCAS,
+		NumSync:
+		// NumSync is local because durability is a device effect: the
+		// journal flush happens once, against the one disk, not once
+		// per replica inside the state machine.
 		return true
 	}
 	return false

@@ -28,6 +28,7 @@ const (
 	EPERM      Errno = 1
 	ENOENT     Errno = 2
 	ESRCH      Errno = 3
+	EIO        Errno = 5
 	EBADF      Errno = 9
 	ECHILD     Errno = 10
 	EAGAIN     Errno = 11
@@ -54,6 +55,8 @@ func (e Errno) String() string {
 		return "ENOENT"
 	case ESRCH:
 		return "ESRCH"
+	case EIO:
+		return "EIO"
 	case EBADF:
 		return "EBADF"
 	case ECHILD:
@@ -137,6 +140,8 @@ func ErrnoFromError(err error) Errno {
 		return EPERM
 	case errors.Is(err, fs.ErrInval), errors.Is(err, fs.ErrNameTooLong):
 		return EINVAL
+	case errors.Is(err, fs.ErrBlockRange), errors.Is(err, fs.ErrBlockSize):
+		return EIO
 	case errors.Is(err, proc.ErrNoProcess):
 		return ESRCH
 	case errors.Is(err, proc.ErrNoChildren):

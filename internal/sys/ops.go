@@ -60,6 +60,13 @@ const (
 	// ring, Sys.Submit): core decodes it and drains the whole vector
 	// through a single NR combiner round.
 	NumBatch
+
+	// NumSync is the durability transition: it completes only once
+	// every mutation acknowledged before it is durable on disk (a
+	// write-ahead journal group commit, or a full snapshot when the
+	// system runs without a journal). Served locally by core — the
+	// disk lives outside the replicated state machine.
+	NumSync
 )
 
 // opNames maps syscall numbers to their display names, for the
@@ -79,7 +86,7 @@ var opNames = map[uint64]string{
 	NumSockBind: "sock_bind", NumSockSend: "sock_send",
 	NumSockRecv: "sock_recv", NumSockClose: "sock_close",
 	NumMemRead: "mem_read", NumMemWrite: "mem_write", NumMemCAS: "mem_cas",
-	NumBatch: "batch",
+	NumBatch: "batch", NumSync: "sync",
 }
 
 // OpName returns the syscall's display name ("open", "mmap", ...), or
@@ -93,7 +100,7 @@ func OpName(num uint64) string {
 
 // MaxOpNum is the highest assigned syscall number (wire ABI bound; the
 // obs opcode space must cover it).
-const MaxOpNum = NumBatch
+const MaxOpNum = NumSync
 
 // WriteOp is a mutating kernel operation — one logged NR entry. A
 // single struct (rather than one type per syscall) keeps the NR

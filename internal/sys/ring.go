@@ -74,6 +74,11 @@ func OpRename(old, new string) Op { return Op{w: WriteOp{Num: NumRename, Path: o
 // OpLink enqueues link(old, new).
 func OpLink(old, new string) Op { return Op{w: WriteOp{Num: NumLink, Path: old, Path2: new}} }
 
+// OpSync enqueues sync(). In a batch it acts as a group-commit marker:
+// the kernel applies every op of the batch, then makes the whole batch
+// durable with one journal flush before completing the sync entries.
+func OpSync() Op { return Op{w: WriteOp{Num: NumSync}} }
+
 // Completion is one completion-queue entry, in submission order.
 type Completion struct {
 	Op    uint64 // syscall number of the submitted op

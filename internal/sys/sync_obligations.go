@@ -1,0 +1,90 @@
+package sys
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"github.com/verified-os/vnros/internal/obs"
+	"github.com/verified-os/vnros/internal/proc"
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// registerSyncObligations: the Sync syscall's slice of the §3
+// marshalling obligation plus its dispatch-classification invariants.
+// Sync carries no arguments, but it still crosses the boundary through
+// the same frame/payload codec, rides in batches as a group-commit
+// marker, and must be classified exactly one way by the dispatch
+// predicates — local, not batch-replayed, not read-only.
+func registerSyncObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "sys", Name: "sync-op-round-trip", Kind: verifier.KindRoundTrip,
+			Check: func(r *rand.Rand) error {
+				op := WriteOp{Num: NumSync, PID: proc.PID(r.Uint64())}
+				frame, payload := EncodeWrite(op)
+				got, err := DecodeWrite(frame, payload)
+				if err != nil {
+					return err
+				}
+				if !reflect.DeepEqual(normalizeOp(op), normalizeOp(got)) {
+					return fmt.Errorf("sync op round trip mismatch:\n  in  %+v\n  out %+v", op, got)
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "sys", Name: "sync-batch-round-trip", Kind: verifier.KindRoundTrip,
+			Check: func(r *rand.Rand) error {
+				// A batch whose ops include sync markers must survive the
+				// batch codec byte-for-byte, or group commit would sync
+				// the wrong prefix.
+				for i := 0; i < 200; i++ {
+					pid := proc.PID(r.Uint64())
+					n := 1 + r.Intn(6)
+					ops := make([]WriteOp, n)
+					for k := range ops {
+						if r.Intn(3) == 0 {
+							ops[k] = WriteOp{Num: NumSync, PID: pid}
+						} else {
+							ops[k] = randomWriteOp(r)
+							ops[k].PID = pid
+						}
+					}
+					frame, payload := EncodeBatch(pid, ops)
+					got, err := DecodeBatch(frame, payload)
+					if err != nil {
+						return err
+					}
+					if len(got) != len(ops) {
+						return fmt.Errorf("batch round trip: %d/%d ops", len(got), len(ops))
+					}
+					for k := range ops {
+						if !reflect.DeepEqual(normalizeOp(ops[k]), normalizeOp(got[k])) {
+							return fmt.Errorf("batch op %d mismatch:\n  in  %+v\n  out %+v", k, ops[k], got[k])
+						}
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "sys", Name: "sync-dispatch-classification", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				if !IsLocalOp(NumSync) {
+					return fmt.Errorf("sync must be a local op: the journal flush happens once against the device, not per replica")
+				}
+				if IsBatchableOp(NumSync) {
+					return fmt.Errorf("sync must not be batch-replayed through the state machine")
+				}
+				if IsReadOp(NumSync) {
+					return fmt.Errorf("sync is not a read-only op")
+				}
+				if OpName(NumSync) != "sync" {
+					return fmt.Errorf("sync has no display name")
+				}
+				if MaxOpNum != NumSync {
+					return fmt.Errorf("MaxOpNum %d does not cover NumSync %d", MaxOpNum, NumSync)
+				}
+				if MaxOpNum >= obs.MaxSyscallOps {
+					return fmt.Errorf("obs opcode space %d does not cover MaxOpNum %d", obs.MaxSyscallOps, MaxOpNum)
+				}
+				return nil
+			}},
+	)
+}

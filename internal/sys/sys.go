@@ -194,6 +194,15 @@ func (s *Sys) Truncate(fd fs.FD, size uint64) Errno {
 	return s.callWrite(WriteOp{Num: NumTruncate, FD: fd, Len: size}).Errno
 }
 
+// Sync is the durability transition: it returns only after every
+// filesystem mutation acknowledged before the call is durable on disk
+// (one write-ahead journal group commit — or a full snapshot on
+// journal-less systems). EIO reports a disk failure; the mutations
+// remain applied in memory but their durability is not acknowledged.
+func (s *Sys) Sync() Errno {
+	return s.callWrite(WriteOp{Num: NumSync}).Errno
+}
+
 // Mkdir creates a directory.
 func (s *Sys) Mkdir(path string) Errno {
 	return s.callWrite(WriteOp{Num: NumMkdir, Path: path}).Errno

@@ -25,6 +25,7 @@ func RegisterObligations(g *verifier.Registry) {
 	registerMoreObligations(g)
 	registerEvenMoreObligations(g)
 	registerRingObligations(g)
+	registerSyncObligations(g)
 	g.Register(
 		verifier.Obligation{Module: "sys", Name: "writeop-round-trip", Kind: verifier.KindRoundTrip,
 			Check: func(r *rand.Rand) error {

@@ -132,6 +132,16 @@ func (rt *Runtime) Calloc(n uint64) (mmu.VAddr, error) {
 	return va, nil
 }
 
+// Sync makes all acknowledged filesystem mutations durable — libc's
+// sync(2) wrapper over the kernel's durability transition. Without a
+// journal this snapshots; with one it group-commits the pending tail.
+func (rt *Runtime) Sync() error {
+	if e := rt.S.Sync(); e != sys.EOK {
+		return errnoErr("sync", e)
+	}
+	return nil
+}
+
 // --- mem/str routines over the process-memory model ---
 
 // Memcpy copies n bytes of process memory from src to dst.
@@ -313,6 +323,17 @@ func (f *File) Flush() error {
 	}
 	f.wbuf = f.wbuf[:0]
 	return nil
+}
+
+// Sync flushes the stream's buffer and then asks the kernel to make
+// every acknowledged mutation durable (one journal group commit) —
+// libc's fflush followed by fsync. On return the file's contents
+// survive a crash up to this point.
+func (f *File) Sync() error {
+	if err := f.Flush(); err != nil {
+		return err
+	}
+	return f.rt.Sync()
 }
 
 // Writev flushes any buffered data and then writes the buffers through

@@ -1,0 +1,133 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/verified-os/vnros/internal/fs"
+)
+
+// ErrCrashed is returned by every write after a FaultStore's injected
+// crash point — the simulated machine has lost power; nothing further
+// reaches the disk.
+var ErrCrashed = errors.New("wal: simulated crash")
+
+// FaultMode selects what happens at the injected crash point.
+type FaultMode int
+
+// Fault modes, from cleanest to nastiest.
+const (
+	// FaultCrash drops the write entirely: the target block keeps its
+	// old contents (power lost just before the write).
+	FaultCrash FaultMode = iota
+	// FaultTorn lands a corrupted version of the write: the first half
+	// of the block is new data, the second half is bit-flipped garbage
+	// (power lost mid-sector-transfer).
+	FaultTorn
+	// FaultShort lands only the first half of the write; the second
+	// half of the block keeps its previous contents.
+	FaultShort
+)
+
+func (m FaultMode) String() string {
+	switch m {
+	case FaultCrash:
+		return "crash"
+	case FaultTorn:
+		return "torn"
+	case FaultShort:
+		return "short"
+	}
+	return "unknown"
+}
+
+// FaultStore wraps a BlockStore and injects one crash at the Nth write
+// (counting from 0). After the crash every subsequent write fails with
+// ErrCrashed while reads keep working — recovery code reads the frozen
+// post-crash disk exactly like a real reboot would.
+//
+// The crash-sweep obligations construct one FaultStore per (mode, write
+// index) pair and run a scripted workload to completion or crash; a
+// probe run with the fault disabled (failAt < 0) measures the total
+// write count first.
+type FaultStore struct {
+	mu      sync.Mutex
+	d       fs.BlockStore
+	mode    FaultMode
+	failAt  int // write index that faults; < 0 disables injection
+	writes  int
+	crashed bool
+}
+
+// NewFaultStore wraps d, crashing at write index failAt with the given
+// mode. failAt < 0 disables injection (probe mode).
+func NewFaultStore(d fs.BlockStore, mode FaultMode, failAt int) *FaultStore {
+	return &FaultStore{d: d, mode: mode, failAt: failAt}
+}
+
+// BlockSize implements fs.BlockStore.
+func (f *FaultStore) BlockSize() int { return f.d.BlockSize() }
+
+// NumBlocks implements fs.BlockStore.
+func (f *FaultStore) NumBlocks() uint64 { return f.d.NumBlocks() }
+
+// Writes returns how many writes were attempted (including the faulted
+// one) — the sweep bound for probe runs.
+func (f *FaultStore) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// Crashed reports whether the injected crash has fired.
+func (f *FaultStore) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// ReadBlock implements fs.BlockStore. Reads always succeed: after the
+// crash they observe the frozen disk state, which is exactly what
+// recovery sees after a reboot.
+func (f *FaultStore) ReadBlock(i uint64, p []byte) error {
+	return f.d.ReadBlock(i, p)
+}
+
+// WriteBlock implements fs.BlockStore, applying the fault at the
+// configured write index.
+func (f *FaultStore) WriteBlock(i uint64, p []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	idx := f.writes
+	f.writes++
+	if f.failAt < 0 || idx != f.failAt {
+		return f.d.WriteBlock(i, p)
+	}
+	f.crashed = true
+	switch f.mode {
+	case FaultCrash:
+		// Nothing lands.
+	case FaultTorn:
+		torn := make([]byte, len(p))
+		copy(torn, p)
+		for j := len(torn) / 2; j < len(torn); j++ {
+			torn[j] ^= 0xA5
+		}
+		if err := f.d.WriteBlock(i, torn); err != nil {
+			return err
+		}
+	case FaultShort:
+		half := make([]byte, len(p))
+		if err := f.d.ReadBlock(i, half); err != nil {
+			return err
+		}
+		copy(half[:len(p)/2], p[:len(p)/2])
+		if err := f.d.WriteBlock(i, half); err != nil {
+			return err
+		}
+	}
+	return ErrCrashed
+}

@@ -1,0 +1,432 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/marshal"
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+// RegisterObligations registers the journal's verification conditions.
+// The centerpiece is the crash-refinement sweep: for a scripted
+// workload, a simulated crash is injected at EVERY block write (in
+// every fault mode — dropped, torn, short), recovery runs on the frozen
+// disk, and the recovered filesystem must equal some prefix of the
+// workload's mutation sequence no shorter than the acknowledged prefix.
+// That is exactly the crash state machine of the package doc: disk
+// state refines "a prefix-closed linearization of acknowledged
+// mutations" — no acked (post-Sync) mutation lost, no torn record
+// replayed.
+func RegisterObligations(g *verifier.Registry) {
+	g.Register(
+		verifier.Obligation{Module: "wal", Name: "crash-sweep-refines-spec", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error {
+				for _, mode := range []FaultMode{FaultCrash, FaultTorn, FaultShort} {
+					if err := sweepCrashPoints(mode); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+		verifier.Obligation{Module: "wal", Name: "torn-record-never-replayed", Kind: verifier.KindSafety,
+			Check: func(r *rand.Rand) error { return tornChunkCheck(r) }},
+		verifier.Obligation{Module: "wal", Name: "record-encoding-roundtrip", Kind: verifier.KindRoundTrip,
+			Check: func(r *rand.Rand) error { return recordRoundTrip(r) }},
+		verifier.Obligation{Module: "wal", Name: "checkpoint-preserves-state", Kind: verifier.KindRefinement,
+			Check: func(r *rand.Rand) error { return checkpointPreservesState(r) }},
+		verifier.Obligation{Module: "wal", Name: "recovery-idempotent", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error { return recoveryIdempotent() }},
+	)
+}
+
+// walStep is one step of the scripted crash workload: exactly one of a
+// mutation, a Sync (group-commit flush), or an explicit checkpoint.
+type walStep struct {
+	m    fs.Mutation
+	sync bool
+	ckpt bool
+}
+
+// walScript covers every mutation kind with sync points between groups
+// and a mid-script checkpoint, so crash points land inside record
+// flushes, snapshot payload writes, both header writes, and the
+// unsynced tail. Inode numbers are deterministic (fs assigns next++,
+// root is 1): /a=2, /d=3, /d/c=4, /b=5.
+func walScript() []walStep {
+	return []walStep{
+		{m: fs.Mutation{Kind: fs.MutCreate, Path: "/a"}},
+		{m: fs.Mutation{Kind: fs.MutWrite, Ino: 2, Off: 0, Data: []byte("hello wal")}},
+		{sync: true},
+		{m: fs.Mutation{Kind: fs.MutMkdir, Path: "/d"}},
+		{m: fs.Mutation{Kind: fs.MutCreate, Path: "/d/c"}},
+		{m: fs.Mutation{Kind: fs.MutWrite, Ino: 4, Off: 0, Data: []byte("nested file payload")}},
+		{sync: true},
+		{ckpt: true},
+		{m: fs.Mutation{Kind: fs.MutCreate, Path: "/b"}},
+		{m: fs.Mutation{Kind: fs.MutLink, Path: "/b", Path2: "/d/blink"}},
+		{m: fs.Mutation{Kind: fs.MutWrite, Ino: 2, Off: 6, Data: []byte("rewritten tail")}},
+		{sync: true},
+		{m: fs.Mutation{Kind: fs.MutUnlink, Path: "/d/blink"}},
+		{m: fs.Mutation{Kind: fs.MutRename, Path: "/d/c", Path2: "/d/e"}},
+		{m: fs.Mutation{Kind: fs.MutTruncate, Ino: 2, Size: 5}},
+		{sync: true},
+		{m: fs.Mutation{Kind: fs.MutWrite, Ino: 5, Off: 0, Data: []byte("never synced")}},
+	}
+}
+
+// scriptMutations extracts just the mutations of a script, in order.
+func scriptMutations(steps []walStep) []fs.Mutation {
+	var ms []fs.Mutation
+	for _, s := range steps {
+		if !s.sync && !s.ckpt {
+			ms = append(ms, s.m)
+		}
+	}
+	return ms
+}
+
+// goldenStates returns golden[S] = a fresh filesystem with the first S
+// script mutations applied, for S in [0, len(mutations)].
+func goldenStates(ms []fs.Mutation) ([]*fs.FS, error) {
+	out := make([]*fs.FS, 0, len(ms)+1)
+	// Each prefix is derived independently so the snapshots share no
+	// state.
+	for s := 0; s <= len(ms); s++ {
+		g := fs.New()
+		for _, m := range ms[:s] {
+			if err := g.Apply(m); err != nil {
+				return nil, fmt.Errorf("golden prefix %d: %w", s, err)
+			}
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// runWorkload drives the script against a journal on d: mutations are
+// applied to an in-memory FS wired to the journal, sync steps Flush
+// (checkpointing when the record area fills), ckpt steps Checkpoint. It
+// returns how many mutations were acknowledged as durable when the run
+// ended — by completing, or by the first disk error (the crash).
+func runWorkload(d fs.BlockStore, steps []walStep, journalBlocks uint64) (acked int, _ error) {
+	j, err := New(d, journalBlocks)
+	if err != nil {
+		return 0, err
+	}
+	if err := j.Format(); err != nil {
+		return 0, nil // crashed formatting: nothing acked
+	}
+	f := fs.New()
+	f.SetJournal(j)
+	applied := 0
+	for _, s := range steps {
+		switch {
+		case s.sync:
+			err := j.Flush()
+			if errors.Is(err, ErrJournalFull) {
+				err = j.Checkpoint(f)
+			}
+			if err != nil {
+				return acked, nil // crash: the sync was never acknowledged
+			}
+			acked = applied
+		case s.ckpt:
+			if err := j.Checkpoint(f); err != nil {
+				return acked, nil
+			}
+			acked = applied
+		default:
+			if err := f.Apply(s.m); err != nil {
+				return acked, fmt.Errorf("wal workload apply %s %q: %w", s.m.Kind, s.m.Path, err)
+			}
+			applied++
+		}
+	}
+	return acked, nil
+}
+
+const (
+	sweepBlockSize = 512
+	sweepBlocks    = 256
+	sweepJournal   = 64
+)
+
+// sweepCrashPoints runs the scripted workload once per possible crash
+// point (every block write, under the given fault mode), recovers from
+// the frozen disk, and checks refinement: recovered state ==
+// golden[S] for some S with acked ≤ S ≤ total, and the fs invariant
+// holds.
+func sweepCrashPoints(mode FaultMode) error {
+	steps := walScript()
+	ms := scriptMutations(steps)
+	golden, err := goldenStates(ms)
+	if err != nil {
+		return err
+	}
+
+	// Probe run: count total writes with injection disabled.
+	probe := NewFaultStore(fs.NewMemBlockStore(sweepBlockSize, sweepBlocks), mode, -1)
+	if _, err := runWorkload(probe, steps, sweepJournal); err != nil {
+		return fmt.Errorf("probe run: %v", err)
+	}
+	totalWrites := probe.Writes()
+	if totalWrites < 8 {
+		return fmt.Errorf("probe run made only %d writes; script too small to sweep", totalWrites)
+	}
+
+	for k := 0; k < totalWrites; k++ {
+		disk := fs.NewMemBlockStore(sweepBlockSize, sweepBlocks)
+		faulty := NewFaultStore(disk, mode, k)
+		acked, err := runWorkload(faulty, steps, sweepJournal)
+		if err != nil {
+			return fmt.Errorf("mode %s crash@%d: %v", mode, k, err)
+		}
+		// Reboot: recover on the raw device (writable again, contents
+		// frozen at the crash point).
+		j, err := New(disk, sweepJournal)
+		if err != nil {
+			return err
+		}
+		rec, err := j.Recover()
+		if err != nil {
+			return fmt.Errorf("mode %s crash@%d: recovery failed: %v", mode, k, err)
+		}
+		if err := rec.CheckInvariant(); err != nil {
+			return fmt.Errorf("mode %s crash@%d: recovered fs invariant: %v", mode, k, err)
+		}
+		matched := -1
+		for s := acked; s <= len(ms); s++ {
+			if fs.Equal(rec, golden[s]) {
+				matched = s
+				break
+			}
+		}
+		if matched < 0 {
+			return fmt.Errorf("mode %s crash@%d: recovered state matches no prefix in [%d, %d] — an acknowledged mutation was lost or a torn record replayed",
+				mode, k, acked, len(ms))
+		}
+	}
+	return nil
+}
+
+// tornChunkCheck flushes three chunks, corrupts the middle one directly
+// (simulating a torn multi-chunk region), and checks recovery replays
+// exactly the chunks before the tear — the torn chunk and everything
+// after it are discarded, never partially applied.
+func tornChunkCheck(r *rand.Rand) error {
+	disk := fs.NewMemBlockStore(sweepBlockSize, sweepBlocks)
+	j, err := New(disk, sweepJournal)
+	if err != nil {
+		return err
+	}
+	if err := j.Format(); err != nil {
+		return err
+	}
+	f := fs.New()
+	f.SetJournal(j)
+
+	var ms []fs.Mutation
+	apply := func(m fs.Mutation) error {
+		ms = append(ms, m)
+		return f.Apply(m)
+	}
+	chunkStarts := []uint64{j.tail}
+	if err := apply(fs.Mutation{Kind: fs.MutCreate, Path: "/one"}); err != nil {
+		return err
+	}
+	if err := j.Flush(); err != nil {
+		return err
+	}
+	afterFirst := len(ms)
+	chunkStarts = append(chunkStarts, j.tail)
+	if err := apply(fs.Mutation{Kind: fs.MutCreate, Path: "/two"}); err != nil {
+		return err
+	}
+	if err := apply(fs.Mutation{Kind: fs.MutWrite, Ino: 3, Data: []byte("second chunk")}); err != nil {
+		return err
+	}
+	if err := j.Flush(); err != nil {
+		return err
+	}
+	chunkStarts = append(chunkStarts, j.tail)
+	if err := apply(fs.Mutation{Kind: fs.MutCreate, Path: "/three"}); err != nil {
+		return err
+	}
+	if err := j.Flush(); err != nil {
+		return err
+	}
+
+	// Tear the middle chunk: flip one random bit inside its checksummed
+	// region (header past the magic, or the start of the payload — a
+	// chunk with a record has well over 40 meaningful bytes).
+	blk := make([]byte, sweepBlockSize)
+	tornAt := j.recBase + chunkStarts[1]
+	if err := disk.ReadBlock(tornAt, blk); err != nil {
+		return err
+	}
+	blk[8+r.Intn(32)] ^= 1 << uint(r.Intn(8))
+	if err := disk.WriteBlock(tornAt, blk); err != nil {
+		return err
+	}
+
+	j2, err := New(disk, sweepJournal)
+	if err != nil {
+		return err
+	}
+	rec, err := j2.Recover()
+	if err != nil {
+		return fmt.Errorf("recovery over torn chunk: %v", err)
+	}
+	want := fs.New()
+	for _, m := range ms[:afterFirst] {
+		if err := want.Apply(m); err != nil {
+			return err
+		}
+	}
+	if !fs.Equal(rec, want) {
+		return fmt.Errorf("recovery did not stop at the torn chunk: replayed state diverges from the pre-tear prefix")
+	}
+	return nil
+}
+
+// recordRoundTrip checks encodeMutation/decodeMutation is the identity
+// on random mutations — the journal's marshalling lemma.
+func recordRoundTrip(r *rand.Rand) error {
+	for i := 0; i < 500; i++ {
+		m := fs.Mutation{
+			Kind: fs.MutKind(r.Intn(10)),
+			Ino:  fs.Ino(r.Uint64()),
+			Off:  r.Uint64(),
+			Size: r.Uint64(),
+		}
+		if r.Intn(2) == 0 {
+			m.Path = randPath(r)
+		}
+		if r.Intn(2) == 0 {
+			m.Path2 = randPath(r)
+		}
+		if r.Intn(2) == 0 {
+			m.Data = make([]byte, r.Intn(300))
+			r.Read(m.Data)
+		}
+		e := marshal.NewEncoder(nil)
+		encodeMutation(e, m)
+		d := marshal.NewDecoder(e.Bytes())
+		got := decodeMutation(d)
+		if err := d.Finish(); err != nil {
+			return fmt.Errorf("record %d: %v", i, err)
+		}
+		if got.Kind != m.Kind || got.Ino != m.Ino || got.Off != m.Off || got.Size != m.Size ||
+			got.Path != m.Path || got.Path2 != m.Path2 || string(got.Data) != string(m.Data) {
+			return fmt.Errorf("record %d: round trip diverged: %+v != %+v", i, got, m)
+		}
+	}
+	return nil
+}
+
+func randPath(r *rand.Rand) string {
+	const chars = "abcdefgh"
+	p := "/"
+	for i, n := 0, 1+r.Intn(3); i < n; i++ {
+		if i > 0 {
+			p += "/"
+		}
+		p += string(chars[r.Intn(len(chars))])
+	}
+	return p
+}
+
+// checkpointPreservesState runs a random mutation workload, checkpoints,
+// and recovers: the recovered filesystem must equal the live one, and
+// the journal must be empty (nothing left to replay).
+func checkpointPreservesState(r *rand.Rand) error {
+	disk := fs.NewMemBlockStore(sweepBlockSize, 1024)
+	j, err := New(disk, 128)
+	if err != nil {
+		return err
+	}
+	if err := j.Format(); err != nil {
+		return err
+	}
+	f := fs.New()
+	f.SetJournal(j)
+	for i := 0; i < 40; i++ {
+		path := fmt.Sprintf("/f%d", i)
+		ino, err := f.Create(path)
+		if err != nil {
+			return err
+		}
+		blob := make([]byte, r.Intn(2000))
+		r.Read(blob)
+		if _, err := f.WriteAt(ino, 0, blob); err != nil {
+			return err
+		}
+		if r.Intn(4) == 0 {
+			if err := j.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := j.Checkpoint(f); err != nil {
+		return err
+	}
+	j2, err := New(disk, 128)
+	if err != nil {
+		return err
+	}
+	rec, err := j2.Recover()
+	if err != nil {
+		return err
+	}
+	if !fs.Equal(rec, f) {
+		return fmt.Errorf("recovered state differs from checkpointed state")
+	}
+	if got := j2.DurableSeq(); got != j.DurableSeq() {
+		return fmt.Errorf("recovered durable seq %d, want %d", got, j.DurableSeq())
+	}
+	return nil
+}
+
+// recoveryIdempotent recovers the same crashed disk several times (as a
+// multi-replica boot does, once per replica) and checks every recovery
+// yields the same state and the journal continues from the same
+// sequence number.
+func recoveryIdempotent() error {
+	steps := walScript()
+	disk := fs.NewMemBlockStore(sweepBlockSize, sweepBlocks)
+	// Crash roughly mid-workload.
+	probe := NewFaultStore(fs.NewMemBlockStore(sweepBlockSize, sweepBlocks), FaultCrash, -1)
+	if _, err := runWorkload(probe, steps, sweepJournal); err != nil {
+		return err
+	}
+	faulty := NewFaultStore(disk, FaultCrash, probe.Writes()/2)
+	if _, err := runWorkload(faulty, steps, sweepJournal); err != nil {
+		return err
+	}
+	var first *fs.FS
+	var firstSeq uint64
+	for i := 0; i < 3; i++ {
+		j, err := New(disk, sweepJournal)
+		if err != nil {
+			return err
+		}
+		rec, err := j.Recover()
+		if err != nil {
+			return fmt.Errorf("recovery %d: %v", i, err)
+		}
+		if i == 0 {
+			first, firstSeq = rec, j.DurableSeq()
+			continue
+		}
+		if !fs.Equal(rec, first) {
+			return fmt.Errorf("recovery %d produced a different state", i)
+		}
+		if j.DurableSeq() != firstSeq {
+			return fmt.Errorf("recovery %d durable seq %d, want %d", i, j.DurableSeq(), firstSeq)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/verifier"
+)
+
+func newTestJournal(t *testing.T, disk *fs.MemBlockStore) *Journal {
+	t.Helper()
+	j, err := New(disk, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// runSteps applies mutations through a journal-wired FS and returns it.
+func runSteps(t *testing.T, j *Journal, ms []fs.Mutation) *fs.FS {
+	t.Helper()
+	f := fs.New()
+	f.SetJournal(j)
+	for _, m := range ms {
+		if err := f.Apply(m); err != nil {
+			t.Fatalf("apply %s %q: %v", m.Kind, m.Path, err)
+		}
+	}
+	return f
+}
+
+func TestRecoveryEmptyDevice(t *testing.T) {
+	disk := fs.NewMemBlockStore(512, 256)
+	j := newTestJournal(t, disk)
+	f, err := j.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Equal(f, fs.New()) {
+		t.Fatal("recovery from an empty device is not the empty filesystem")
+	}
+	if got := j.DurableSeq(); got != 0 {
+		t.Fatalf("durable seq %d on empty device", got)
+	}
+}
+
+func TestRecoveryReplaysFlushedRecords(t *testing.T) {
+	disk := fs.NewMemBlockStore(512, 256)
+	j := newTestJournal(t, disk)
+	if err := j.Format(); err != nil {
+		t.Fatal(err)
+	}
+	f := runSteps(t, j, []fs.Mutation{
+		{Kind: fs.MutCreate, Path: "/x"},
+		{Kind: fs.MutWrite, Ino: 2, Data: []byte("payload")},
+		{Kind: fs.MutMkdir, Path: "/dir"},
+	})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := newTestJournal(t, disk)
+	rec, err := j2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Equal(rec, f) {
+		t.Fatal("recovered filesystem differs from the flushed one")
+	}
+	if j2.DurableSeq() != 3 {
+		t.Fatalf("durable seq %d, want 3", j2.DurableSeq())
+	}
+}
+
+func TestRecoveryDropsUnflushedTail(t *testing.T) {
+	disk := fs.NewMemBlockStore(512, 256)
+	j := newTestJournal(t, disk)
+	if err := j.Format(); err != nil {
+		t.Fatal(err)
+	}
+	f := runSteps(t, j, []fs.Mutation{{Kind: fs.MutCreate, Path: "/kept"}})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Apply(fs.Mutation{Kind: fs.MutCreate, Path: "/lost"}); err != nil {
+		t.Fatal(err)
+	}
+	// No flush: /lost was never acknowledged.
+
+	rec, err := newTestJournal(t, disk).Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Lookup("/kept"); err != nil {
+		t.Fatalf("acknowledged file lost: %v", err)
+	}
+	if _, err := rec.Lookup("/lost"); err == nil {
+		t.Fatal("unacknowledged mutation resurrected by recovery")
+	}
+}
+
+func TestRecoveryTornTail(t *testing.T) {
+	disk := fs.NewMemBlockStore(512, 256)
+	j := newTestJournal(t, disk)
+	if err := j.Format(); err != nil {
+		t.Fatal(err)
+	}
+	f := runSteps(t, j, []fs.Mutation{{Kind: fs.MutCreate, Path: "/a"}})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	firstChunkEnd := j.tail
+	if err := f.Apply(fs.Mutation{Kind: fs.MutCreate, Path: "/b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the second chunk: corrupt its header/payload bytes (the
+	// zero padding after the checksum is legitimately not covered).
+	blk := make([]byte, 512)
+	if err := disk.ReadBlock(j.recBase+firstChunkEnd, blk); err != nil {
+		t.Fatal(err)
+	}
+	for i := 8; i < 40; i++ {
+		blk[i] = 0xFF
+	}
+	if err := disk.WriteBlock(j.recBase+firstChunkEnd, blk); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := newTestJournal(t, disk).Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Lookup("/a"); err != nil {
+		t.Fatalf("intact chunk lost: %v", err)
+	}
+	if _, err := rec.Lookup("/b"); err == nil {
+		t.Fatal("torn chunk was replayed")
+	}
+}
+
+func TestRecoveryAfterCheckpoint(t *testing.T) {
+	disk := fs.NewMemBlockStore(512, 256)
+	j := newTestJournal(t, disk)
+	if err := j.Format(); err != nil {
+		t.Fatal(err)
+	}
+	f := runSteps(t, j, []fs.Mutation{
+		{Kind: fs.MutCreate, Path: "/pre"},
+	})
+	if err := j.Checkpoint(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Apply(fs.Mutation{Kind: fs.MutCreate, Path: "/post"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := newTestJournal(t, disk)
+	rec, err := j2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Equal(rec, f) {
+		t.Fatal("recovery after checkpoint + flush diverged")
+	}
+	if j2.DurableSeq() != j.DurableSeq() {
+		t.Fatalf("durable seq %d, want %d", j2.DurableSeq(), j.DurableSeq())
+	}
+}
+
+func TestJournalFullCheckpoint(t *testing.T) {
+	// Tiny journal: 1 header + 3 record blocks.
+	disk := fs.NewMemBlockStore(512, 64)
+	j, err := New(disk, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Format(); err != nil {
+		t.Fatal(err)
+	}
+	f := fs.New()
+	f.SetJournal(j)
+	big := make([]byte, 3*512) // one flush cannot fit the record area
+	if _, err := f.Create("/big"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(2, 0, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Flush(); !errors.Is(err, ErrJournalFull) {
+		t.Fatalf("flush of oversized chunk: %v, want ErrJournalFull", err)
+	}
+	// The contract: a full journal checkpoints instead, which absorbs
+	// the pending records.
+	if err := j.Checkpoint(f); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := newTestJournal2(t, disk, 4).Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Equal(rec, f) {
+		t.Fatal("state lost across journal-full checkpoint")
+	}
+}
+
+func newTestJournal2(t *testing.T, disk *fs.MemBlockStore, jb uint64) *Journal {
+	t.Helper()
+	j, err := New(disk, jb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestBadGeometry(t *testing.T) {
+	disk := fs.NewMemBlockStore(512, 4)
+	if _, err := New(disk, 4); !errors.Is(err, ErrBadGeometry) {
+		t.Fatalf("New on a too-small device: %v, want ErrBadGeometry", err)
+	}
+}
+
+func TestFaultStoreModes(t *testing.T) {
+	for _, mode := range []FaultMode{FaultCrash, FaultTorn, FaultShort} {
+		disk := fs.NewMemBlockStore(512, 8)
+		fsStore := NewFaultStore(disk, mode, 1)
+		p := make([]byte, 512)
+		for i := range p {
+			p[i] = 0x11
+		}
+		if err := fsStore.WriteBlock(0, p); err != nil {
+			t.Fatalf("%s: pre-crash write: %v", mode, err)
+		}
+		if err := fsStore.WriteBlock(1, p); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("%s: crash write returned %v", mode, err)
+		}
+		if err := fsStore.WriteBlock(2, p); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("%s: post-crash write returned %v", mode, err)
+		}
+		got := make([]byte, 512)
+		if err := fsStore.ReadBlock(1, got); err != nil {
+			t.Fatalf("%s: post-crash read: %v", mode, err)
+		}
+		switch mode {
+		case FaultCrash:
+			if got[0] != 0 || got[511] != 0 {
+				t.Fatalf("crash mode landed data: %x %x", got[0], got[511])
+			}
+		case FaultTorn:
+			if got[0] != 0x11 || got[511] == 0x11 {
+				t.Fatalf("torn mode halves wrong: %x %x", got[0], got[511])
+			}
+		case FaultShort:
+			if got[0] != 0x11 || got[511] != 0 {
+				t.Fatalf("short mode halves wrong: %x %x", got[0], got[511])
+			}
+		}
+		// Post-crash attempts are rejected before being counted.
+		if fsStore.Writes() != 2 || !fsStore.Crashed() {
+			t.Fatalf("%s: writes=%d crashed=%t", mode, fsStore.Writes(), fsStore.Crashed())
+		}
+	}
+}
+
+func TestObligationsAllPass(t *testing.T) {
+	g := &verifier.Registry{}
+	RegisterObligations(g)
+	rep := g.Run(verifier.Options{Seed: 71, Module: "wal"})
+	for _, f := range rep.Failed() {
+		t.Errorf("VC %s failed: %v", f.Obligation.ID(), f.Err)
+	}
+	if len(rep.Results) < 5 {
+		t.Fatalf("only %d wal VCs ran", len(rep.Results))
+	}
+}

@@ -126,6 +126,7 @@ const (
 	ENOSYS     = sys.ENOSYS
 	ENOTEMPTY  = sys.ENOTEMPTY
 	EADDRINUSE = sys.EADDRINUSE
+	EIO        = sys.EIO
 )
 
 // Signals.
@@ -164,6 +165,11 @@ func OpUnlink(path string) Op          { return sys.OpUnlink(path) }
 func OpRmdir(path string) Op           { return sys.OpRmdir(path) }
 func OpRename(old, new string) Op      { return sys.OpRename(old, new) }
 func OpLink(old, new string) Op        { return sys.OpLink(old, new) }
+
+// OpSync enqueues a durability barrier: placed at the end of a batch it
+// turns the whole submission into one group commit — every mutation in
+// the batch is journaled and flushed by a single disk write sequence.
+func OpSync() Op { return sys.OpSync() }
 
 // NewNetwork creates a virtual switch; pass it in Config.Network to
 // connect multiple Systems (the blockstore example builds a small
