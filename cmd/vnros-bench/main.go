@@ -23,6 +23,8 @@ func main() {
 	stats := flag.Bool("stats", false, "run the kstats workload: combiner batch-size histogram + per-opcode syscall latency percentiles")
 	ring := flag.Bool("ring", false, "compare the batched submission ring against the per-call syscall loop")
 	walBench := flag.Bool("wal", false, "compare journal group commit against per-op commit, plus recovery-time series")
+	shard := flag.Bool("shard", false, "run the 1/2/4-shard read-throughput scaling series against the single-NR baseline")
+	shardOps := flag.Int("shardops", 400000, "read syscalls per configuration for the -shard series")
 	all := flag.Bool("all", false, "run everything")
 	ops := flag.Int("ops", 200, "operations per core for figures 1b/1c and the kstats workload")
 	batch := flag.Int("batch", 32, "submission-queue depth for the -ring comparison")
@@ -30,7 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 2026, "VC seed for figure 1a")
 	flag.Parse()
 
-	if *fig == "" && *table == 0 && !*ablations && !*stats && !*ring && !*walBench {
+	if *fig == "" && *table == 0 && !*ablations && !*stats && !*ring && !*walBench && !*shard {
 		*all = true
 	}
 	coreCounts, err := parseCores(*cores)
@@ -108,6 +110,14 @@ func main() {
 			fmt.Println()
 		}
 		if err := runWal(2, *batch, 200); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *shard {
+		if *all {
+			fmt.Println()
+		}
+		if err := runShard(*shardOps); err != nil {
 			fatal(err)
 		}
 	}

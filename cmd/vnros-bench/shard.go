@@ -1,0 +1,239 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/verified-os/vnros/internal/core"
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/obs"
+	"github.com/verified-os/vnros/internal/proc"
+	"github.com/verified-os/vnros/internal/sys"
+)
+
+const (
+	shardReaders = 8
+	shardWriters = 2
+)
+
+// runShard measures read-heavy syscall throughput of the sharded kernel
+// against the single-NR monolith, mirroring BenchmarkShardScaling:
+// eight reader processes issue MemResolve from node-1 cores while two
+// writer processes churn Seek (a logged write) from node-0 cores. On
+// the monolith every reader must sync its replica past every writer's
+// log entries; on the sharded kernel only readers co-sharded with a
+// writer pay that sync — the rest stay on the read fast path.
+func runShard(readOps int) error {
+	shardCounts := []int{1, 2, 4}
+	rates := make([]float64, len(shardCounts))
+	var shardSnap obs.Snapshot
+	for i, shards := range shardCounts {
+		rate, snap, err := shardRun(shards, readOps)
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", shards, err)
+		}
+		rates[i] = rate
+		if shards == shardCounts[len(shardCounts)-1] {
+			shardSnap = snap
+		}
+	}
+
+	fmt.Printf("shard scaling: %d read syscalls, %d readers (node 1) vs %d writers (node 0), %d cores\n\n",
+		readOps, shardReaders, shardWriters, 2*core.CoresPerNode)
+	for i, shards := range shardCounts {
+		label := fmt.Sprintf("%d shards:", shards)
+		if shards == 1 {
+			label = "single NR:"
+		}
+		fmt.Printf("  %-12s %12.0f ops/s   %5.2fx\n", label, rates[i], rates[i]/rates[0])
+	}
+
+	if ops := shardSnap.Ops["nr.shard.ops"]; len(ops) > 0 {
+		fmt.Println()
+		fmt.Print(obs.RenderOps(
+			fmt.Sprintf("per-shard ops (%d shards):", shardCounts[len(shardCounts)-1]),
+			ops, obs.ShardSlotName))
+	}
+	return nil
+}
+
+// shardRun boots one configuration (shards==1 is the monolithic
+// baseline), runs the read workload to completion, and returns the
+// aggregate reader throughput plus the run's metric snapshot.
+func shardRun(shards, readOps int) (float64, obs.Snapshot, error) {
+	var snap obs.Snapshot
+	// One OS thread per simulated core, so cross-core synchronization
+	// (combiner hand-offs, reader sync convoys) costs wall-clock time.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2 * core.CoresPerNode))
+	cfg := core.Config{Cores: 2 * core.CoresPerNode, MemBytes: 256 << 20}
+	if shards > 1 {
+		cfg.Shards = shards
+	}
+	s, err := core.Boot(cfg)
+	if err != nil {
+		return 0, snap, err
+	}
+	initSys, err := s.Init()
+	if err != nil {
+		return 0, snap, err
+	}
+	// Spawn a pool and pick reader PIDs so every shard is covered (a
+	// shard written to but never read from node 1 accumulates unbounded
+	// writer backlog); writers come from the remainder.
+	const pool = 4 * shardReaders
+	pids := make([]proc.PID, pool)
+	for i := range pids {
+		pid, e := initSys.Spawn(fmt.Sprintf("shardbench%d", i))
+		if e != sys.EOK {
+			return 0, snap, fmt.Errorf("spawn: %v", e)
+		}
+		pids[i] = pid
+	}
+	var readers, writers []proc.PID
+	if shards > 1 {
+		perShard := make(map[int][]proc.PID)
+		for _, pid := range pids {
+			sh := s.ProcShardOf(pid)
+			perShard[sh] = append(perShard[sh], pid)
+		}
+		for sh := 0; sh < shards && len(readers) < shardReaders; sh++ {
+			want := shardReaders / shards
+			if len(perShard[sh]) < want {
+				want = len(perShard[sh])
+			}
+			readers = append(readers, perShard[sh][:want]...)
+			perShard[sh] = perShard[sh][want:]
+		}
+		for _, pid := range pids {
+			if len(writers) == shardWriters {
+				break
+			}
+			used := false
+			for _, r := range readers {
+				if r == pid {
+					used = true
+					break
+				}
+			}
+			if !used {
+				writers = append(writers, pid)
+			}
+		}
+	} else {
+		readers = pids[:shardReaders]
+		writers = pids[shardReaders : shardReaders+shardWriters]
+	}
+	if len(readers) != shardReaders || len(writers) != shardWriters {
+		return 0, snap, fmt.Errorf("role assignment: %d readers, %d writers", len(readers), len(writers))
+	}
+
+	// Writers on node-0 cores (replica 0), readers on node-1 cores
+	// (replica 1); raw handles so each loop iteration is one syscall.
+	type wrk struct {
+		sys *sys.Sys
+		fd  fs.FD
+	}
+	ws := make([]wrk, shardWriters)
+	for i, pid := range writers {
+		S, err := s.RawSysOn(pid, 1+i)
+		if err != nil {
+			return 0, snap, err
+		}
+		fd, e := S.Open(fmt.Sprintf("/churn%d", i), fs.OCreate|fs.ORdWr)
+		if e != sys.EOK {
+			return 0, snap, fmt.Errorf("writer open: %v", e)
+		}
+		ws[i] = wrk{sys: S, fd: fd}
+	}
+	type rdr struct {
+		sys  *sys.Sys
+		base mmu.VAddr
+	}
+	rs := make([]rdr, shardReaders)
+	for i, pid := range readers {
+		S, err := s.RawSysOn(pid, core.CoresPerNode+i)
+		if err != nil {
+			return 0, snap, err
+		}
+		base, e := S.MMap(4096)
+		if e != sys.EOK {
+			return 0, snap, fmt.Errorf("reader mmap: %v", e)
+		}
+		rs[i] = rdr{sys: S, base: base}
+	}
+
+	// Timing runs with obs disabled: the sharded dispatch records extra
+	// per-op shard metrics the monolith doesn't, so live instrumentation
+	// would bias the comparison. The per-shard table comes from a short
+	// instrumented burst after the clock stops.
+	var stop atomic.Bool
+	var wwg sync.WaitGroup
+	for _, w := range ws {
+		w := w
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			for !stop.Load() {
+				if _, e := w.sys.Seek(w.fd, 0, fs.SeekSet); e != sys.EOK {
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	// Work-stealing read loop: readers claim ops from a shared counter
+	// so aggregate throughput is measured, not the slowest reader's
+	// fixed share.
+	var claimed atomic.Int64
+	errs := make(chan error, shardReaders)
+	t0 := time.Now()
+	for _, r := range rs {
+		r := r
+		go func() {
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			for claimed.Add(1) <= int64(readOps) {
+				if _, e := r.sys.MemResolve(r.base); e != sys.EOK {
+					errs <- fmt.Errorf("memresolve: %v", e)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for range rs {
+		if err := <-errs; err != nil {
+			return 0, snap, err
+		}
+	}
+	dur := time.Since(t0)
+	stop.Store(true)
+	wwg.Wait()
+
+	if shards > 1 {
+		obs.Reset()
+		obs.SetSampleRate(1)
+		obs.Enable()
+		for _, r := range rs {
+			for i := 0; i < readOps/(10*shardReaders); i++ {
+				if _, e := r.sys.MemResolve(r.base); e != sys.EOK {
+					return 0, snap, fmt.Errorf("memresolve (instrumented): %v", e)
+				}
+			}
+		}
+		obs.Disable()
+		obs.SetSampleRate(obs.DefaultSampleRate)
+		snap = obs.TakeSnapshot()
+	}
+
+	if err := s.CheckReplicaAgreement(); err != nil {
+		return 0, snap, err
+	}
+	return float64(readOps) / dur.Seconds(), snap, nil
+}

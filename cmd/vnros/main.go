@@ -21,6 +21,7 @@ import (
 
 func main() {
 	cores := flag.Int("cores", 4, "simulated cores")
+	shards := flag.Int("shards", 0, "kernel state-machine shards (0 = monolithic single-NR kernel)")
 	tables := flag.Bool("tables", false, "print the paper's Tables 1 and 2 with the derived vnros column")
 	flag.Parse()
 
@@ -34,20 +35,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*cores, *tables, stats); err != nil {
+	if err := run(*cores, *shards, *tables, stats); err != nil {
 		fmt.Fprintln(os.Stderr, "vnros:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cores int, tables, stats bool) error {
+func run(cores, shards int, tables, stats bool) error {
 	if stats {
 		// The demo workload is tiny; record every event rather than the
 		// production sampled default.
 		obs.SetSampleRate(1)
 		obs.Enable()
 	}
-	system, err := vnros.Boot(vnros.Config{Cores: cores})
+	system, err := vnros.Boot(vnros.Config{Cores: cores, Shards: shards})
 	if err != nil {
 		return err
 	}
@@ -55,7 +56,12 @@ func run(cores int, tables, stats bool) error {
 	if err != nil {
 		return err
 	}
-	system.Printf("vnros: booted %d cores, %d kernel replicas\n", cores, system.NumReplicas())
+	if system.Sharded() {
+		system.Printf("vnros: booted %d cores, %d kernel replicas, %d shards\n",
+			cores, system.NumReplicas(), system.NumShards())
+	} else {
+		system.Printf("vnros: booted %d cores, %d kernel replicas\n", cores, system.NumReplicas())
+	}
 
 	if e := initSys.Mkdir("/home"); e != vnros.EOK {
 		return fmt.Errorf("mkdir: %v", e)
@@ -164,6 +170,12 @@ func run(cores int, tables, stats bool) error {
 			fmt.Sprintf("kernel applies (once per replica per op; %d replicas):", system.NumReplicas()),
 			snap.Ops["kernel.apply"], sys.OpName))
 		fmt.Println()
+		if ops := snap.Ops["nr.shard.ops"]; len(ops) > 0 {
+			fmt.Print(obs.RenderOps(
+				fmt.Sprintf("per-shard dispatch (%d shards; proc* keyed by PID, fs* by inode):", system.NumShards()),
+				ops, obs.ShardSlotName))
+			fmt.Println()
+		}
 		fmt.Println("kernel trace (last 20 events):")
 		fmt.Print(obs.RenderTrace(snap.Traces["kernel"], 20))
 	}

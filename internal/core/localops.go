@@ -70,10 +70,14 @@ func (s *System) localOp(h *handler, op sys.WriteOp) sys.Resp {
 		if e != sys.EOK {
 			return sys.Resp{Errno: e}
 		}
-		// Pump the NIC on every core before concluding the queue is
-		// empty.
-		for c := 0; c < s.cfg.Cores; c++ {
-			s.Dispatcher.Poll(c)
+		// Pump the NIC before concluding the queue is empty: the calling
+		// core always, the rest only when the controller reports pending
+		// work somewhere (same fast path as the syscall entry).
+		s.Dispatcher.Poll(h.core)
+		if s.Dispatcher.HasPending() {
+			for c := 0; c < s.cfg.Cores; c++ {
+				s.Dispatcher.Poll(c)
+			}
 		}
 		r, err := sock.TryRecv()
 		if err != nil {
@@ -86,7 +90,13 @@ func (s *System) localOp(h *handler, op sys.WriteOp) sys.Resp {
 		// consistency): one journal group commit — or a full snapshot
 		// without a journal. Local because the disk is a device, not
 		// replicated state; replica ordering comes from the flush
-		// running under replica 0's Inspect (see syncDurable).
+		// running under replica 0's Inspect (see syncDurable). On a
+		// sharded kernel durability is not yet composed across the
+		// independent shard logs — explicit ENOSYS rather than a sync
+		// that silently covers only part of the state.
+		if s.sharded() {
+			return sys.Resp{Errno: sys.ENOSYS}
+		}
 		if err := s.syncDurable(); err != nil {
 			return sys.Resp{Errno: sys.EIO}
 		}
@@ -119,17 +129,23 @@ func (s *System) sockOf(pid proc.PID, id uint64) (*netstack.Socket, sys.Errno) {
 }
 
 // userMem accesses process memory through the calling core's replica,
-// under the replica's read lock so the page tables are stable.
+// under the replica's read lock so the page tables are stable. On a
+// sharded kernel the page tables live on the PID's process shard.
 func (s *System) userMem(core int, pid proc.PID, va mmu.VAddr, p []byte, write bool) sys.Errno {
 	e := sys.EFAULT
-	s.nr.Replica(s.replicaOf(core)).Inspect(func(d nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp]) {
+	access := func(d nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp]) {
 		k := d.(*sys.Kernel)
 		if write {
 			e = k.UserWrite(pid, va, p)
 		} else {
 			e = k.UserRead(pid, va, p)
 		}
-	})
+	}
+	if s.sharded() {
+		s.procNR.Shard(s.ProcShardOf(pid)).Replica(s.replicaOf(core)).Inspect(access)
+		return e
+	}
+	s.nr.Replica(s.replicaOf(core)).Inspect(access)
 	return e
 }
 

@@ -33,11 +33,43 @@ func (s *System) newHandler() (*handler, error) {
 	core := s.nextCore % s.cfg.Cores
 	s.nextCore++
 	s.procMu.Unlock()
+	if s.sharded() {
+		pctx, err := s.procNR.Register(s.replicaOf(core))
+		if err != nil {
+			return nil, err
+		}
+		fctx, err := s.fsNR.Register(s.replicaOf(core))
+		if err != nil {
+			pctx.Deregister()
+			return nil, err
+		}
+		return &handler{s: s, core: core, procCtx: pctx, fsCtx: fctx}, nil
+	}
 	ctx, err := s.nr.Register(s.replicaOf(core))
 	if err != nil {
 		return nil, err
 	}
 	return &handler{s: s, core: core, ctx: ctx}, nil
+}
+
+// RawSysOn returns an uncontracted syscall handle for pid whose handler
+// is pinned to the given core — benchmark and tooling support for
+// explicit NUMA placement. The handle's NR contexts register on
+// replicaOf(core), exactly as if the process ran there, and bypass the
+// per-descriptor contract checker so each call is one syscall and
+// nothing else.
+func (s *System) RawSysOn(pid proc.PID, core int) (*sys.Sys, error) {
+	if core < 0 || core >= s.cfg.Cores {
+		return nil, fmt.Errorf("core %d out of range [0,%d)", core, s.cfg.Cores)
+	}
+	s.procMu.Lock()
+	s.nextCore = core
+	s.procMu.Unlock()
+	h, err := s.newHandler()
+	if err != nil {
+		return nil, err
+	}
+	return sys.NewSys(pid, h), nil
 }
 
 // Init returns a Sys handle for the init process (for setup work and
@@ -64,7 +96,31 @@ type replicaViewer struct {
 func (v *replicaViewer) ViewFDs(pid proc.PID) (fs.SpecState, bool) {
 	var st fs.SpecState
 	var ok bool
-	v.s.nr.Replica(v.s.replicaOf(v.core)).Inspect(func(d nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp]) {
+	s := v.s
+	if s.sharded() {
+		// Compose the view across shards: descriptors from the PID's
+		// process shard, each file's contents from its inode's owner
+		// shard. Inspect syncs each shard to its own log tail, so the
+		// view brackets the checked syscall's transitions shard by shard.
+		rep := s.replicaOf(v.core)
+		var snap map[fs.FD]fs.OpenFile
+		s.InspectProcShard(s.ProcShardOf(pid), rep, func(k *sys.Kernel) {
+			snap, ok = k.SnapshotFDs(pid)
+		})
+		if !ok {
+			return fs.SpecState{}, false
+		}
+		st.Files = make(map[fs.FD]fs.SpecFile, len(snap))
+		for fd, of := range snap {
+			var contents []byte
+			s.InspectFsShard(s.FsShardOf(of.Ino), rep, func(k *sys.Kernel) {
+				contents, _ = k.FS().Contents(of.Ino)
+			})
+			st.Files[fd] = fs.SpecFile{Contents: contents, Offset: of.Offset, Locked: of.Locked, Ino: of.Ino}
+		}
+		return st, true
+	}
+	s.nr.Replica(s.replicaOf(v.core)).Inspect(func(d nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp]) {
 		st, ok = d.(*sys.Kernel).ViewFDs(pid)
 	})
 	return st, ok
@@ -113,6 +169,9 @@ func (s *System) ConsoleOutput() string { return s.Machine.Serial.Output() }
 // journaled system this is a checkpoint: the snapshot carries the
 // journal sequence stamp and truncates the record area.
 func (s *System) SaveFS() error {
+	if s.sharded() {
+		return fmt.Errorf("core: SaveFS is not supported on a sharded kernel (no single filesystem linearization)")
+	}
 	var err error
 	s.nr.Replica(0).Inspect(func(d nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp]) {
 		k := d.(*sys.Kernel)
@@ -129,6 +188,9 @@ func (s *System) SaveFS() error {
 // hold identical filesystem and process state — the composed system's
 // NR consistency obligation.
 func (s *System) CheckReplicaAgreement() error {
+	if s.sharded() {
+		return s.checkShardAgreement()
+	}
 	var fss []*fs.FS
 	var procCounts []int
 	for i := 0; i < s.nr.NumReplicas(); i++ {
@@ -150,8 +212,79 @@ func (s *System) CheckReplicaAgreement() error {
 	return nil
 }
 
+// checkShardAgreement is the sharded kernel's consistency obligation:
+// within each shard, every replica agrees (the per-shard NR
+// requirement); across the filesystem group, every shard holds the
+// same namespace (the broadcast-order requirement) while file contents
+// live only with their owners.
+func (s *System) checkShardAgreement() error {
+	n := s.NumShards()
+	for i := 0; i < n; i++ {
+		var fss []*fs.FS
+		var procCounts []int
+		for r := 0; r < s.NumReplicas(); r++ {
+			s.InspectProcShard(i, r, func(k *sys.Kernel) {
+				procCounts = append(procCounts, k.Procs().Len())
+			})
+			s.InspectFsShard(i, r, func(k *sys.Kernel) {
+				fss = append(fss, k.FS())
+			})
+		}
+		for r := 1; r < len(fss); r++ {
+			if !fs.Equal(fss[0], fss[r]) {
+				return fmt.Errorf("core: fs shard %d replica %d diverged from replica 0", i, r)
+			}
+		}
+		for r := 1; r < len(procCounts); r++ {
+			if procCounts[r] != procCounts[0] {
+				return fmt.Errorf("core: proc shard %d replica %d has %d processes, replica 0 has %d",
+					i, r, procCounts[r], procCounts[0])
+			}
+		}
+	}
+	// Cross-shard: the replicated namespace must be identical on every
+	// filesystem shard.
+	var nss []*fs.FS
+	for i := 0; i < n; i++ {
+		s.InspectFsShard(i, 0, func(k *sys.Kernel) { nss = append(nss, k.FS()) })
+	}
+	for i := 1; i < n; i++ {
+		if !fs.NamespaceEqual(nss[0], nss[i]) {
+			return fmt.Errorf("core: fs shard %d namespace diverged from shard 0", i)
+		}
+	}
+	return nil
+}
+
 // CheckKernelInvariants runs every replica's structural invariants.
 func (s *System) CheckKernelInvariants() error {
+	if s.sharded() {
+		for i := 0; i < s.NumShards(); i++ {
+			for r := 0; r < s.NumReplicas(); r++ {
+				var err error
+				check := func(k *sys.Kernel) {
+					if e := k.FS().CheckInvariant(); e != nil {
+						err = e
+						return
+					}
+					if e := k.Procs().CheckInvariant(); e != nil {
+						err = e
+						return
+					}
+					err = k.RunQueue().CheckInvariant()
+				}
+				s.InspectProcShard(i, r, check)
+				if err != nil {
+					return fmt.Errorf("proc shard %d replica %d: %w", i, r, err)
+				}
+				s.InspectFsShard(i, r, check)
+				if err != nil {
+					return fmt.Errorf("fs shard %d replica %d: %w", i, r, err)
+				}
+			}
+		}
+		return nil
+	}
 	var err error
 	for i := 0; i < s.nr.NumReplicas() && err == nil; i++ {
 		s.nr.Replica(i).Inspect(func(d nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp]) {

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/proc"
+	"github.com/verified-os/vnros/internal/sys"
+)
+
+// BenchmarkShardScaling measures read-heavy syscall throughput of the
+// sharded kernel against the single-NR monolith, in the configuration
+// NR-based kernels care about: readers on one NUMA node, writers on
+// another. Eight reader processes issue MemResolve (a read op against
+// their process shard) from node-1 cores while two writer processes
+// churn Seek (a logged write op) from node-0 cores.
+//
+// On the monolithic kernel every write lands in the one shared log, so
+// every node-1 reader must sync its replica past every writer's entries
+// — and the readers serialize on that replica's combiner to do it. On
+// the sharded kernel only readers co-sharded with a writer pay that
+// sync; the rest stay on the read fast path (one RLock, no log work).
+// Each benchmark op is exactly one NR read in both modes; b.N counts
+// reader ops only.
+//
+//	go test ./internal/core/ -run - -bench ShardScaling
+func BenchmarkShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		name := fmt.Sprintf("shards=%d", shards)
+		b.Run(name, func(b *testing.B) { benchShardWorkload(b, shards) })
+	}
+}
+
+const (
+	benchReaders = 8
+	benchWriters = 2
+)
+
+// benchShardWorkload runs the workload; shards==1 boots the monolithic
+// single-NR kernel (the baseline the speedup is measured against).
+func benchShardWorkload(b *testing.B, shards int) {
+	// The machine simulates cores as goroutines; giving the runtime one
+	// OS thread per simulated core makes cross-core synchronization cost
+	// real wall-clock time (combiner hand-offs, reader/combiner convoys)
+	// instead of being hidden by cooperative single-thread scheduling.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2 * CoresPerNode))
+	// 28 cores = 2 NUMA nodes of CoresPerNode=14 → 2 kernel replicas.
+	cfg := Config{Cores: 2 * CoresPerNode, MemBytes: 256 << 20}
+	if shards > 1 {
+		cfg.Shards = shards
+	}
+	s, err := Boot(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	initSys, err := s.Init()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Spawn a pool of candidate processes, then pick reader PIDs so every
+	// shard is covered (a shard whose log grows but is never read from
+	// node 1 would let writer backlog accumulate unboundedly) and writer
+	// PIDs from whatever is left. In the monolith the choice is
+	// invisible: all PIDs hit the same NR instance.
+	const pool = 4 * benchReaders
+	pids := make([]proc.PID, pool)
+	for i := range pids {
+		pid, e := initSys.Spawn(fmt.Sprintf("bench%d", i))
+		if e != sys.EOK {
+			b.Fatalf("spawn: %v", e)
+		}
+		pids[i] = pid
+	}
+	var readers, writers []proc.PID
+	if shards > 1 {
+		perShard := make(map[int][]proc.PID)
+		for _, pid := range pids {
+			sh := s.ProcShardOf(pid)
+			perShard[sh] = append(perShard[sh], pid)
+		}
+		for sh := 0; sh < shards && len(readers) < benchReaders; sh++ {
+			want := benchReaders / shards
+			if len(perShard[sh]) < want {
+				want = len(perShard[sh])
+			}
+			readers = append(readers, perShard[sh][:want]...)
+			perShard[sh] = perShard[sh][want:]
+		}
+		for _, pid := range pids {
+			if len(writers) == benchWriters {
+				break
+			}
+			used := false
+			for _, r := range readers {
+				if r == pid {
+					used = true
+					break
+				}
+			}
+			if !used {
+				writers = append(writers, pid)
+			}
+		}
+	} else {
+		readers = pids[:benchReaders]
+		writers = pids[benchReaders : benchReaders+benchWriters]
+	}
+	if len(readers) != benchReaders || len(writers) != benchWriters {
+		b.Fatalf("role assignment: %d readers, %d writers", len(readers), len(writers))
+	}
+
+	// Writers on node-0 cores (replica 0), readers on node-1 cores
+	// (replica 1). Handles are raw (no contract checker) so each loop
+	// iteration is exactly one syscall.
+	type wrk struct {
+		sys *sys.Sys
+		fd  fs.FD
+	}
+	ws := make([]wrk, benchWriters)
+	for i, pid := range writers {
+		S, err := s.RawSysOn(pid, 1+i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fd, e := S.Open(fmt.Sprintf("/churn%d", i), fs.OCreate|fs.ORdWr)
+		if e != sys.EOK {
+			b.Fatalf("writer open: %v", e)
+		}
+		ws[i] = wrk{sys: S, fd: fd}
+	}
+	type rdr struct {
+		sys  *sys.Sys
+		base mmu.VAddr
+	}
+	rs := make([]rdr, benchReaders)
+	for i, pid := range readers {
+		S, err := s.RawSysOn(pid, CoresPerNode+i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, e := S.MMap(4096)
+		if e != sys.EOK {
+			b.Fatalf("reader mmap: %v", e)
+		}
+		rs[i] = rdr{sys: S, base: base}
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runtime.LockOSThread() // one OS thread per simulated core
+			defer runtime.UnlockOSThread()
+			for !stop.Load() {
+				if _, e := w.sys.Seek(w.fd, 0, fs.SeekSet); e != sys.EOK {
+					b.Errorf("writer seek: %v", e)
+					return
+				}
+			}
+		}()
+	}
+	// Work-stealing read loop: readers claim ops from a shared counter
+	// until b.N are done, so aggregate throughput is measured rather
+	// than the slowest reader's fixed share.
+	var claimed atomic.Int64
+	total := int64(b.N)
+	errs := make(chan error, benchReaders)
+	b.ResetTimer()
+	for _, r := range rs {
+		r := r
+		go func() {
+			runtime.LockOSThread() // one OS thread per simulated core
+			defer runtime.UnlockOSThread()
+			for claimed.Add(1) <= total {
+				if _, e := r.sys.MemResolve(r.base); e != sys.EOK {
+					errs <- fmt.Errorf("memresolve: %v", e)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for range rs {
+		if err := <-errs; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+}

@@ -1,0 +1,464 @@
+package core
+
+import (
+	"runtime"
+
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/nr"
+	"github.com/verified-os/vnros/internal/obs"
+	"github.com/verified-os/vnros/internal/proc"
+	"github.com/verified-os/vnros/internal/sys"
+)
+
+// This file is the cross-shard router: the composition layer that turns
+// one user syscall into an ordered sequence of single-shard transitions
+// when the kernel state machine is partitioned across NR instances
+// (§4.1). The shard-key map:
+//
+//   - Per-process state (descriptor table, vspace, page table) lives on
+//     process shard ShardOf(PID).
+//   - The process tree and the run queue live on process shard 0 — they
+//     are global relations (parent/child, ready set), not keyed state.
+//   - The filesystem namespace (directory tree, inode numbering, link
+//     counts) is replicated on every filesystem shard by broadcasting
+//     namespace mutations in ascending shard order under nsMu; file
+//     contents live only on filesystem shard ShardOf(Ino).
+//
+// Cross-shard ordering rules (each rule keeps a half-done protocol
+// observationally equivalent to some single-kernel state):
+//
+//   - Open: namespace first (resolve/create on the fs group), descriptor
+//     install second (proc shard). A crash between the two leaves a
+//     created file with no descriptor — the state after a plain creat.
+//   - Read/Write: FDLock on the proc shard (capturing ino/offset/flags
+//     and excluding concurrent users of the descriptor), then the data
+//     op on the inode's owner shard, then FDUnlock publishing the new
+//     absolute offset. A locked descriptor makes concurrent syscalls
+//     retry (EAGAIN from the shard, spun here with Gosched), which is
+//     the sharded equivalent of the monolithic combiner's serialization.
+//   - Append: the owner shard resolves EOF at apply time (NumFsWriteAt
+//     reads its own authoritative size), so two appends racing through
+//     different descriptors still serialize on the owner's log.
+//   - Spawn: process tree first (allocate the child PID on shard 0),
+//     resources second (NumProcAttach on the child's shard); on attach
+//     failure NumProcUnspawn rolls the tree entry back.
+//   - Exit/SIGKILL: resources first (NumProcDetach on the victim's
+//     shard), tree transition last — once a waiter observes the zombie
+//     on shard 0, the resources are already gone, matching the
+//     monolithic kernel's atomic teardown for every tree observer.
+
+// sharded reports whether this system booted with a partitioned kernel.
+func (s *System) sharded() bool { return s.procNR != nil }
+
+// Sharded is the exported probe (obligations, tools).
+func (s *System) Sharded() bool { return s.sharded() }
+
+// NumShards returns the shard count per group (0 when monolithic).
+func (s *System) NumShards() int {
+	if !s.sharded() {
+		return 0
+	}
+	return s.procNR.NumShards()
+}
+
+// ProcShardOf returns the process shard owning a PID.
+func (s *System) ProcShardOf(pid proc.PID) int { return s.procNR.ShardOf(uint64(pid)) }
+
+// FsShardOf returns the filesystem shard owning an inode.
+func (s *System) FsShardOf(ino fs.Ino) int { return s.fsNR.ShardOf(uint64(ino)) }
+
+// InspectProcShard runs f against one replica of one process shard,
+// synced to that shard's log tail (obligations and tools).
+func (s *System) InspectProcShard(shard, replica int, f func(*sys.Kernel)) {
+	s.procNR.Shard(shard).Replica(replica).Inspect(func(d nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp]) {
+		f(d.(*sys.Kernel))
+	})
+}
+
+// InspectFsShard runs f against one replica of one filesystem shard.
+func (s *System) InspectFsShard(shard, replica int, f func(*sys.Kernel)) {
+	s.fsNR.Shard(shard).Replica(replica).Inspect(func(d nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp]) {
+		f(d.(*sys.Kernel))
+	})
+}
+
+// fsPathShard picks the filesystem shard that serves a read-only
+// namespace op for a path. Any shard holds the full namespace; hashing
+// the path spreads lookup load across the group.
+func (s *System) fsPathShard(path string) int {
+	h := uint64(14695981039346656037) // FNV-1a
+	for i := 0; i < len(path); i++ {
+		h ^= uint64(path[i])
+		h *= 1099511628211
+	}
+	return s.fsNR.ShardOf(h)
+}
+
+// ---- shard-addressed execution (ctxMu held by the callers below) ----
+
+func (h *handler) procExecOn(shard int, op sys.WriteOp) sys.Resp {
+	t0 := obs.Start()
+	r := h.procCtx.ExecuteOn(shard, op)
+	obs.ShardOps.Observe(obs.ProcShardSlot(shard), uint32(h.core), t0)
+	return r
+}
+
+func (h *handler) procReadOn(shard int, op sys.ReadOp) sys.Resp {
+	t0 := obs.Start()
+	r := h.procCtx.ExecuteReadOn(shard, op)
+	obs.ShardOps.Observe(obs.ProcShardSlot(shard), uint32(h.core), t0)
+	return r
+}
+
+func (h *handler) fsExecOn(shard int, op sys.WriteOp) sys.Resp {
+	t0 := obs.Start()
+	r := h.fsCtx.ExecuteOn(shard, op)
+	obs.ShardOps.Observe(obs.FsShardSlot(shard), uint32(h.core), t0)
+	return r
+}
+
+func (h *handler) fsReadOn(shard int, op sys.ReadOp) sys.Resp {
+	t0 := obs.Start()
+	r := h.fsCtx.ExecuteReadOn(shard, op)
+	obs.ShardOps.Observe(obs.FsShardSlot(shard), uint32(h.core), t0)
+	return r
+}
+
+// nsBroadcast applies a namespace mutation to every filesystem shard in
+// ascending order under nsMu — the single total order that keeps the
+// replicated namespaces identical (including deterministic inode
+// numbering: every allocation runs on every shard in the same order).
+// Namespace ops fail atomically, so a shard-0 failure means no shard
+// mutated and the broadcast stops there with the common verdict.
+func (h *handler) nsBroadcast(op sys.WriteOp) sys.Resp {
+	s := h.s
+	s.nsMu.Lock()
+	defer s.nsMu.Unlock()
+	var resp sys.Resp
+	for i := 0; i < s.fsNR.NumShards(); i++ {
+		r := h.fsExecOn(i, op)
+		if i == 0 {
+			resp = r
+			if r.Errno != sys.EOK {
+				return resp
+			}
+		}
+	}
+	return resp
+}
+
+// recordShardGauges refreshes the per-shard log-tail and apply-lag
+// gauges against this handler's replica. Cheap (a handful of atomics)
+// and skipped entirely while stats are off.
+func (s *System) recordShardGauges(rep int) {
+	if !obs.Enabled() {
+		return
+	}
+	for i := 0; i < s.procNR.NumShards(); i++ {
+		tail := s.procNR.Shard(i).Tail()
+		applied := s.procNR.Shard(i).Replica(rep).Applied()
+		obs.ShardLogTail[obs.ProcShardSlot(i)].Set(tail)
+		obs.ShardApplyLag[obs.ProcShardSlot(i)].Set(tail - applied)
+	}
+	for i := 0; i < s.fsNR.NumShards(); i++ {
+		tail := s.fsNR.Shard(i).Tail()
+		applied := s.fsNR.Shard(i).Replica(rep).Applied()
+		obs.ShardLogTail[obs.FsShardSlot(i)].Set(tail)
+		obs.ShardApplyLag[obs.FsShardSlot(i)].Set(tail - applied)
+	}
+}
+
+// ---- top-level sharded dispatch ----
+
+// shardWriteSyscall is the sharded counterpart of the monolithic
+// execute() path: core-side pre/post work (mmap frame attach, freed
+// frame return, local process cleanup) around the routed dispatch.
+func (h *handler) shardWriteSyscall(op sys.WriteOp) (resp sys.Resp) {
+	s := h.s
+	if op.Num == sys.NumMMap {
+		if op.Size == 0 || op.Size%mmu.L1PageSize != 0 {
+			return sys.Resp{Errno: sys.EINVAL}
+		}
+		frames, err := s.allocDataFrames(op.Size / mmu.L1PageSize)
+		if err != nil {
+			return sys.Resp{Errno: sys.ENOMEM}
+		}
+		op.Frames = frames
+		h.ctxMu.Lock()
+		resp = h.shardWrite(op)
+		h.ctxMu.Unlock()
+		if resp.Errno != sys.EOK {
+			s.freeDataFrames(frames)
+		}
+		s.recordShardGauges(s.replicaOf(h.core))
+		return resp
+	}
+
+	h.ctxMu.Lock()
+	resp = h.shardWrite(op)
+	h.ctxMu.Unlock()
+	if resp.Errno == sys.EOK && len(resp.Freed) > 0 {
+		s.freeDataFrames(resp.Freed)
+	}
+	if op.Num == sys.NumExit && resp.Errno == sys.EOK {
+		s.cleanupProcessLocal(op.PID)
+	}
+	if op.Num == sys.NumKill && op.Sig == proc.SIGKILL && resp.Errno == sys.EOK {
+		s.cleanupProcessLocal(op.Target)
+	}
+	s.recordShardGauges(s.replicaOf(h.core))
+	return resp
+}
+
+// shardWrite routes one mutating syscall per the shard-key map
+// (ctxMu held).
+func (h *handler) shardWrite(op sys.WriteOp) sys.Resp {
+	s := h.s
+	switch sys.ClassifyWrite(op.Num) {
+	case sys.TargetProcKey:
+		return h.procExecOn(s.ProcShardOf(op.PID), op)
+	case sys.TargetProcTree:
+		return h.procExecOn(0, op)
+	case sys.TargetFsNS:
+		return h.nsBroadcast(op)
+	}
+	switch op.Num {
+	case sys.NumOpen:
+		return h.shardOpen(op)
+	case sys.NumRead:
+		return h.shardReadData(op)
+	case sys.NumWrite:
+		return h.shardWriteData(op)
+	case sys.NumSeek:
+		return h.shardSeek(op)
+	case sys.NumTruncate:
+		return h.shardTruncate(op)
+	case sys.NumSpawn:
+		return h.shardSpawn(op)
+	case sys.NumExit:
+		return h.shardExit(op)
+	case sys.NumKill:
+		return h.shardKill(op)
+	}
+	return sys.Resp{Errno: sys.ENOSYS}
+}
+
+// shardReadDispatch routes one read-only syscall (takes ctxMu itself).
+func (h *handler) shardReadDispatch(op sys.ReadOp) sys.Resp {
+	s := h.s
+	h.ctxMu.Lock()
+	defer func() { h.ctxMu.Unlock(); s.recordShardGauges(s.replicaOf(h.core)) }()
+	switch sys.ClassifyRead(op.Num) {
+	case sys.TargetProcKey:
+		return h.procReadOn(s.ProcShardOf(op.PID), op)
+	case sys.TargetProcTree:
+		return h.procReadOn(0, op)
+	case sys.TargetFsPath:
+		return h.fsReadOn(s.fsPathShard(op.Path), op)
+	}
+	// NumStat: resolve the path on a namespace replica, stat the data
+	// owner (only the owner's size is authoritative).
+	lr := h.fsReadOn(s.fsPathShard(op.Path), sys.ReadOp{Num: sys.NumFsLookup, PID: op.PID, Path: op.Path})
+	if lr.Errno != sys.EOK {
+		return lr
+	}
+	return h.fsReadOn(s.FsShardOf(lr.Ino), sys.ReadOp{Num: sys.NumFsStatIno, PID: op.PID, Ino: lr.Ino})
+}
+
+// ---- cross-shard protocols ----
+
+// fdLock acquires a descriptor on the proc shard, retrying while a
+// concurrent protocol holds it. The response carries ino/offset/flags.
+func (h *handler) fdLock(procShard int, pid proc.PID, fd fs.FD) sys.Resp {
+	for {
+		lk := h.procExecOn(procShard, sys.WriteOp{Num: sys.NumFDLock, PID: pid, FD: fd})
+		if lk.Errno != sys.EAGAIN {
+			return lk
+		}
+		runtime.Gosched()
+	}
+}
+
+func (h *handler) fdUnlock(procShard int, pid proc.PID, fd fs.FD, off uint64) {
+	_ = h.procExecOn(procShard, sys.WriteOp{Num: sys.NumFDUnlock, PID: pid, FD: fd, Len: off})
+}
+
+// shardOpen: flags check (pure), descriptor-table existence (proc
+// shard), resolve or create (fs group), kind/truncate on the owner,
+// descriptor install (proc shard). Mirrors FDTable.Open's order, so the
+// errno priorities match the monolithic kernel.
+func (h *handler) shardOpen(op sys.WriteOp) sys.Resp {
+	s := h.s
+	if e := sys.OpenFlag(op.Flags).Validate(); e != sys.EOK {
+		return sys.Resp{Errno: e}
+	}
+	ps := s.ProcShardOf(op.PID)
+	if r := h.procReadOn(ps, sys.ReadOp{Num: sys.NumProcHasTable, PID: op.PID}); r.Errno != sys.EOK {
+		return r
+	}
+	var ino fs.Ino
+	lr := h.fsReadOn(s.fsPathShard(op.Path), sys.ReadOp{Num: sys.NumFsLookup, PID: op.PID, Path: op.Path})
+	switch {
+	case lr.Errno == sys.EOK:
+		ino = lr.Ino
+	case lr.Errno == sys.ENOENT && op.Flags&fs.OCreate != 0:
+		cr := h.nsBroadcast(sys.WriteOp{Num: sys.NumFsCreate, PID: op.PID, Path: op.Path})
+		if cr.Errno == sys.EEXIST {
+			// Lost a create race since the lookup; adopt the winner.
+			lr = h.fsReadOn(s.fsPathShard(op.Path), sys.ReadOp{Num: sys.NumFsLookup, PID: op.PID, Path: op.Path})
+			if lr.Errno != sys.EOK {
+				return lr
+			}
+			ino = lr.Ino
+		} else if cr.Errno != sys.EOK {
+			return cr
+		} else {
+			ino = cr.Ino
+		}
+	default:
+		return lr
+	}
+	owner := s.FsShardOf(ino)
+	st := h.fsReadOn(owner, sys.ReadOp{Num: sys.NumFsStatIno, PID: op.PID, Ino: ino})
+	if st.Errno != sys.EOK {
+		return st
+	}
+	if st.Stat.Kind == fs.KindDir && op.Flags&(fs.OWrOnly|fs.ORdWr|fs.OTrunc|fs.OAppend) != 0 {
+		return sys.Resp{Errno: sys.EISDIR}
+	}
+	if op.Flags&fs.OTrunc != 0 {
+		if tr := h.fsExecOn(owner, sys.WriteOp{Num: sys.NumFsTruncate, PID: op.PID, Ino: ino, Len: 0}); tr.Errno != sys.EOK {
+			return tr
+		}
+	}
+	return h.procExecOn(ps, sys.WriteOp{Num: sys.NumFDOpen, PID: op.PID, Ino: ino, Flags: op.Flags})
+}
+
+// shardReadData: NumRead = FDLock → owner ReadAt → FDUnlock(new offset).
+func (h *handler) shardReadData(op sys.WriteOp) sys.Resp {
+	s := h.s
+	ps := s.ProcShardOf(op.PID)
+	lk := h.fdLock(ps, op.PID, op.FD)
+	if lk.Errno != sys.EOK {
+		return lk
+	}
+	ino, off, flags := lk.Ino, lk.Off, int(lk.Val)
+	if flags&fs.OWrOnly != 0 {
+		h.fdUnlock(ps, op.PID, op.FD, off)
+		return sys.Resp{Errno: sys.EPERM}
+	}
+	r := h.fsReadOn(s.FsShardOf(ino), sys.ReadOp{Num: sys.NumFsReadAt, PID: op.PID, Ino: ino, Off: off, Len: op.Len})
+	if r.Errno != sys.EOK {
+		h.fdUnlock(ps, op.PID, op.FD, off)
+		return r
+	}
+	h.fdUnlock(ps, op.PID, op.FD, off+r.Val)
+	return sys.Resp{Errno: sys.EOK, Val: r.Val, Data: r.Data}
+}
+
+// shardWriteData: NumWrite = FDLock → owner WriteAt (append-aware) →
+// FDUnlock(owner-computed cursor).
+func (h *handler) shardWriteData(op sys.WriteOp) sys.Resp {
+	s := h.s
+	ps := s.ProcShardOf(op.PID)
+	lk := h.fdLock(ps, op.PID, op.FD)
+	if lk.Errno != sys.EOK {
+		return lk
+	}
+	ino, off, flags := lk.Ino, lk.Off, int(lk.Val)
+	if flags&(fs.OWrOnly|fs.ORdWr|fs.OAppend) == 0 {
+		h.fdUnlock(ps, op.PID, op.FD, off)
+		return sys.Resp{Errno: sys.EPERM}
+	}
+	w := h.fsExecOn(s.FsShardOf(ino), sys.WriteOp{
+		Num: sys.NumFsWriteAt, PID: op.PID, Ino: ino,
+		Off: int64(off), Flags: uint64(flags), Data: op.Data,
+	})
+	if w.Errno != sys.EOK {
+		h.fdUnlock(ps, op.PID, op.FD, off)
+		return w
+	}
+	h.fdUnlock(ps, op.PID, op.FD, w.Off)
+	return sys.Resp{Errno: sys.EOK, Val: w.Val}
+}
+
+// shardSeek: SeekEnd prefetches the owner's size; the proc shard then
+// revalidates the descriptor and repositions atomically.
+func (h *handler) shardSeek(op sys.WriteOp) sys.Resp {
+	s := h.s
+	ps := s.ProcShardOf(op.PID)
+	var size uint64
+	if op.Whence == fs.SeekEnd {
+		g := h.procReadOn(ps, sys.ReadOp{Num: sys.NumFDGet, PID: op.PID, FD: op.FD})
+		if g.Errno != sys.EOK {
+			return g
+		}
+		st := h.fsReadOn(s.FsShardOf(g.Ino), sys.ReadOp{Num: sys.NumFsStatIno, PID: op.PID, Ino: g.Ino})
+		if st.Errno != sys.EOK {
+			return st
+		}
+		size = st.Val
+	}
+	return h.procExecOn(ps, sys.WriteOp{
+		Num: sys.NumFDSeek, PID: op.PID, FD: op.FD,
+		Whence: op.Whence, Off: op.Off, Size: size,
+	})
+}
+
+// shardTruncate: resolve the descriptor's inode, truncate on the owner.
+func (h *handler) shardTruncate(op sys.WriteOp) sys.Resp {
+	s := h.s
+	g := h.procReadOn(s.ProcShardOf(op.PID), sys.ReadOp{Num: sys.NumFDGet, PID: op.PID, FD: op.FD})
+	if g.Errno != sys.EOK {
+		return g
+	}
+	return h.fsExecOn(s.FsShardOf(g.Ino), sys.WriteOp{Num: sys.NumFsTruncate, PID: op.PID, Ino: g.Ino, Len: op.Len})
+}
+
+// shardSpawn: tree first (shard 0 allocates the PID), resources second
+// (the child's shard), with tree rollback when the attach fails.
+func (h *handler) shardSpawn(op sys.WriteOp) sys.Resp {
+	s := h.s
+	tr := h.procExecOn(0, sys.WriteOp{Num: sys.NumProcSpawn, PID: op.PID, Name: op.Name})
+	if tr.Errno != sys.EOK {
+		return tr
+	}
+	child := proc.PID(tr.Val)
+	at := h.procExecOn(s.ProcShardOf(child), sys.WriteOp{Num: sys.NumProcAttach, PID: op.PID, Target: child})
+	if at.Errno != sys.EOK {
+		_ = h.procExecOn(0, sys.WriteOp{Num: sys.NumProcUnspawn, PID: op.PID, Target: child})
+		return at
+	}
+	return sys.Resp{Errno: sys.EOK, Val: uint64(child)}
+}
+
+// shardExit: resources first (victim's shard), tree last (shard 0) —
+// see the ordering rules at the top of the file. op.PID is the victim.
+func (h *handler) shardExit(op sys.WriteOp) sys.Resp {
+	s := h.s
+	dt := h.procExecOn(s.ProcShardOf(op.PID), sys.WriteOp{Num: sys.NumProcDetach, PID: op.PID, Target: op.PID})
+	if dt.Errno != sys.EOK {
+		return dt
+	}
+	tr := h.procExecOn(0, sys.WriteOp{Num: sys.NumProcExit, PID: op.PID, Code: op.Code})
+	if tr.Errno != sys.EOK {
+		return tr
+	}
+	return sys.Resp{Errno: sys.EOK, Freed: dt.Freed}
+}
+
+// shardKill: SIGKILL composes as the victim's exit; other signals are a
+// tree-only transition on shard 0.
+func (h *handler) shardKill(op sys.WriteOp) sys.Resp {
+	if op.Sig == proc.SIGKILL {
+		if op.Target == proc.InitPID {
+			return sys.Resp{Errno: sys.EPERM}
+		}
+		victim := op
+		victim.PID = op.Target
+		victim.Code = 128 + int(proc.SIGKILL)
+		return h.shardExit(victim)
+	}
+	return h.procExecOn(0, op)
+}

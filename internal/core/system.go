@@ -64,6 +64,21 @@ type Config struct {
 	// JournalBlocks overrides the journal region size in blocks
 	// (default: 1/8 of the disk).
 	JournalBlocks uint64
+	// Shards partitions the kernel state machine across multiple NR
+	// instances with independent logs (§4.1): Shards process-state
+	// shards keyed by PID (descriptor tables, address spaces, the
+	// process tree pinned to shard 0) plus Shards filesystem shards
+	// keyed by inode (namespace replicated on every shard, file
+	// contents on the owner). 0 or 1 boots the monolithic single-NR
+	// kernel. Sharding is incompatible with WAL/RestoreFS for now:
+	// durability is one linearization, and composing it across
+	// independent shard logs is future work (Boot rejects the combo,
+	// Sync returns ENOSYS, SaveFS errors).
+	Shards int
+	// ShardLogSize overrides each shard's log ring size (0 = the NR
+	// default). Each shard enforces its own half-ring invariant, so
+	// MaxBatchOps is per shard: ShardLogSize/(2*MaxThreadsPerReplica).
+	ShardLogSize int
 }
 
 // System is a booted instance of the OS.
@@ -71,9 +86,21 @@ type System struct {
 	cfg     Config
 	Machine *machine.Machine
 
-	// The replicated kernel.
+	// The replicated kernel (monolithic mode: Config.Shards <= 1).
 	nr       *nr.NR[sys.ReadOp, sys.WriteOp, sys.Resp]
 	replicas []*sys.Kernel
+
+	// The sharded kernel (Config.Shards > 1): two shard groups over
+	// independent logs — process state keyed by PID, filesystem state
+	// keyed by inode. nil in monolithic mode; see shard_router.go.
+	procNR *nr.Sharded[sys.ReadOp, sys.WriteOp, sys.Resp]
+	fsNR   *nr.Sharded[sys.ReadOp, sys.WriteOp, sys.Resp]
+
+	// nsMu orders namespace broadcasts across the filesystem shards:
+	// every namespace mutation is applied to all fs shards in ascending
+	// shard order under this mutex, so all namespaces see the same
+	// total order and stay identical.
+	nsMu sync.Mutex
 
 	// journal, when Config.WAL is set, is the write-ahead journal over
 	// the block device. Replica 0's FS carries the record sink (each
@@ -143,6 +170,14 @@ func Boot(cfg Config) (*System, error) {
 	}
 	if dataRegionOff+((64)<<20) > cfg.MemBytes {
 		return nil, fmt.Errorf("core: need at least %d MiB of memory", (dataRegionOff+(64<<20))>>20)
+	}
+	if cfg.Shards > 1 {
+		if cfg.WAL || cfg.RestoreFS {
+			return nil, fmt.Errorf("core: sharding is incompatible with WAL/RestoreFS (durability is not yet composed across shard logs)")
+		}
+		if cfg.Shards > obs.MaxShards {
+			return nil, fmt.Errorf("core: at most %d shards (obs shard-slot space)", obs.MaxShards)
+		}
 	}
 
 	m := machine.New(machine.Config{
@@ -236,6 +271,42 @@ func Boot(cfg Config) (*System, error) {
 		}
 	}
 
+	if cfg.Shards > 1 {
+		// The sharded kernel: 2*Shards NR instances (process group +
+		// filesystem group), each with Replicas replicas over its own
+		// log. Page-table frames come from disjoint per-kernel slices of
+		// the table region, sized to fit however many kernels boot.
+		totalKernels := 2 * cfg.Shards * cfg.Replicas
+		span := (dataRegionOff - tableRegion) / mem.PAddr(totalKernels)
+		span &^= mem.PAddr(mem.PageSize - 1)
+		if span < mem.PageSize {
+			return nil, fmt.Errorf("core: table region too small for %d shard kernels", totalKernels)
+		}
+		kernelIdx := 0
+		newShardKernel := func() *sys.Kernel {
+			base := tableRegion + mem.PAddr(kernelIdx)*span
+			kernelIdx++
+			return sys.NewKernel(m.Mem, pt.NewSimpleFrameSource(m.Mem, base, base+span))
+		}
+		group := func(slot func(int) uint64) *nr.Sharded[sys.ReadOp, sys.WriteOp, sys.Resp] {
+			return nr.NewShardedFunc(cfg.Shards,
+				func(i int) nr.Options {
+					return nr.Options{
+						Replicas: cfg.Replicas,
+						LogSize:  cfg.ShardLogSize,
+						ShardTag: 1 + int(slot(i)),
+					}
+				},
+				func(int) nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp] {
+					return newShardKernel()
+				})
+		}
+		s.procNR = group(obs.ProcShardSlot)
+		s.fsNR = group(obs.FsShardSlot)
+		s.registerComponents()
+		return s, nil
+	}
+
 	// The replicated kernel: one replica per NUMA node, page-table
 	// frames from disjoint per-replica regions so replicas never alias
 	// each other's table memory.
@@ -277,6 +348,12 @@ func Boot(cfg Config) (*System, error) {
 // has then been applied — and therefore journaled — before the flush,
 // which is exactly the ordering the durability contract needs.
 func (s *System) syncDurable() error {
+	if s.sharded() {
+		// Durability is one linearization; the shard logs are
+		// independent. Composing a consistent cross-shard cut is future
+		// work — Boot already rejects WAL/RestoreFS with Shards > 1.
+		return fmt.Errorf("core: sync is not supported on a sharded kernel")
+	}
 	var err error
 	s.nr.Replica(0).Inspect(func(d nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp]) {
 		k := d.(*sys.Kernel)
@@ -292,17 +369,18 @@ func (s *System) syncDurable() error {
 	return err
 }
 
-// replicaOf maps a core to its kernel replica index.
+// replicaOf maps a core to its kernel replica index (the same mapping
+// for every NR instance, monolithic or sharded).
 func (s *System) replicaOf(core int) int {
 	r := core / CoresPerNode
-	if r >= s.nr.NumReplicas() {
-		r = s.nr.NumReplicas() - 1
+	if r >= s.cfg.Replicas {
+		r = s.cfg.Replicas - 1
 	}
 	return r
 }
 
-// NumReplicas returns the kernel replica count.
-func (s *System) NumReplicas() int { return s.nr.NumReplicas() }
+// NumReplicas returns the kernel replica count (per NR instance).
+func (s *System) NumReplicas() int { return s.cfg.Replicas }
 
 // allocDataFrames grabs n zeroed user-data frames from the shared pool.
 func (s *System) allocDataFrames(n uint64) ([]mem.PAddr, error) {
@@ -348,6 +426,12 @@ type handler struct {
 	// ctxMu across it would deadlock the process's other traffic.
 	ctxMu sync.Mutex
 	ctx   *nr.ThreadContext[sys.ReadOp, sys.WriteOp, sys.Resp]
+
+	// Sharded mode: thread handles across every shard of each group
+	// (ctx is nil then). The router in shard_router.go sequences
+	// cross-shard protocols through these under ctxMu.
+	procCtx *nr.ShardedThread[sys.ReadOp, sys.WriteOp, sys.Resp]
+	fsCtx   *nr.ShardedThread[sys.ReadOp, sys.WriteOp, sys.Resp]
 }
 
 func (h *handler) execute(op sys.WriteOp) sys.Resp {
@@ -383,11 +467,24 @@ func (h *handler) Syscall(frame marshal.SyscallFrame, payload []byte) (marshal.R
 func (h *handler) syscall(frame marshal.SyscallFrame, payload []byte) (marshal.RetFrame, []byte) {
 	s := h.s
 	// Drain pending device interrupts before entering the kernel proper
-	// (the simulation's interrupt delivery point). All cores are
-	// drained: the interrupt controller load-balances lines round-robin
-	// and an idle core's pending queue would otherwise starve.
-	for c := 0; c < s.cfg.Cores; c++ {
-		s.Dispatcher.Poll(c)
+	// (the simulation's interrupt delivery point). The calling core is
+	// always polled; the all-core sweep — needed because the interrupt
+	// controller load-balances lines round-robin and an idle core's
+	// pending queue would otherwise starve — runs only when the
+	// controller reports something pending anywhere (one atomic load),
+	// not as an unconditional per-syscall cores-length scan.
+	s.Dispatcher.Poll(h.core)
+	if s.Dispatcher.HasPending() {
+		for c := 0; c < s.cfg.Cores; c++ {
+			s.Dispatcher.Poll(c)
+		}
+	}
+
+	// The internal cross-shard protocol ops never cross the user
+	// boundary; a hand-rolled frame carrying one is rejected here, in
+	// both monolithic and sharded modes.
+	if sys.IsInternalOp(frame.Num) {
+		return sys.EncodeResp(sys.Resp{Errno: sys.EINVAL})
 	}
 
 	if frame.Num == sys.NumBatch {
@@ -398,6 +495,9 @@ func (h *handler) syscall(frame marshal.SyscallFrame, payload []byte) (marshal.R
 		if err != nil {
 			return sys.EncodeResp(sys.Resp{Errno: sys.EINVAL})
 		}
+		if s.sharded() {
+			return sys.EncodeResp(h.shardReadDispatch(op))
+		}
 		return sys.EncodeResp(h.executeRead(op))
 	}
 	op, err := sys.DecodeWrite(frame, payload)
@@ -406,6 +506,9 @@ func (h *handler) syscall(frame marshal.SyscallFrame, payload []byte) (marshal.R
 	}
 	if sys.IsLocalOp(op.Num) {
 		return sys.EncodeResp(s.localOp(h, op))
+	}
+	if s.sharded() {
+		return sys.EncodeResp(h.shardWriteSyscall(op))
 	}
 
 	// mmap: attach data frames from the shared pool before logging, so
@@ -477,15 +580,30 @@ func (h *handler) batch(frame marshal.SyscallFrame, payload []byte) (marshal.Ret
 		}
 	}
 	if len(valid) > 0 {
-		for j, r := range h.executeBatch(valid) {
-			comps[idx[j]] = sys.BatchCompletion(valid[j], r)
+		if h.s.sharded() {
+			// Per-shard logs cannot take one contiguous reservation for a
+			// mixed batch; each op still routes through the shard
+			// protocols, completing in submission order.
+			h.ctxMu.Lock()
+			for j := range valid {
+				comps[idx[j]] = sys.BatchCompletion(valid[j], h.shardWrite(valid[j]))
+			}
+			h.ctxMu.Unlock()
+		} else {
+			for j, r := range h.executeBatch(valid) {
+				comps[idx[j]] = sys.BatchCompletion(valid[j], r)
+			}
 		}
 	}
 	if len(syncIdx) > 0 {
 		// One group commit for the whole batch (after its ops applied;
 		// outside ctxMu — the flush takes replica 0's lock instead).
+		// On a sharded kernel durability is unsupported (see
+		// syncDurable), so sync markers complete with ENOSYS.
 		e := sys.EOK
-		if err := h.s.syncDurable(); err != nil {
+		if h.s.sharded() {
+			e = sys.ENOSYS
+		} else if err := h.s.syncDurable(); err != nil {
 			e = sys.EIO
 		}
 		for _, i := range syncIdx {

@@ -35,6 +35,10 @@ func NewDispatcher(ic *machine.InterruptController) *Dispatcher {
 	return &Dispatcher{ic: ic}
 }
 
+// HasPending reports whether any core has an undelivered IRQ (one
+// atomic load; see InterruptController.HasPending).
+func (d *Dispatcher) HasPending() bool { return d.ic.HasPending() }
+
 // Handle registers (or replaces) the handler for an IRQ line.
 func (d *Dispatcher) Handle(irq int, h func()) error {
 	if irq < 0 || irq >= machine.NumIRQs {

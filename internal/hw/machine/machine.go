@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/verified-os/vnros/internal/hw/mem"
 	"github.com/verified-os/vnros/internal/hw/mmu"
@@ -88,6 +89,12 @@ type InterruptController struct {
 	pending []uint32 // per-core bitmask
 	next    int      // round-robin cursor for device IRQs
 	masked  uint32   // globally masked IRQ lines
+
+	// npend counts pending IRQ bits across all cores, maintained under
+	// mu but readable without it: HasPending is the hot-path "anything
+	// to deliver anywhere?" probe the syscall entry uses to decide
+	// whether a full per-core drain sweep is worth taking.
+	npend atomic.Int32
 }
 
 // NewInterruptController creates a controller for n cores.
@@ -105,6 +112,9 @@ func (ic *InterruptController) Raise(irq int) {
 	}
 	core := ic.next % len(ic.pending)
 	ic.next++
+	if ic.pending[core]&(1<<uint(irq)) == 0 {
+		ic.npend.Add(1)
+	}
 	ic.pending[core] |= 1 << uint(irq)
 }
 
@@ -119,8 +129,18 @@ func (ic *InterruptController) RaiseOn(core, irq int) {
 	if ic.masked&(1<<uint(irq)) != 0 {
 		return
 	}
+	if ic.pending[core]&(1<<uint(irq)) == 0 {
+		ic.npend.Add(1)
+	}
 	ic.pending[core] |= 1 << uint(irq)
 }
+
+// HasPending reports whether any core has an undelivered IRQ. One
+// atomic load, no lock: the syscall path polls only the calling core
+// and takes the all-core sweep only when this returns true, so an IRQ
+// parked on an idle core is still delivered without every syscall
+// paying a cores-length locked scan.
+func (ic *InterruptController) HasPending() bool { return ic.npend.Load() > 0 }
 
 // Pending returns and clears the highest-priority (lowest-numbered)
 // pending IRQ for a core, or -1.
@@ -137,6 +157,7 @@ func (ic *InterruptController) Pending(core int) int {
 	for irq := 0; irq < NumIRQs; irq++ {
 		if p&(1<<uint(irq)) != 0 {
 			ic.pending[core] &^= 1 << uint(irq)
+			ic.npend.Add(-1)
 			return irq
 		}
 	}

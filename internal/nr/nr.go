@@ -102,6 +102,7 @@ type Replica[Rd any, Wr any, Resp any] struct {
 type NR[Rd any, Wr any, Resp any] struct {
 	log      *log[Wr]
 	replicas []*Replica[Rd, Wr, Resp]
+	shardTag int
 }
 
 // Options configures an NR instance.
@@ -110,6 +111,11 @@ type Options struct {
 	Replicas int
 	// LogSize is the number of slots in the shared log ring.
 	LogSize int
+	// ShardTag, when non-zero, is 1+slot of this instance in the
+	// per-shard kstat space (obs.ShardSlot*): combiner passes are then
+	// additionally recorded under that slot, giving the combiner stats a
+	// shard dimension. Zero means untagged (a standalone instance).
+	ShardTag int
 }
 
 // New creates an NR instance with one data-structure copy per replica.
@@ -119,7 +125,7 @@ func New[Rd any, Wr any, Resp any](opts Options, create func() DataStructure[Rd,
 	if opts.Replicas < 1 {
 		opts.Replicas = 1
 	}
-	n := &NR[Rd, Wr, Resp]{log: newLog[Wr](opts.LogSize)}
+	n := &NR[Rd, Wr, Resp]{log: newLog[Wr](opts.LogSize), shardTag: opts.ShardTag}
 	for i := 0; i < opts.Replicas; i++ {
 		r := &Replica[Rd, Wr, Resp]{nr: n, id: uint32(i), ds: create()}
 		n.replicas = append(n.replicas, r)
@@ -405,6 +411,11 @@ func (r *Replica[Rd, Wr, Resp]) combine() {
 		obs.NRBatchSize.Record(r.id, uint64(len(batch)))
 	}
 	obs.NRCombineLatency.Since(r.id, t0)
+	if tag := r.nr.shardTag; tag > 0 {
+		// The shard dimension of the combiner stats: one count + latency
+		// per combine pass, indexed by the instance's shard slot.
+		obs.NRShardCombine.Observe(uint64(tag-1), r.id, t0)
+	}
 }
 
 // applyUpTo applies log entries [applied, target) to the local replica.
@@ -475,3 +486,8 @@ func (r *Replica[Rd, Wr, Resp]) CombinerStats() (ops, batches uint64) {
 
 // Tail exposes the log tail (for tests).
 func (n *NR[Rd, Wr, Resp]) Tail() uint64 { return n.log.Tail() }
+
+// Applied exposes a replica's applied tail. Together with Tail it gives
+// the replica's apply lag — the per-shard gauge the observability layer
+// surfaces.
+func (r *Replica[Rd, Wr, Resp]) Applied() uint64 { return r.applied.Load() }

@@ -18,12 +18,23 @@ type ShardedThread[Rd any, Wr any, Resp any] struct {
 
 // NewSharded creates n independent NR instances.
 func NewSharded[Rd any, Wr any, Resp any](shards int, opts Options, create func() DataStructure[Rd, Wr, Resp]) *Sharded[Rd, Wr, Resp] {
+	return NewShardedFunc(shards,
+		func(int) Options { return opts },
+		func(int) DataStructure[Rd, Wr, Resp] { return create() })
+}
+
+// NewShardedFunc creates n independent NR instances with per-shard
+// options and constructors — each shard can size its own log ring and
+// carry its own stats tag, and each shard's replicas can draw from
+// disjoint resources (e.g. page-table frame regions).
+func NewShardedFunc[Rd any, Wr any, Resp any](shards int, opts func(shard int) Options, create func(shard int) DataStructure[Rd, Wr, Resp]) *Sharded[Rd, Wr, Resp] {
 	if shards < 1 {
 		shards = 1
 	}
 	s := &Sharded[Rd, Wr, Resp]{}
 	for i := 0; i < shards; i++ {
-		s.shards = append(s.shards, New(opts, create))
+		i := i
+		s.shards = append(s.shards, New(opts(i), func() DataStructure[Rd, Wr, Resp] { return create(i) }))
 	}
 	return s
 }
@@ -68,6 +79,11 @@ func (s *Sharded[Rd, Wr, Resp]) shardOf(key uint64) int {
 	return int((key * 0x9e3779b97f4a7c15) >> 32 % uint64(len(s.shards)))
 }
 
+// ShardOf exposes the key → shard map, so callers can address the same
+// shard an Execute(key, ...) would (cross-shard protocols, isolation
+// checks).
+func (s *Sharded[Rd, Wr, Resp]) ShardOf(key uint64) int { return s.shardOf(key) }
+
 // Execute runs a mutating operation on the shard owning key.
 func (t *ShardedThread[Rd, Wr, Resp]) Execute(key uint64, op Wr) Resp {
 	return t.ctxs[t.s.shardOf(key)].Execute(op)
@@ -76,4 +92,26 @@ func (t *ShardedThread[Rd, Wr, Resp]) Execute(key uint64, op Wr) Resp {
 // ExecuteRead runs a read-only operation on the shard owning key.
 func (t *ShardedThread[Rd, Wr, Resp]) ExecuteRead(key uint64, op Rd) Resp {
 	return t.ctxs[t.s.shardOf(key)].ExecuteRead(op)
+}
+
+// ExecuteOn runs a mutating operation on an explicit shard index —
+// the escape hatch cross-shard protocols use to address a step at a
+// specific shard (e.g. the process tree pinned to shard 0, or a
+// namespace broadcast visiting every shard in order).
+func (t *ShardedThread[Rd, Wr, Resp]) ExecuteOn(shard int, op Wr) Resp {
+	return t.ctxs[shard].Execute(op)
+}
+
+// ExecuteReadOn runs a read-only operation on an explicit shard index.
+func (t *ShardedThread[Rd, Wr, Resp]) ExecuteReadOn(shard int, op Rd) Resp {
+	return t.ctxs[shard].ExecuteRead(op)
+}
+
+// ExecuteBatchOn runs a vector of mutating operations contiguously on an
+// explicit shard's log (PR 2's ExecuteBatch semantics, per shard: the
+// half-ring invariant is enforced by each shard's own Register bound and
+// MaxBatchOps, so splitting the log across shards leaves the invariant
+// intact shard-by-shard).
+func (t *ShardedThread[Rd, Wr, Resp]) ExecuteBatchOn(shard int, ops []Wr) []Resp {
+	return t.ctxs[shard].ExecuteBatch(ops)
 }

@@ -1,0 +1,47 @@
+package obs
+
+import "sync/atomic"
+
+// Gauge is an instantaneous value (a level, not a rate): log tails,
+// apply lags, queue depths. Unlike Counter it is Set, not accumulated,
+// so it needs no shard striping — writers race benignly to publish the
+// latest observation of the same quantity.
+type Gauge struct {
+	name string
+	v    atomic.Uint64
+	set  atomic.Bool
+}
+
+// NewGauge creates and registers a gauge.
+func NewGauge(name string) *Gauge {
+	g := &Gauge{name: name}
+	registry.mu.Lock()
+	registry.gauges = append(registry.gauges, g)
+	registry.mu.Unlock()
+	return g
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set publishes the current value. No-op while stats are disabled.
+func (g *Gauge) Set(v uint64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+	g.set.Store(true)
+}
+
+// Load returns the last published value.
+func (g *Gauge) Load() uint64 { return g.v.Load() }
+
+// Touched reports whether the gauge has been Set since the last reset —
+// untouched gauges are omitted from snapshots so a fixed pre-registered
+// vector (one gauge per potential shard) doesn't spam zero lines.
+func (g *Gauge) Touched() bool { return g.set.Load() }
+
+func (g *Gauge) reset() {
+	g.v.Store(0)
+	g.set.Store(false)
+}

@@ -60,15 +60,59 @@ var (
 	WALCommitRecords   = NewHist("wal.commit_records", UnitCount) // records per group commit
 	WALFlushLatency    = NewHist("wal.flush_latency", UnitNanos)  // one Flush
 
+	// Sharded kernel state machine (§4.1: multiple NR instances over
+	// independent logs). Slots are the fixed shard-slot space below:
+	// per-shard routed-op counts+latencies, a shard dimension for the
+	// combiner passes, and per-shard log-tail / apply-lag gauges.
+	ShardOps       = NewOpStats("nr.shard.ops", NumShardSlots)
+	NRShardCombine = NewOpStats("nr.shard.combine", NumShardSlots)
+	ShardLogTail   = newShardGauges("nr.shard.log_tail")
+	ShardApplyLag  = newShardGauges("nr.shard.apply_lag")
+
 	// Kernel event ring.
 	KernelTrace = NewTrace("kernel", 4096)
 )
 
 // MaxSyscallOps bounds the opcode space of the syscall OpStats. It must
-// be at least the highest sys.Num* + 1; sys's obligations assert this
-// at test time so adding a syscall without growing it fails loudly
+// be at least the highest sys.Num* + 1 — including the internal
+// cross-shard protocol ops above the wire ABI; sys's obligations assert
+// this at test time so adding a syscall without growing it fails loudly
 // instead of clamping silently.
-const MaxSyscallOps = 48
+const MaxSyscallOps = 64
+
+// The shard-slot space: the per-shard metrics above are fixed vectors
+// indexed by slot, with the process-state NR group occupying slots
+// [0, MaxShards) and the filesystem group [MaxShards, 2*MaxShards).
+// Fixed pre-registration keeps the registry bounded however many
+// systems a process boots.
+const (
+	MaxShards     = 16
+	fsSlotBase    = MaxShards
+	NumShardSlots = 2 * MaxShards
+)
+
+// ProcShardSlot returns the metric slot for process-state shard i.
+func ProcShardSlot(i int) uint64 { return uint64(i) }
+
+// FsShardSlot returns the metric slot for filesystem shard i.
+func FsShardSlot(i int) uint64 { return uint64(fsSlotBase + i) }
+
+// ShardSlotName renders a shard slot ("proc3", "fs0") for RenderOps.
+func ShardSlotName(slot uint64) string {
+	if slot < fsSlotBase {
+		return fmt.Sprintf("proc%d", slot)
+	}
+	return fmt.Sprintf("fs%d", slot-fsSlotBase)
+}
+
+// newShardGauges pre-registers one gauge per shard slot.
+func newShardGauges(prefix string) []*Gauge {
+	out := make([]*Gauge, NumShardSlots)
+	for i := range out {
+		out[i] = NewGauge(fmt.Sprintf("%s.%s", prefix, ShardSlotName(uint64(i))))
+	}
+	return out
+}
 
 // Kernel trace event kinds.
 var (
@@ -95,6 +139,12 @@ func (s Snapshot) RenderSummary() string {
 	fmt.Fprintf(&b, "kstats (%s)\n\ncounters:\n", state)
 	for _, k := range sortedKeys(s.Counters) {
 		fmt.Fprintf(&b, "  %-24s %12d\n", k, s.Counters[k])
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("\ngauges:\n")
+		for _, k := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-24s %12d\n", k, s.Gauges[k])
+		}
 	}
 	b.WriteString("\nhistograms:\n")
 	for _, k := range sortedKeys(s.Hists) {

@@ -113,6 +113,7 @@ func NextShard() uint32 { return shardSeq.Add(1) - 1 }
 var registry struct {
 	mu       sync.Mutex
 	counters []*Counter
+	gauges   []*Gauge
 	hists    []*Hist
 	ops      []*OpStats
 	traces   []*Trace
@@ -122,6 +123,7 @@ var registry struct {
 type Snapshot struct {
 	Enabled  bool
 	Counters map[string]uint64
+	Gauges   map[string]uint64
 	Hists    map[string]HistSnapshot
 	Ops      map[string][]OpSnapshot
 	Traces   map[string][]Event
@@ -136,12 +138,18 @@ func TakeSnapshot() Snapshot {
 	s := Snapshot{
 		Enabled:  enabled.Load(),
 		Counters: make(map[string]uint64, len(registry.counters)),
+		Gauges:   make(map[string]uint64, len(registry.gauges)),
 		Hists:    make(map[string]HistSnapshot, len(registry.hists)),
 		Ops:      make(map[string][]OpSnapshot, len(registry.ops)),
 		Traces:   make(map[string][]Event, len(registry.traces)),
 	}
 	for _, c := range registry.counters {
 		s.Counters[c.name] = c.Load()
+	}
+	for _, g := range registry.gauges {
+		if g.Touched() {
+			s.Gauges[g.name] = g.Load()
+		}
 	}
 	for _, h := range registry.hists {
 		s.Hists[h.name] = h.Snapshot()
@@ -162,6 +170,9 @@ func Reset() {
 	defer registry.mu.Unlock()
 	for _, c := range registry.counters {
 		c.reset()
+	}
+	for _, g := range registry.gauges {
+		g.reset()
 	}
 	for _, h := range registry.hists {
 		h.reset()

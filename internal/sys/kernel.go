@@ -310,7 +310,8 @@ func (k *Kernel) DispatchWrite(op WriteOp) Resp {
 		}
 		return Resp{Errno: EOK, Val: uint64(tid), TID: tid}
 	}
-	return Resp{Errno: ENOSYS}
+	// Internal cross-shard protocol ops (sharded composition; shard.go).
+	return k.dispatchShardWrite(op)
 }
 
 // spawn creates the process plus its kernel resources.
@@ -456,7 +457,8 @@ func (k *Kernel) DispatchRead(op ReadOp) Resp {
 		}
 		return Resp{Errno: EOK, Val: uint64(m.Frame) + uint64(op.VA)%m.PageSize}
 	}
-	return Resp{Errno: ENOSYS}
+	// Internal cross-shard protocol ops (sharded composition; shard.go).
+	return k.dispatchShardRead(op)
 }
 
 // UserRead copies process-virtual memory into p through the hardware

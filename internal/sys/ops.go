@@ -67,7 +67,54 @@ const (
 	// system runs without a journal). Served locally by core — the
 	// disk lives outside the replicated state machine.
 	NumSync
+
+	// ---- Internal cross-shard protocol ops (above the wire ABI) ----
+	//
+	// Everything below is NOT a syscall: these ops never cross the user
+	// boundary (core rejects them at the dispatch entry) and are never
+	// marshalled. They are the steps of the sharded kernel's cross-shard
+	// protocols (§4.1 composition): when descriptor tables live on a
+	// process-state shard and the namespace/contents on filesystem
+	// shards, one user syscall becomes an ordered sequence of these
+	// single-shard transitions (see internal/core's shard router for the
+	// ordering rules). They share the WriteOp/ReadOp/Resp containers so
+	// each shard remains one monomorphic NR instantiation.
+
+	// Descriptor-table ops (process shard owning the PID).
+	NumFDOpen   // install a descriptor for a resolved inode (Ino, Flags)
+	NumFDLock   // lock fd for a data op; returns Ino/Offset/Flags
+	NumFDUnlock // unlock fd, setting the absolute offset from Len
+	NumFDSeek   // reposition offset; SeekEnd base prefetched in Size
+
+	// Process-tree ops (pinned to process shard 0) and per-process
+	// resource ops (process shard owning the PID).
+	NumProcSpawn   // tree half of spawn: allocate the child PID
+	NumProcUnspawn // roll a spawn back when resource attach fails
+	NumProcAttach  // resource half of spawn: vspace, page table, fds
+	NumProcDetach  // resource half of exit: unmap, destroy, free
+	NumProcExit    // tree half of exit: zombie + reparent + signal
+
+	// Filesystem ops (namespace ops broadcast to every fs shard; data
+	// ops routed to the shard owning the inode).
+	NumFsCreate   // namespace: create a file (broadcast)
+	NumFsWriteAt  // data: write at offset (owner shard)
+	NumFsTruncate // data: truncate (owner shard)
+
+	// Internal read-only ops.
+	NumFDGet        // descriptor state without locking
+	NumFsLookup     // path → inode (any fs shard; namespace replicated)
+	NumFsStatIno    // stat by inode (owner shard has the true size)
+	NumFsReadAt     // data: read at offset (owner shard)
+	NumProcHasTable // does the PID own a descriptor table here
 )
+
+// MaxInternalOpNum is the highest internal (cross-shard protocol) op
+// number; the obs opcode space must cover it too.
+const MaxInternalOpNum = NumProcHasTable
+
+// IsInternalOp reports whether num is a cross-shard protocol op — valid
+// only inside the kernel composition, never at the user boundary.
+func IsInternalOp(num uint64) bool { return num > MaxOpNum && num <= MaxInternalOpNum }
 
 // opNames maps syscall numbers to their display names, for the
 // observability layer (obs records by number; tools render names).
@@ -87,6 +134,12 @@ var opNames = map[uint64]string{
 	NumSockRecv: "sock_recv", NumSockClose: "sock_close",
 	NumMemRead: "mem_read", NumMemWrite: "mem_write", NumMemCAS: "mem_cas",
 	NumBatch: "batch", NumSync: "sync",
+	NumFDOpen: "fd_open", NumFDLock: "fd_lock", NumFDUnlock: "fd_unlock",
+	NumFDSeek: "fd_seek", NumProcSpawn: "proc_spawn", NumProcUnspawn: "proc_unspawn",
+	NumProcAttach: "proc_attach", NumProcDetach: "proc_detach", NumProcExit: "proc_exit",
+	NumFsCreate: "fs_create", NumFsWriteAt: "fs_writeat", NumFsTruncate: "fs_truncate",
+	NumFDGet: "fd_get", NumFsLookup: "fs_lookup", NumFsStatIno: "fs_statino",
+	NumFsReadAt: "fs_readat", NumProcHasTable: "proc_hastable",
 }
 
 // OpName returns the syscall's display name ("open", "mmap", ...), or
@@ -145,6 +198,11 @@ type WriteOp struct {
 	Addr uint64
 	Port uint16
 	Word uint32
+
+	// Ino addresses an inode directly — internal cross-shard ops only
+	// (the wire codec never carries it; internal ops never cross the
+	// boundary).
+	Ino fs.Ino
 }
 
 // ReadOp is a read-only kernel operation (executes on the local
@@ -157,6 +215,10 @@ type ReadOp struct {
 	VA   mmu.VAddr
 	Len  uint64
 	TID  sched.TID
+
+	// Internal cross-shard read ops only (never marshalled).
+	Ino fs.Ino
+	Off uint64
 }
 
 // Resp is the kernel response for either kind.
@@ -175,6 +237,11 @@ type Resp struct {
 	// Freed frames from munmap/exit, for the caller to return to the
 	// shared allocator (only meaningful on one replica's response).
 	Freed []mem.PAddr
+
+	// Internal cross-shard protocol results only (never marshalled):
+	// the inode/offset a descriptor op resolved to.
+	Ino fs.Ino
+	Off uint64
 }
 
 // ok returns a success response with a value.

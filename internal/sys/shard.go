@@ -1,0 +1,309 @@
+package sys
+
+import (
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/hw/mem"
+	"github.com/verified-os/vnros/internal/hw/mmu"
+	"github.com/verified-os/vnros/internal/mm"
+	"github.com/verified-os/vnros/internal/proc"
+	"github.com/verified-os/vnros/internal/pt"
+)
+
+// This file is the kernel half of the sharded composition (§4.1): the
+// op → shard-key classification the router dispatches by, and the
+// DispatchWrite/DispatchRead cases for the internal cross-shard
+// protocol ops declared in ops.go. Each internal op touches exactly one
+// shard's slice of the state (descriptor tables, the process tree,
+// per-process memory, or the filesystem), which is what the
+// shard-isolation obligation checks.
+
+// ShardTarget classifies where an operation's footprint lives when the
+// kernel is sharded.
+type ShardTarget int
+
+const (
+	// TargetLocal: served outside the replicated state (futex, sockets,
+	// raw memory, sync) — same as the monolithic kernel.
+	TargetLocal ShardTarget = iota
+	// TargetProcKey: one op on the process shard owning op.PID
+	// (descriptor close, mmap/munmap, memresolve).
+	TargetProcKey
+	// TargetProcTree: one op on process shard 0, which holds the global
+	// process tree and the run queue (waitpid, signals, thread ops).
+	TargetProcTree
+	// TargetFsNS: a namespace mutation, broadcast to every filesystem
+	// shard in ascending shard order under the router's namespace mutex
+	// — the total order that keeps the replicated namespaces identical.
+	TargetFsNS
+	// TargetFsPath: a read-only namespace op; the namespace is
+	// replicated, so any filesystem shard can serve it.
+	TargetFsPath
+	// TargetCompose: a multi-step cross-shard protocol (open, read,
+	// write, seek, truncate, stat, spawn, exit, kill) — the router
+	// sequences internal ops per the documented ordering rules.
+	TargetCompose
+)
+
+// ClassifyWrite maps a mutating syscall to its shard target.
+func ClassifyWrite(num uint64) ShardTarget {
+	switch {
+	case IsLocalOp(num) || num == NumSync:
+		return TargetLocal
+	}
+	switch num {
+	case NumClose, NumMMap, NumMUnmap:
+		return TargetProcKey
+	case NumWaitPID, NumTakeSignal,
+		NumThreadAdd, NumThreadYield, NumThreadBlock, NumThreadWake, NumThreadExit, NumPickNext:
+		return TargetProcTree
+	case NumMkdir, NumUnlink, NumRmdir, NumRename, NumLink:
+		return TargetFsNS
+	}
+	return TargetCompose
+}
+
+// ClassifyRead maps a read-only syscall to its shard target.
+func ClassifyRead(num uint64) ShardTarget {
+	switch num {
+	case NumReadDir:
+		return TargetFsPath
+	case NumGetPID:
+		return TargetProcTree
+	case NumMemResolve:
+		return TargetProcKey
+	}
+	return TargetCompose // NumStat: lookup on a namespace replica, stat on the data owner
+}
+
+// dispatchShardWrite serves the internal mutating protocol ops
+// (DispatchWrite's default arm).
+func (k *Kernel) dispatchShardWrite(op WriteOp) Resp {
+	switch op.Num {
+	case NumFDOpen:
+		t, e := k.fdTable(op.PID)
+		if e != EOK {
+			return Resp{Errno: e}
+		}
+		return ok(uint64(t.Attach(op.Ino, int(op.Flags))))
+
+	case NumFDLock:
+		t, e := k.fdTable(op.PID)
+		if e != EOK {
+			return Resp{Errno: e}
+		}
+		of, err := t.Get(op.FD)
+		if err != nil {
+			return fail(err)
+		}
+		if of.Locked {
+			// Another core holds the descriptor across its two-step data
+			// op; the router retries. Deterministic: the lock state is a
+			// function of this shard's log prefix.
+			return Resp{Errno: EAGAIN}
+		}
+		of.Locked = true
+		return Resp{Errno: EOK, Ino: of.Ino, Off: of.Offset, Val: uint64(of.Flags)}
+
+	case NumFDUnlock:
+		t, e := k.fdTable(op.PID)
+		if e != EOK {
+			return Resp{Errno: e}
+		}
+		of, err := t.Get(op.FD)
+		if err != nil {
+			return fail(err)
+		}
+		if !of.Locked {
+			return fail(fs.ErrNotLocked)
+		}
+		of.Offset = op.Len
+		of.Locked = false
+		return ok(0)
+
+	case NumFDSeek:
+		t, e := k.fdTable(op.PID)
+		if e != EOK {
+			return Resp{Errno: e}
+		}
+		of, err := t.Get(op.FD)
+		if err != nil {
+			return fail(err)
+		}
+		var base uint64
+		switch op.Whence {
+		case fs.SeekSet:
+			base = 0
+		case fs.SeekCur:
+			base = of.Offset
+		case fs.SeekEnd:
+			base = op.Size // prefetched from the data owner by the router
+		default:
+			return fail(fs.ErrInval)
+		}
+		n := int64(base) + op.Off
+		if n < 0 {
+			return fail(fs.ErrInval)
+		}
+		of.Offset = uint64(n)
+		return ok(of.Offset)
+
+	case NumProcSpawn:
+		pid, err := k.procs.Spawn(op.PID, op.Name)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(uint64(pid))
+
+	case NumProcUnspawn:
+		// Roll back a spawn whose resource attach failed elsewhere —
+		// the same exit+reap pair the monolithic spawn uses.
+		_ = k.procs.Exit(op.Target, -1)
+		_, _ = k.procs.Wait(op.PID)
+		return ok(0)
+
+	case NumProcAttach:
+		pid := op.Target
+		vs, err := mm.NewVSpace(UserVABase, UserVATop)
+		if err != nil {
+			return fail(err)
+		}
+		as, err := pt.NewVerified(k.pmem, k.tables, nil)
+		if err != nil {
+			return fail(err)
+		}
+		k.fds[pid] = fs.NewFDTable(k.fs)
+		k.vs[pid] = vs
+		k.spaces[pid] = as
+		return ok(uint64(pid))
+
+	case NumProcDetach:
+		// The resource half of exit: identical teardown to the
+		// monolithic exit, minus the process-tree transition.
+		detach := op
+		detach.PID = op.Target
+		return k.detach(detach)
+
+	case NumProcExit:
+		if err := k.procs.Exit(op.PID, op.Code); err != nil {
+			return fail(err)
+		}
+		return ok(0)
+
+	case NumFsCreate:
+		ino, err := k.fs.Create(op.Path)
+		if err != nil {
+			return fail(err)
+		}
+		return Resp{Errno: EOK, Val: uint64(ino), Ino: ino}
+
+	case NumFsWriteAt:
+		off := uint64(op.Off)
+		if op.Flags&fs.OAppend != 0 {
+			// Append resolves EOF at apply time on the data owner — the
+			// one place the size is authoritative — so concurrent
+			// appends through different descriptors cannot overlap.
+			st, err := k.fs.StatIno(op.Ino)
+			if err != nil {
+				return fail(err)
+			}
+			off = st.Size
+		}
+		n, err := k.fs.WriteAt(op.Ino, off, op.Data)
+		if err != nil {
+			return fail(err)
+		}
+		return Resp{Errno: EOK, Val: uint64(n), Off: off + uint64(n)}
+
+	case NumFsTruncate:
+		if err := k.fs.Truncate(op.Ino, op.Len); err != nil {
+			return fail(err)
+		}
+		return ok(0)
+	}
+	return Resp{Errno: ENOSYS}
+}
+
+// detach tears down a process's per-shard resources (descriptors,
+// mappings, page table) without touching the process tree.
+func (k *Kernel) detach(op WriteOp) Resp {
+	pid := op.PID
+	var freed []mem.PAddr
+	if vs := k.vs[pid]; vs != nil {
+		as := k.spaces[pid]
+		for _, region := range vs.Regions() {
+			for off := uint64(0); off < region.Len; off += mmu.L1PageSize {
+				if frame, err := as.Unmap(region.Base + mmu.VAddr(off)); err == nil {
+					freed = append(freed, frame)
+				}
+			}
+			_, _ = vs.Release(region.Base)
+		}
+	}
+	if as := k.spaces[pid]; as != nil {
+		if err := as.Destroy(); err != nil {
+			return fail(err)
+		}
+	}
+	delete(k.spaces, pid)
+	delete(k.vs, pid)
+	delete(k.fds, pid)
+	return Resp{Errno: EOK, Freed: freed}
+}
+
+// SnapshotFDs returns a value copy of a process's descriptor table, or
+// ok=false if this kernel holds no table for the PID. The sharded
+// contract viewer composes it with contents fetched from the owning
+// filesystem shards (§3 view() across the shard cut).
+func (k *Kernel) SnapshotFDs(pid proc.PID) (map[fs.FD]fs.OpenFile, bool) {
+	t, okT := k.fds[pid]
+	if !okT {
+		return nil, false
+	}
+	return t.Snapshot(), true
+}
+
+// dispatchShardRead serves the internal read-only protocol ops
+// (DispatchRead's default arm).
+func (k *Kernel) dispatchShardRead(op ReadOp) Resp {
+	switch op.Num {
+	case NumFDGet:
+		t, e := k.fdTable(op.PID)
+		if e != EOK {
+			return Resp{Errno: e}
+		}
+		of, err := t.Get(op.FD)
+		if err != nil {
+			return fail(err)
+		}
+		return Resp{Errno: EOK, Ino: of.Ino, Off: of.Offset, Val: uint64(of.Flags)}
+
+	case NumFsLookup:
+		ino, err := k.fs.Lookup(op.Path)
+		if err != nil {
+			return fail(err)
+		}
+		return Resp{Errno: EOK, Val: uint64(ino), Ino: ino}
+
+	case NumFsStatIno:
+		st, err := k.fs.StatIno(op.Ino)
+		if err != nil {
+			return fail(err)
+		}
+		return Resp{Errno: EOK, Stat: st, Val: st.Size}
+
+	case NumFsReadAt:
+		buf := make([]byte, op.Len)
+		n, err := k.fs.ReadAt(op.Ino, op.Off, buf)
+		if err != nil {
+			return fail(err)
+		}
+		return Resp{Errno: EOK, Val: uint64(n), Data: buf[:n]}
+
+	case NumProcHasTable:
+		if _, ok := k.fds[op.PID]; !ok {
+			return Resp{Errno: ESRCH}
+		}
+		return ok(0)
+	}
+	return Resp{Errno: ENOSYS}
+}

@@ -86,5 +86,39 @@ func registerSyncObligations(g *verifier.Registry) {
 				}
 				return nil
 			}},
+		verifier.Obligation{Module: "sys", Name: "internal-op-classification", Kind: verifier.KindInvariant,
+			Check: func(r *rand.Rand) error {
+				// The cross-shard protocol ops live strictly above the wire
+				// ABI: every one must be recognized by IsInternalOp, have a
+				// display name, fit the obs opcode space, and never be
+				// classified as a wire-reachable local/batchable op. No
+				// wire op may fall in the internal range.
+				if MaxInternalOpNum <= MaxOpNum {
+					return fmt.Errorf("internal op space %d must sit above the wire ABI %d", MaxInternalOpNum, MaxOpNum)
+				}
+				if MaxInternalOpNum >= obs.MaxSyscallOps {
+					return fmt.Errorf("obs opcode space %d does not cover MaxInternalOpNum %d", obs.MaxSyscallOps, MaxInternalOpNum)
+				}
+				for num := uint64(1); num <= MaxOpNum; num++ {
+					if IsInternalOp(num) {
+						return fmt.Errorf("wire op %s (%d) classified as internal", OpName(num), num)
+					}
+				}
+				for num := MaxOpNum + 1; num <= MaxInternalOpNum; num++ {
+					if !IsInternalOp(num) {
+						return fmt.Errorf("op %d inside the internal range not classified as internal", num)
+					}
+					if IsLocalOp(num) || IsBatchableOp(num) {
+						return fmt.Errorf("internal op %s (%d) must not be wire-classified", OpName(num), num)
+					}
+					if _, named := opNames[num]; !named {
+						return fmt.Errorf("internal op %d has no display name", num)
+					}
+				}
+				if IsInternalOp(MaxInternalOpNum + 1) {
+					return fmt.Errorf("IsInternalOp open above MaxInternalOpNum")
+				}
+				return nil
+			}},
 	)
 }
