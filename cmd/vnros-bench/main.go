@@ -25,6 +25,9 @@ func main() {
 	walBench := flag.Bool("wal", false, "compare journal group commit against per-op commit, plus recovery-time series")
 	shard := flag.Bool("shard", false, "run the 1/2/4-shard read-throughput scaling series against the single-NR baseline")
 	shardOps := flag.Int("shardops", 400000, "read syscalls per configuration for the -shard series")
+	netBench := flag.Bool("net", false, "run the networked syscall-path workload: concurrent echo clients against a sharded two-machine wire")
+	netClients := flag.Int("netclients", 1000, "concurrent simulated clients for -net")
+	netMsgs := flag.Int("netmsgs", 20, "request/reply round trips per client for -net")
 	all := flag.Bool("all", false, "run everything")
 	ops := flag.Int("ops", 200, "operations per core for figures 1b/1c and the kstats workload")
 	batch := flag.Int("batch", 32, "submission-queue depth for the -ring comparison")
@@ -32,7 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 2026, "VC seed for figure 1a")
 	flag.Parse()
 
-	if *fig == "" && *table == 0 && !*ablations && !*stats && !*ring && !*walBench && !*shard {
+	if *fig == "" && *table == 0 && !*ablations && !*stats && !*ring && !*walBench && !*shard && !*netBench {
 		*all = true
 	}
 	coreCounts, err := parseCores(*cores)
@@ -118,6 +121,14 @@ func main() {
 			fmt.Println()
 		}
 		if err := runShard(*shardOps); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *netBench {
+		if *all {
+			fmt.Println()
+		}
+		if err := runNet(4, *netClients, *netMsgs); err != nil {
 			fatal(err)
 		}
 	}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	vnros "github.com/verified-os/vnros"
+	"github.com/verified-os/vnros/internal/obs"
+)
+
+// runNet drives the networked syscall path at production scale: two
+// sharded machines on one virtual switch, an echo server parked in
+// blocking receives behind the doorbell, and `clients` concurrent
+// simulated clients (each one a socket with its own ephemeral port)
+// performing `msgs` request/reply round trips. Sends are submitted
+// through the ring, so every socket-table transition flows through
+// ExecuteBatch on the sharded NR group; the receive half stays
+// device-local and wakes through the completion doorbell. Throughput
+// and the kernel's net.* counters are reported at the end.
+func runNet(cores, clients, msgs int) error {
+	const (
+		serverAddr = 0xA
+		clientAddr = 0xB
+		serverPort = 7000
+		workers    = 8
+		clientProcs = 8
+	)
+	network := vnros.NewNetwork()
+	server, err := vnros.Boot(vnros.Config{
+		Cores: cores, NICAddr: serverAddr, Network: network, Shards: 2,
+	})
+	if err != nil {
+		return err
+	}
+	serverInit, err := server.Init()
+	if err != nil {
+		return err
+	}
+	client, err := vnros.Boot(vnros.Config{
+		Cores: cores, NICAddr: clientAddr, Network: network, Shards: 2,
+	})
+	if err != nil {
+		return err
+	}
+	clientInit, err := client.Init()
+	if err != nil {
+		return err
+	}
+
+	obs.Reset()
+	obs.Enable()
+	defer obs.Disable()
+
+	// Echo server: one socket, `workers` goroutines parked in blocking
+	// receives. The receive budget is sized to the worst-case burst
+	// (every client with a request in flight) so backpressure never
+	// sheds a request the bench is waiting on. Workers drain until the
+	// socket is closed out from under them (EBADF).
+	var served atomic.Uint64
+	stop := make(chan struct{})
+	bound := make(chan vnros.Errno, 1)
+	if _, err := server.Run(serverInit, "echosrv", func(p *vnros.Process) int {
+		sock, e := p.Sys.SockBindBudget(serverPort, uint32(2*clients+workers))
+		bound <- e
+		if e != vnros.EOK {
+			return 1
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					payload, from, fromPort, e := p.Sys.SockRecvBlocking(sock)
+					if e != vnros.EOK {
+						return // EBADF: socket closed, bench over
+					}
+					if _, e := p.Sys.SockSend(sock, from, fromPort, payload); e == vnros.EOK {
+						served.Add(1)
+					}
+				}
+			}()
+		}
+		<-stop
+		_ = p.Sys.SockClose(sock) // doorbell wakes every parked worker
+		wg.Wait()
+		return 0
+	}); err != nil {
+		return err
+	}
+	if e := <-bound; e != vnros.EOK {
+		return fmt.Errorf("server bind: %v", e)
+	}
+
+	// Clients: `clients` concurrent goroutine clients spread over
+	// `clientProcs` processes. Each owns one ephemeral-port socket and
+	// performs `msgs` round trips, submitting the send through the ring
+	// and parking in a blocking receive for the reply.
+	perProc := (clients + clientProcs - 1) / clientProcs
+	errs := make(chan error, clients)
+	var done sync.WaitGroup
+	t0 := time.Now()
+	for cp := 0; cp < clientProcs; cp++ {
+		n := perProc
+		if rem := clients - cp*perProc; rem < n {
+			n = rem
+		}
+		if n <= 0 {
+			break
+		}
+		done.Add(1)
+		if _, err := client.Run(clientInit, fmt.Sprintf("clients%d", cp), func(p *vnros.Process) int {
+			defer done.Done()
+			var wg sync.WaitGroup
+			for g := 0; g < n; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					sock, e := p.Sys.SockBind(0)
+					if e != vnros.EOK {
+						errs <- fmt.Errorf("client bind: %v", e)
+						return
+					}
+					defer p.Sys.SockClose(sock)
+					req := []byte(fmt.Sprintf("echo %d", g))
+					for m := 0; m < msgs; m++ {
+						comps, e := p.Sys.SubmitWait([]vnros.Op{
+							vnros.OpSockSend(sock, serverAddr, serverPort, req),
+						})
+						if e != vnros.EOK || comps[0].Errno != vnros.EOK {
+							errs <- fmt.Errorf("client send: %v/%v", e, comps)
+							return
+						}
+						reply, _, _, e := p.Sys.SockRecvBlocking(sock)
+						if e != vnros.EOK {
+							errs <- fmt.Errorf("client recv: %v", e)
+							return
+						}
+						if !bytes.Equal(reply, req) {
+							errs <- fmt.Errorf("client %d: reply %q != request %q", g, reply, req)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			return 0
+		}); err != nil {
+			done.Done()
+			return err
+		}
+	}
+	done.Wait()
+	dur := time.Since(t0)
+	close(stop)
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	server.WaitAll()
+	client.WaitAll()
+
+	for _, s := range []*vnros.Sys{serverInit, clientInit} {
+		if err := s.ContractErr(); err != nil {
+			return fmt.Errorf("contract violation: %w", err)
+		}
+	}
+	for _, s := range []*vnros.System{server, client} {
+		if err := s.CheckReplicaAgreement(); err != nil {
+			return err
+		}
+	}
+
+	total := uint64(clients) * uint64(msgs)
+	fmt.Printf("network path: %d concurrent clients x %d round trips, %d cores/machine, 2 shards (contract checking on)\n\n",
+		clients, msgs, cores)
+	fmt.Printf("  round trips:      %10d (server echoed %d)\n", total, served.Load())
+	fmt.Printf("  wall time:        %10.2fs\n", dur.Seconds())
+	fmt.Printf("  throughput:       %10.0f msgs/s (%.0f syscalls/s incl. replies)\n\n",
+		float64(total)/dur.Seconds(), float64(4*total)/dur.Seconds())
+
+	snap := obs.TakeSnapshot()
+	fmt.Println("  net.* counters (both machines):")
+	for _, k := range []string{
+		"net.tx_frames", "net.rx_delivered", "net.rx_drop_overflow",
+		"net.rx_drop_closed", "net.rx_drop_nolistener", "net.recv_parks",
+		"net.recv_wakes", "net.sock_binds", "net.sock_closes",
+	} {
+		fmt.Printf("    %-24s %12d\n", k, snap.Counters[k])
+	}
+	return nil
+}

@@ -82,13 +82,13 @@ func storageNode(name string, replicateTo uint64, ready chan<- struct{}, served 
 			switch kind {
 			case msgPut:
 				if err := putBlock(p.Sys, block, payload); err != nil {
-					_ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgErr, block, []byte(err.Error())))
+					_, _ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgErr, block, []byte(err.Error())))
 					continue
 				}
 				// Synchronous replication to the backup, if configured.
 				if replicateTo != 0 {
-					if e := p.Sys.SockSend(sock, replicateTo, storePort, encodeMsg(msgPut, block, payload)); e != vnros.EOK {
-						_ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgErr, block, []byte("replicate")))
+					if _, e := p.Sys.SockSend(sock, replicateTo, storePort, encodeMsg(msgPut, block, payload)); e != vnros.EOK {
+						_, _ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgErr, block, []byte("replicate")))
 						continue
 					}
 					ackRaw, _, _, e := p.Sys.SockRecvBlocking(sock)
@@ -96,18 +96,18 @@ func storageNode(name string, replicateTo uint64, ready chan<- struct{}, served 
 						continue
 					}
 					if k, b, _, err := decodeMsg(ackRaw); err != nil || k != msgAck || b != block {
-						_ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgErr, block, []byte("backup nack")))
+						_, _ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgErr, block, []byte("backup nack")))
 						continue
 					}
 				}
-				_ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgAck, block, nil))
+				_, _ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgAck, block, nil))
 			case msgGet:
 				data, err := getBlock(p.Sys, block)
 				if err != nil {
-					_ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgErr, block, []byte(err.Error())))
+					_, _ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgErr, block, []byte(err.Error())))
 					continue
 				}
-				_ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgData, block, data))
+				_, _ = p.Sys.SockSend(sock, from, fromPort, encodeMsg(msgData, block, data))
 			}
 			count++
 			if raw == nil {
@@ -209,7 +209,7 @@ func main() {
 			return []byte(fmt.Sprintf("block-%d: the quick brown fox #%d", i, i*i))
 		}
 		for i := 0; i < blocks; i++ {
-			if e := p.Sys.SockSend(sock, primaryAddr, storePort, encodeMsg(msgPut, uint64(i), mk(i))); e != vnros.EOK {
+			if _, e := p.Sys.SockSend(sock, primaryAddr, storePort, encodeMsg(msgPut, uint64(i), mk(i))); e != vnros.EOK {
 				clientDone <- fmt.Errorf("put send: %v", e)
 				return 1
 			}
@@ -229,7 +229,7 @@ func main() {
 			if i%2 == 1 {
 				target = backupAddr
 			}
-			if e := p.Sys.SockSend(sock, target, storePort, encodeMsg(msgGet, uint64(i), nil)); e != vnros.EOK {
+			if _, e := p.Sys.SockSend(sock, target, storePort, encodeMsg(msgGet, uint64(i), nil)); e != vnros.EOK {
 				clientDone <- fmt.Errorf("get send: %v", e)
 				return 1
 			}
@@ -245,8 +245,8 @@ func main() {
 			}
 		}
 		// Shut the servers down.
-		_ = p.Sys.SockSend(sock, primaryAddr, storePort, encodeMsg(msgPut, ^uint64(0), nil))
-		_ = p.Sys.SockSend(sock, backupAddr, storePort, encodeMsg(msgPut, ^uint64(0), nil))
+		_, _ = p.Sys.SockSend(sock, primaryAddr, storePort, encodeMsg(msgPut, ^uint64(0), nil))
+		_, _ = p.Sys.SockSend(sock, backupAddr, storePort, encodeMsg(msgPut, ^uint64(0), nil))
 		clientDone <- nil
 		return 0
 	})

@@ -61,6 +61,7 @@ func RegisterObligations(g *verifier.Registry) {
 	registerMoreObligations(g)
 	registerEvenMoreObligations(g)
 	registerShardObligations(g)
+	registerNetObligations(g)
 	g.Register(
 		verifier.Obligation{Module: "core", Name: "end-to-end-contract-holds", Kind: verifier.KindRefinement,
 			Check: func(r *rand.Rand) error { return endToEndWorkload(r, 2, 3) }},

@@ -54,7 +54,7 @@ func registerMoreObligations(g *verifier.Registry) {
 							serverErr <- fmt.Errorf("recv: %v", e)
 							return 1
 						}
-						if e := p.Sys.SockSend(sock, from, port, payload); e != sys.EOK {
+						if _, e := p.Sys.SockSend(sock, from, port, payload); e != sys.EOK {
 							serverErr <- fmt.Errorf("send: %v", e)
 							return 1
 						}
@@ -80,7 +80,7 @@ func registerMoreObligations(g *verifier.Registry) {
 					for i := 0; i < rounds; i++ {
 						msg := make([]byte, 1+rr.Intn(200))
 						rr.Read(msg)
-						if e := p.Sys.SockSend(sock, 0xB, 4000, msg); e != sys.EOK {
+						if _, e := p.Sys.SockSend(sock, 0xB, 4000, msg); e != sys.EOK {
 							clientErr <- fmt.Errorf("client send: %v", e)
 							return 1
 						}

@@ -208,7 +208,7 @@ func TestNetworkBetweenSystems(t *testing.T) {
 			got <- "recv error"
 			return 1
 		}
-		_ = p.Sys.SockSend(sock, from, fromPort, []byte("ack:"+string(payload)))
+		_, _ = p.Sys.SockSend(sock, from, fromPort, []byte("ack:"+string(payload)))
 		got <- string(payload)
 		return 0
 	})
@@ -227,7 +227,7 @@ func TestNetworkBetweenSystems(t *testing.T) {
 			reply <- "bind fail"
 			return 1
 		}
-		if e := p.Sys.SockSend(sock, 0xB, 7000, []byte("hello-b")); e != sys.EOK {
+		if _, e := p.Sys.SockSend(sock, 0xB, 7000, []byte("hello-b")); e != sys.EOK {
 			reply <- "send fail"
 			return 1
 		}

@@ -2,19 +2,19 @@ package core
 
 import (
 	"github.com/verified-os/vnros/internal/hw/mmu"
-	"github.com/verified-os/vnros/internal/netstack"
 	"github.com/verified-os/vnros/internal/nr"
 	"github.com/verified-os/vnros/internal/proc"
-	"github.com/verified-os/vnros/internal/sched"
 	"github.com/verified-os/vnros/internal/sys"
 )
 
 // This file implements the syscalls the composition layer serves
 // outside the replicated kernel state: raw user-memory access (not a
-// kernel-state transition), futexes (they block), and sockets (their
-// receive queues are fed by device interrupts, which are not
-// deterministic log entries). NrOS similarly keeps device- and
-// blocking-state per node rather than in the replicated structures.
+// kernel-state transition), futexes (they block), and the durability
+// transition (a device effect against the one disk). NrOS similarly
+// keeps device- and blocking-state per node rather than in the
+// replicated structures. Sockets used to live here wholesale; their
+// table half is now replicated state (see netops.go) and only the
+// interrupt-fed receive path remains device-local.
 
 func (s *System) localOp(h *handler, op sys.WriteOp) sys.Resp {
 	switch op.Num {
@@ -40,51 +40,6 @@ func (s *System) localOp(h *handler, op sys.WriteOp) sys.Resp {
 	case sys.NumFutexWake:
 		return s.futexWake(op)
 
-	case sys.NumSockBind:
-		sock, err := s.Net.Bind(op.Port)
-		if err != nil {
-			return sys.Resp{Errno: sys.ErrnoFromError(err)}
-		}
-		s.sockMu.Lock()
-		if s.sockets[op.PID] == nil {
-			s.sockets[op.PID] = make(map[uint64]*netstack.Socket)
-		}
-		s.nextSock++
-		id := s.nextSock
-		s.sockets[op.PID][id] = sock
-		s.sockMu.Unlock()
-		return sys.Resp{Errno: sys.EOK, Val: id}
-
-	case sys.NumSockSend:
-		sock, e := s.sockOf(op.PID, op.Sock)
-		if e != sys.EOK {
-			return sys.Resp{Errno: e}
-		}
-		if err := sock.SendTo(netstack.Addr(op.Addr), op.Port, op.Data); err != nil {
-			return sys.Resp{Errno: sys.ErrnoFromError(err)}
-		}
-		return sys.Resp{Errno: sys.EOK}
-
-	case sys.NumSockRecv:
-		sock, e := s.sockOf(op.PID, op.Sock)
-		if e != sys.EOK {
-			return sys.Resp{Errno: e}
-		}
-		// Pump the NIC before concluding the queue is empty: the calling
-		// core always, the rest only when the controller reports pending
-		// work somewhere (same fast path as the syscall entry).
-		s.Dispatcher.Poll(h.core)
-		if s.Dispatcher.HasPending() {
-			for c := 0; c < s.cfg.Cores; c++ {
-				s.Dispatcher.Poll(c)
-			}
-		}
-		r, err := sock.TryRecv()
-		if err != nil {
-			return sys.Resp{Errno: sys.ErrnoFromError(err)}
-		}
-		return sys.Resp{Errno: sys.EOK, Val: uint64(r.From), TID: sched.TID(r.FromPort), Data: r.Payload}
-
 	case sys.NumSync:
 		// The durability transition (§3 contract extended with crash
 		// consistency): one journal group commit — or a full snapshot
@@ -101,31 +56,8 @@ func (s *System) localOp(h *handler, op sys.WriteOp) sys.Resp {
 			return sys.Resp{Errno: sys.EIO}
 		}
 		return sys.Resp{Errno: sys.EOK}
-
-	case sys.NumSockClose:
-		s.sockMu.Lock()
-		sock := s.sockets[op.PID][op.Sock]
-		delete(s.sockets[op.PID], op.Sock)
-		s.sockMu.Unlock()
-		if sock == nil {
-			return sys.Resp{Errno: sys.EBADF}
-		}
-		if err := sock.Close(); err != nil {
-			return sys.Resp{Errno: sys.ErrnoFromError(err)}
-		}
-		return sys.Resp{Errno: sys.EOK}
 	}
 	return sys.Resp{Errno: sys.ENOSYS}
-}
-
-func (s *System) sockOf(pid proc.PID, id uint64) (*netstack.Socket, sys.Errno) {
-	s.sockMu.Lock()
-	defer s.sockMu.Unlock()
-	sock := s.sockets[pid][id]
-	if sock == nil {
-		return nil, sys.EBADF
-	}
-	return sock, sys.EOK
 }
 
 // userMem accesses process memory through the calling core's replica,

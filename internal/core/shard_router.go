@@ -441,6 +441,12 @@ func (h *handler) shardExit(op sys.WriteOp) sys.Resp {
 	if dt.Errno != sys.EOK {
 		return dt
 	}
+	// The detach freed the victim's socket-table entries; release their
+	// global port-namespace reservations on shard 0 so the ports are
+	// immediately bindable by other processes.
+	for _, p := range dt.Ports {
+		_ = h.procExecOn(0, sys.WriteOp{Num: sys.NumSockPortRelease, PID: op.PID, Port: p})
+	}
 	tr := h.procExecOn(0, sys.WriteOp{Num: sys.NumProcExit, PID: op.PID, Code: op.Code})
 	if tr.Errno != sys.EOK {
 		return tr

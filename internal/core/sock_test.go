@@ -1,0 +1,448 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/verified-os/vnros/internal/netstack"
+	"github.com/verified-os/vnros/internal/proc"
+	"github.com/verified-os/vnros/internal/sys"
+)
+
+// The regression suite for the networked syscall path: every test runs
+// against the monolithic kernel and the sharded kernel, because the
+// socket table takes a different route in each (single combiner vs.
+// owner-shard op plus the port namespace on process shard 0).
+
+func forEachKernelMode(t *testing.T, f func(t *testing.T, shards int)) {
+	t.Run("monolithic", func(t *testing.T) { f(t, 0) })
+	t.Run("sharded", func(t *testing.T) { f(t, 2) })
+}
+
+func bootMode(t *testing.T, shards int) (*System, *sys.Sys) {
+	t.Helper()
+	s, err := Boot(Config{Cores: 4, MemBytes: 256 << 20, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initSys, err := s.Init()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, initSys
+}
+
+// A socket id is a per-process capability: another process using the
+// same numeric id must get EBADF from every operation, not a handle on
+// the owner's socket.
+func TestSockCrossPIDIsolation(t *testing.T) {
+	forEachKernelMode(t, func(t *testing.T, shards int) {
+		s, initSys := bootMode(t, shards)
+		bound := make(chan uint64, 1)
+		release := make(chan struct{})
+		_, err := s.Run(initSys, "owner", func(p *Process) int {
+			id, e := p.Sys.SockBind(6200)
+			if e != sys.EOK {
+				bound <- 0
+				return 1
+			}
+			bound <- id
+			<-release
+			return 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := <-bound
+		if id == 0 {
+			t.Fatal("owner bind failed")
+		}
+		defer close(release)
+		probe := make(chan error, 1)
+		_, err = s.Run(initSys, "intruder", func(p *Process) int {
+			if _, e := p.Sys.SockSend(id, 0xA, 1, []byte("x")); e != sys.EBADF {
+				probe <- fmt.Errorf("send on foreign id: %v", e)
+				return 1
+			}
+			if _, _, _, e := p.Sys.SockRecv(id); e != sys.EBADF {
+				probe <- fmt.Errorf("recv on foreign id: %v", e)
+				return 1
+			}
+			if e := p.Sys.SockClose(id); e != sys.EBADF {
+				probe <- fmt.Errorf("close on foreign id: %v", e)
+				return 1
+			}
+			probe <- nil
+			return 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := <-probe; err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// Exit must tear down the process's sockets in both halves — the
+// replicated table (including the sharded port-namespace reservation on
+// shard 0) and the device stack — leaving the ports bindable.
+func TestSockExitReleasesPorts(t *testing.T) {
+	forEachKernelMode(t, func(t *testing.T, shards int) {
+		s, initSys := bootMode(t, shards)
+		setup := make(chan error, 1)
+		_, err := s.Run(initSys, "leaver", func(p *Process) int {
+			for _, port := range []uint16{6300, 6301, 0} {
+				if _, e := p.Sys.SockBind(port); e != sys.EOK {
+					setup <- fmt.Errorf("bind %d: %v", port, e)
+					return 1
+				}
+			}
+			setup <- nil
+			return 0 // exit without closing anything
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := <-setup; err != nil {
+			t.Fatal(err)
+		}
+		s.WaitAll()
+		if _, e := initSys.Wait(); e != sys.EOK {
+			t.Fatalf("wait: %v", e)
+		}
+		rebind := make(chan error, 1)
+		_, err = s.Run(initSys, "rebinder", func(p *Process) int {
+			for _, port := range []uint16{6300, 6301} {
+				id, e := p.Sys.SockBind(port)
+				if e != sys.EOK {
+					rebind <- fmt.Errorf("rebind %d after exit: %v", port, e)
+					return 1
+				}
+				if e := p.Sys.SockClose(id); e != sys.EOK {
+					rebind <- fmt.Errorf("close: %v", e)
+					return 1
+				}
+			}
+			rebind <- nil
+			return 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := <-rebind; err != nil {
+			t.Fatal(err)
+		}
+		s.WaitAll()
+	})
+}
+
+// Close is terminal and exact: receive after close fails EBADF, a
+// second close fails EBADF without touching a successor socket that
+// reused the port, and a port held by one process refuses a second
+// binder with EADDRINUSE until released.
+func TestSockCloseSemantics(t *testing.T) {
+	forEachKernelMode(t, func(t *testing.T, shards int) {
+		s, initSys := bootMode(t, shards)
+		done := make(chan error, 1)
+		_, err := s.Run(initSys, "closer", func(p *Process) int {
+			fail := func(f string, a ...any) int {
+				done <- fmt.Errorf(f, a...)
+				return 1
+			}
+			id, e := p.Sys.SockBind(6400)
+			if e != sys.EOK {
+				return fail("bind: %v", e)
+			}
+			if _, e := p.Sys.SockBind(6400); e != sys.EADDRINUSE {
+				return fail("second bind of held port: got %v, want EADDRINUSE", e)
+			}
+			if e := p.Sys.SockClose(id); e != sys.EOK {
+				return fail("close: %v", e)
+			}
+			if _, _, _, e := p.Sys.SockRecv(id); e != sys.EBADF {
+				return fail("recv after close: got %v, want EBADF", e)
+			}
+			// The port is free again; a double close of the old id must
+			// not tear down the successor.
+			id2, e := p.Sys.SockBind(6400)
+			if e != sys.EOK {
+				return fail("rebind after close: %v", e)
+			}
+			if e := p.Sys.SockClose(id); e != sys.EBADF {
+				return fail("double close: got %v, want EBADF", e)
+			}
+			if _, _, _, e := p.Sys.SockRecv(id2); e != sys.EAGAIN {
+				return fail("successor socket damaged by double close: %v", e)
+			}
+			if _, e := p.Sys.SockSend(id2, 0xA, 1, make([]byte, netstack.MaxPayload+1)); e != sys.EINVAL {
+				return fail("oversized send: got %v, want EINVAL", e)
+			}
+			done <- nil
+			return 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		s.WaitAll()
+	})
+}
+
+// A receiver parked on the delivery doorbell must be woken by teardown:
+// SIGKILL closes the victim's sockets, the close rings the doorbell,
+// and the parked receive completes with EBADF instead of sleeping
+// forever.
+func TestSockBlockingRecvWokenByKill(t *testing.T) {
+	forEachKernelMode(t, func(t *testing.T, shards int) {
+		s, initSys := bootMode(t, shards)
+		started := make(chan proc.PID, 1)
+		parked := make(chan sys.Errno, 1)
+		_, err := s.Run(initSys, "victim", func(p *Process) int {
+			sock, e := p.Sys.SockBind(6500)
+			if e != sys.EOK {
+				started <- 0
+				return 1
+			}
+			started <- p.PID
+			_, _, _, e = p.Sys.SockRecvBlocking(sock)
+			parked <- e
+			return 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pid := <-started
+		if pid == 0 {
+			t.Fatal("victim setup failed")
+		}
+		if e := initSys.Kill(pid, proc.SIGKILL); e != sys.EOK {
+			t.Fatal(e)
+		}
+		if e := <-parked; e != sys.EBADF {
+			t.Fatalf("parked recv woke with %v, want EBADF", e)
+		}
+		s.WaitAll()
+		if _, err := s.Net.Bind(6500); err != nil {
+			t.Fatalf("port not released after kill: %v", err)
+		}
+	})
+}
+
+// Socket ops ride the submission ring alongside file ops: their table
+// halves drain through the batch's combiner round and the completions
+// carry the documented shapes (bind → id, send → accepted count,
+// recv → packed source or EAGAIN, close → released port, double close
+// → EBADF).
+func TestSockBatchOps(t *testing.T) {
+	forEachKernelMode(t, func(t *testing.T, shards int) {
+		s, initSys := bootMode(t, shards)
+		done := make(chan error, 1)
+		_, err := s.Run(initSys, "batcher", func(p *Process) int {
+			fail := func(f string, a ...any) int {
+				done <- fmt.Errorf(f, a...)
+				return 1
+			}
+			id, e := p.Sys.SockBind(6600)
+			if e != sys.EOK {
+				return fail("scalar bind: %v", e)
+			}
+			payload := []byte("ring-datagram")
+			comps, errno := p.Sys.SubmitWait([]sys.Op{
+				sys.OpSockSend(id, 0xBEEF, 7, payload),
+				sys.OpSockRecv(id),
+				sys.OpSockBind(6601, 8),
+				sys.OpSockClose(id),
+				sys.OpSockClose(id), // double close inside the batch
+			})
+			if errno != sys.EOK {
+				return fail("batch errno: %v", errno)
+			}
+			if comps[0].Errno != sys.EOK || comps[0].Val != uint64(len(payload)) {
+				return fail("batch send: errno %v val %d, want %d bytes accepted", comps[0].Errno, comps[0].Val, len(payload))
+			}
+			if comps[1].Errno != sys.EAGAIN {
+				return fail("batch recv on empty queue: %v, want EAGAIN", comps[1].Errno)
+			}
+			if comps[2].Errno != sys.EOK || comps[2].Val == 0 {
+				return fail("batch bind: errno %v id %d", comps[2].Errno, comps[2].Val)
+			}
+			if comps[3].Errno != sys.EOK || comps[3].Val != 6600 {
+				return fail("batch close: errno %v port %d", comps[3].Errno, comps[3].Val)
+			}
+			if comps[4].Errno != sys.EBADF {
+				return fail("batch double close: %v, want EBADF", comps[4].Errno)
+			}
+			if e := p.Sys.SockClose(comps[2].Val); e != sys.EOK {
+				return fail("closing batch-bound socket: %v", e)
+			}
+			done <- nil
+			return 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		s.WaitAll()
+	})
+}
+
+// Bind/send/recv/close race from many processes over a handful of
+// contended ports; run under -race in CI. Whatever interleaving wins,
+// every success must be exclusive (one holder per port) and the ports
+// must all be free at the end.
+func TestSockBindCloseStress(t *testing.T) {
+	forEachKernelMode(t, func(t *testing.T, shards int) {
+		s, initSys := bootMode(t, shards)
+		const workers = 6
+		const iters = 40
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			w := w
+			_, err := s.Run(initSys, fmt.Sprintf("stress%d", w), func(p *Process) int {
+				for i := 0; i < iters; i++ {
+					port := uint16(6700 + (w+i)%4)
+					id, e := p.Sys.SockBind(port)
+					if e == sys.EADDRINUSE {
+						continue // another worker holds it
+					}
+					if e != sys.EOK {
+						errs <- fmt.Errorf("worker %d: bind %d: %v", w, port, e)
+						return 1
+					}
+					if _, e := p.Sys.SockSend(id, 0xF00, 1, []byte{byte(i)}); e != sys.EOK {
+						errs <- fmt.Errorf("worker %d: send: %v", w, e)
+						return 1
+					}
+					if _, _, _, e := p.Sys.SockRecv(id); e != sys.EAGAIN && e != sys.EOK {
+						errs <- fmt.Errorf("worker %d: recv: %v", w, e)
+						return 1
+					}
+					if e := p.Sys.SockClose(id); e != sys.EOK {
+						errs <- fmt.Errorf("worker %d: close: %v", w, e)
+						return 1
+					}
+					if e := p.Sys.SockClose(id); e != sys.EBADF {
+						errs <- fmt.Errorf("worker %d: double close: %v", w, e)
+						return 1
+					}
+				}
+				errs <- nil
+				return 0
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for w := 0; w < workers; w++ {
+			if err := <-errs; err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.WaitAll()
+		// Every contended port must be free again.
+		for port := uint16(6700); port < 6704; port++ {
+			sock, err := s.Net.Bind(port)
+			if err != nil {
+				t.Fatalf("port %d leaked: %v", port, err)
+			}
+			_ = sock.Close()
+		}
+	})
+}
+
+// The cross-machine echo of TestNetworkBetweenSystems, but with both
+// machines running sharded kernels: the table ops route through the
+// owner shard and the namespace on shard 0 while datagrams cross the
+// virtual wire and wake doorbell-parked receivers.
+func TestSockShardedCrossMachineEcho(t *testing.T) {
+	wire := netstack.NewNetwork()
+	sa, err := Boot(Config{Cores: 4, MemBytes: 256 << 20, NICAddr: 0xA, Network: wire, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Boot(Config{Cores: 4, MemBytes: 256 << 20, NICAddr: 0xB, Network: wire, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initA, err := sa.Init()
+	if err != nil {
+		t.Fatal(err)
+	}
+	initB, err := sb.Init()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 10
+	ready := make(chan uint64, 1)
+	serverErr := make(chan error, 1)
+	_, err = sb.Run(initB, "echo", func(p *Process) int {
+		sock, e := p.Sys.SockBind(7100)
+		if e != sys.EOK {
+			ready <- 0
+			serverErr <- fmt.Errorf("bind: %v", e)
+			return 1
+		}
+		ready <- sock
+		for i := 0; i < rounds; i++ {
+			payload, from, port, e := p.Sys.SockRecvBlocking(sock)
+			if e != sys.EOK {
+				serverErr <- fmt.Errorf("recv %d: %v", i, e)
+				return 1
+			}
+			if _, e := p.Sys.SockSend(sock, from, port, payload); e != sys.EOK {
+				serverErr <- fmt.Errorf("send %d: %v", i, e)
+				return 1
+			}
+		}
+		serverErr <- nil
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if <-ready == 0 {
+		t.Fatal(<-serverErr)
+	}
+	clientErr := make(chan error, 1)
+	_, err = sa.Run(initA, "client", func(p *Process) int {
+		sock, e := p.Sys.SockBind(0)
+		if e != sys.EOK {
+			clientErr <- fmt.Errorf("client bind: %v", e)
+			return 1
+		}
+		for i := 0; i < rounds; i++ {
+			msg := []byte(fmt.Sprintf("sharded-round-%d", i))
+			if _, e := p.Sys.SockSend(sock, 0xB, 7100, msg); e != sys.EOK {
+				clientErr <- fmt.Errorf("client send %d: %v", i, e)
+				return 1
+			}
+			echo, _, _, e := p.Sys.SockRecvBlocking(sock)
+			if e != sys.EOK {
+				clientErr <- fmt.Errorf("client recv %d: %v", i, e)
+				return 1
+			}
+			if string(echo) != string(msg) {
+				clientErr <- fmt.Errorf("round %d: echoed %q", i, echo)
+				return 1
+			}
+		}
+		clientErr <- nil
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-clientErr; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatal(err)
+	}
+	sa.WaitAll()
+	sb.WaitAll()
+}

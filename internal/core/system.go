@@ -124,10 +124,17 @@ type System struct {
 	futexMu sync.Mutex
 	futexQ  map[futexKey][]chan struct{}
 
-	// Per-process sockets.
-	sockMu   sync.Mutex
-	sockets  map[proc.PID]map[uint64]*netstack.Socket
-	nextSock uint64
+	// Per-process device sockets (the device half of the network path;
+	// socket ids are assigned by the replicated socket table). See
+	// netops.go.
+	sockMu  sync.Mutex
+	sockets map[proc.PID]map[uint64]*devSock
+
+	// The receive pump: polls the interrupt controller while blocking
+	// receivers are parked on their doorbells (netops.go).
+	pumpMu      sync.Mutex
+	pumpWaiters int
+	pumpRunning bool
 
 	// Process bookkeeping.
 	procMu    sync.Mutex
@@ -190,7 +197,7 @@ func Boot(cfg Config) (*System, error) {
 		cfg:     cfg,
 		Machine: m,
 		futexQ:  make(map[futexKey][]chan struct{}),
-		sockets: make(map[proc.PID]map[uint64]*netstack.Socket),
+		sockets: make(map[proc.PID]map[uint64]*devSock),
 	}
 
 	// Devices.
@@ -504,6 +511,12 @@ func (h *handler) syscall(frame marshal.SyscallFrame, payload []byte) (marshal.R
 	if err != nil {
 		return sys.EncodeResp(sys.Resp{Errno: sys.EINVAL})
 	}
+	// Socket ops split across the determinism line: the table half is a
+	// logged transition (routed inside sockOp, monolithic or sharded),
+	// the device half stays core-local. See netops.go.
+	if sys.IsSockOp(op.Num) {
+		return sys.EncodeResp(s.sockOp(h, op))
+	}
 	if sys.IsLocalOp(op.Num) {
 		return sys.EncodeResp(s.localOp(h, op))
 	}
@@ -565,36 +578,79 @@ func (h *handler) batch(frame marshal.SyscallFrame, payload []byte) (marshal.Ret
 		return sys.EncodeBatchResp(nil, sys.EINVAL)
 	}
 	comps := make([]sys.Completion, len(ops))
-	valid := make([]sys.WriteOp, 0, len(ops))
-	idx := make([]int, 0, len(ops))
+	var sops []*sockBatchOp
 	syncIdx := make([]int, 0, 1)
+	nOther := 0
 	for i := range ops {
 		switch {
 		case sys.IsBatchableOp(ops[i].Num):
-			valid = append(valid, ops[i])
-			idx = append(idx, i)
+			nOther++
+		case sys.IsSockOp(ops[i].Num):
+			// Socket entries run in three passes around the table
+			// execution below: device bind resolution before, device
+			// transmit/receive/teardown after (netops.go).
+			sops = append(sops, &sockBatchOp{i: i, op: ops[i]})
 		case ops[i].Num == sys.NumSync:
 			syncIdx = append(syncIdx, i)
 		default:
 			comps[i] = sys.Completion{Op: ops[i].Num, Errno: sys.ENOSYS}
 		}
 	}
-	if len(valid) > 0 {
+	h.sockBatchDevBind(sops, comps)
+	if nOther+len(sops) > 0 {
 		if h.s.sharded() {
 			// Per-shard logs cannot take one contiguous reservation for a
-			// mixed batch; each op still routes through the shard
-			// protocols, completing in submission order.
+			// mixed batch. The socket-table ops all key to the submitting
+			// PID's process shard, so they drain in whole ExecuteBatchOn
+			// rounds (no per-op combiner round); the file ops still route
+			// through the cross-shard protocols individually. Socket-table
+			// and file state are disjoint, so running the socket rounds
+			// first preserves every per-object ordering.
 			h.ctxMu.Lock()
-			for j := range valid {
-				comps[idx[j]] = sys.BatchCompletion(valid[j], h.shardWrite(valid[j]))
+			h.sockBatchTableSharded(sops, comps)
+			for i := range ops {
+				if sys.IsBatchableOp(ops[i].Num) {
+					comps[i] = sys.BatchCompletion(ops[i], h.shardWrite(ops[i]))
+				}
 			}
 			h.ctxMu.Unlock()
 		} else {
-			for j, r := range h.executeBatch(valid) {
-				comps[idx[j]] = sys.BatchCompletion(valid[j], r)
+			// One combiner round for the whole batch: file ops and the
+			// socket-table halves interleave in submission order in a
+			// single ExecuteBatch vector.
+			run := make([]sys.WriteOp, 0, nOther+len(sops))
+			fsIdx := make([]int, 0, nOther+len(sops)) // completion index, -1 = socket
+			runSo := make([]*sockBatchOp, 0, len(sops))
+			si := 0
+			for i := range ops {
+				switch {
+				case sys.IsBatchableOp(ops[i].Num):
+					run = append(run, ops[i])
+					fsIdx = append(fsIdx, i)
+					runSo = append(runSo, nil)
+				case sys.IsSockOp(ops[i].Num):
+					so := sops[si]
+					si++
+					if so.skip || so.op.Num == sys.NumSockRecv {
+						continue // completed early, or device-only
+					}
+					run = append(run, so.tableOp())
+					fsIdx = append(fsIdx, -1)
+					runSo = append(runSo, so)
+				}
+			}
+			if len(run) > 0 {
+				for j, r := range h.executeBatch(run) {
+					if so := runSo[j]; so != nil {
+						so.tab = r
+					} else {
+						comps[fsIdx[j]] = sys.BatchCompletion(run[j], r)
+					}
+				}
 			}
 		}
 	}
+	h.sockBatchPost(sops, comps)
 	if len(syncIdx) > 0 {
 		// One group commit for the whole batch (after its ops applied;
 		// outside ctxMu — the flush takes replica 0's lock instead).
@@ -619,8 +675,10 @@ func (h *handler) batch(frame marshal.SyscallFrame, payload []byte) (marshal.Ret
 // cleanupProcessLocal tears down core-side state (sockets, futexes).
 func (s *System) cleanupProcessLocal(pid proc.PID) {
 	s.sockMu.Lock()
-	for _, sock := range s.sockets[pid] {
-		_ = sock.Close()
+	for _, ds := range s.sockets[pid] {
+		// Close rings the doorbell, so receivers parked on the socket
+		// wake into EBADF rather than sleeping forever.
+		_ = ds.sock.Close()
 	}
 	delete(s.sockets, pid)
 	s.sockMu.Unlock()

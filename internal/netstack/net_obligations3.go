@@ -19,24 +19,34 @@ func registerEvenMoreObligations(g *verifier.Registry) {
 				net.Attach(da)
 				net.Attach(db)
 				sa, sb := NewStack(da), NewStack(db)
-				_ = sb
 				s, err := sa.Bind(9)
 				if err != nil {
 					return err
 				}
-				// Hand-craft a link-layer echo to host 2; its stack
-				// reflects it back as a datagram to our port.
-				payload := EncodeDatagram(Datagram{SrcPort: 9, DstPort: 9, Payload: []byte("echo me")})
+				// A link-layer echo carries an opaque payload — here raw
+				// bytes that are deliberately NOT datagram-encoded. The
+				// peer must answer with TypeEchoReply (never re-typed as
+				// TypeDatagram: the receiver would then run DecodeDatagram
+				// over bytes that were never datagram-encoded).
+				payload := make([]byte, 8+r.Intn(32))
+				r.Read(payload)
 				frame := EncodeFrame(Frame{Dst: 2, Src: 1, Type: TypeEcho, Payload: payload})
 				if err := da.Send(frame); err != nil {
 					return err
 				}
-				got, err := s.TryRecv()
-				if err != nil {
-					return fmt.Errorf("echo not reflected: %w", err)
+				if n := sb.StatsDetail().RxEchoes.Load(); n != 1 {
+					return fmt.Errorf("peer answered %d echoes, want 1", n)
 				}
-				if string(got.Payload) != "echo me" || got.From != 2 {
-					return fmt.Errorf("echo payload = %q from %d", got.Payload, got.From)
+				if n := sa.StatsDetail().RxEchoReplies.Load(); n != 1 {
+					return fmt.Errorf("got %d echo replies, want 1", n)
+				}
+				// The reply must not leak into datagram delivery, and the
+				// opaque payload must not register as a checksum failure.
+				if _, err := s.TryRecv(); err == nil {
+					return fmt.Errorf("echo reply delivered to a datagram socket")
+				}
+				if _, _, badSums := sa.Stats(); badSums != 0 {
+					return fmt.Errorf("echo reply miscounted as %d checksum failures", badSums)
 				}
 				return nil
 			}},

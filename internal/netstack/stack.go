@@ -3,6 +3,9 @@ package netstack
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"github.com/verified-os/vnros/internal/obs"
 )
 
 // Device is the link the stack drives — implemented by dev.NICDriver
@@ -28,28 +31,51 @@ type Socket struct {
 	cond   *sync.Cond
 	q      []Received
 	closed bool
-	// cap bounds the receive queue; overflow drops (UDP semantics).
+	// cap is the receive budget: the queue bound past which incoming
+	// datagrams are shed (UDP semantics, counted in RxDropOverflow).
 	cap int
+	// doorbell, when set, is rung after every delivery and on close —
+	// the completion-style wakeup the kernel's blocking receive parks
+	// on instead of polling.
+	doorbell func()
 }
 
 // Stack is one machine's network stack.
 type Stack struct {
-	dev Device
+	dev      Device
+	obsShard uint32
 
 	mu      sync.Mutex
 	sockets map[uint16]*Socket
 	nextEph uint16
 
-	// stats
-	rxFrames, rxDrops, rxBadSum uint64
+	// Receive/transmit counters. Atomic (not under mu): the interrupt
+	// path and Stats readers must not contend with socket teardown.
+	stats StatsDetail
 }
 
-// DefaultSocketQueue is the default per-socket receive queue depth.
+// StatsDetail is the full receive/transmit accounting. Every frame
+// that reaches the stack lands in exactly one bucket: delivered, or one
+// of the drop reasons — nothing is shed silently.
+type StatsDetail struct {
+	RxDelivered      atomic.Uint64 // datagrams handed to a socket queue
+	RxDropBadFrame   atomic.Uint64 // undecodable frame or datagram header
+	RxDropBadSum     atomic.Uint64 // checksum mismatch
+	RxDropNoListener atomic.Uint64 // no socket bound on the dst port
+	RxDropOverflow   atomic.Uint64 // socket queue at its receive budget
+	RxDropClosed     atomic.Uint64 // delivered after the socket closed
+	RxEchoes         atomic.Uint64 // echo requests answered
+	RxEchoReplies    atomic.Uint64 // echo replies received
+	TxFrames         atomic.Uint64 // frames handed to the device
+}
+
+// DefaultSocketQueue is the default per-socket receive queue depth (the
+// receive budget when Bind does not set one).
 const DefaultSocketQueue = 256
 
 // NewStack binds a stack to a device.
 func NewStack(dev Device) *Stack {
-	s := &Stack{dev: dev, sockets: make(map[uint16]*Socket), nextEph: 49152}
+	s := &Stack{dev: dev, obsShard: uint32(dev.Addr()), sockets: make(map[uint16]*Socket), nextEph: 49152}
 	dev.SetHandler(s.input)
 	return s
 }
@@ -59,6 +85,18 @@ func (s *Stack) Addr() Addr { return Addr(s.dev.Addr()) }
 
 // Bind creates a socket on the given port (0 picks an ephemeral port).
 func (s *Stack) Bind(port uint16) (*Socket, error) {
+	return s.BindBudget(port, 0)
+}
+
+// BindBudget creates a socket with an explicit receive budget: the
+// queue depth past which incoming datagrams are shed. 0 means
+// DefaultSocketQueue. The budget is the stack's backpressure contract —
+// a slow receiver bounds its own memory and sheds load instead of
+// stalling the interrupt path.
+func (s *Stack) BindBudget(port uint16, budget int) (*Socket, error) {
+	if budget <= 0 {
+		budget = DefaultSocketQueue
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if port == 0 {
@@ -79,19 +117,30 @@ func (s *Stack) Bind(port uint16) (*Socket, error) {
 	} else if _, used := s.sockets[port]; used {
 		return nil, fmt.Errorf("%w: %d", ErrPortInUse, port)
 	}
-	sock := &Socket{st: s, port: port, cap: DefaultSocketQueue}
+	sock := &Socket{st: s, port: port, cap: budget}
 	sock.cond = sync.NewCond(&sock.mu)
 	s.sockets[port] = sock
 	return sock, nil
+}
+
+// BoundPorts returns the currently bound ports (diagnostics and the
+// socket-table refinement obligation).
+func (s *Stack) BoundPorts() []uint16 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint16, 0, len(s.sockets))
+	for p := range s.sockets {
+		out = append(out, p)
+	}
+	return out
 }
 
 // input is the device receive path.
 func (s *Stack) input(raw []byte) {
 	f, err := DecodeFrame(raw)
 	if err != nil {
-		s.mu.Lock()
-		s.rxDrops++
-		s.mu.Unlock()
+		s.stats.RxDropBadFrame.Add(1)
+		obs.NetRxDropBadFrame.Add(s.obsShard, 1)
 		return
 	}
 	if f.Dst != s.Addr() && f.Dst != Broadcast {
@@ -99,10 +148,18 @@ func (s *Stack) input(raw []byte) {
 	}
 	switch f.Type {
 	case TypeEcho:
-		// Reflect echoes (unless we sent it).
+		// Answer link-layer pings with a proper echo reply: the same raw
+		// payload under TypeEchoReply. The payload is opaque here — it is
+		// NOT datagram-encoded, so it must never be reflected as
+		// TypeDatagram (the receiver would run DecodeDatagram over bytes
+		// that were never datagram-encoded).
 		if f.Src != s.Addr() {
-			_ = s.dev.Send(EncodeFrame(Frame{Dst: f.Src, Src: s.Addr(), Type: TypeDatagram, Payload: f.Payload}))
+			s.stats.RxEchoes.Add(1)
+			s.send(Frame{Dst: f.Src, Src: s.Addr(), Type: TypeEchoReply, Payload: f.Payload})
 		}
+		return
+	case TypeEchoReply:
+		s.stats.RxEchoReplies.Add(1)
 		return
 	case TypeDatagram:
 	default:
@@ -110,38 +167,88 @@ func (s *Stack) input(raw []byte) {
 	}
 	g, err := DecodeDatagram(f.Payload)
 	if err != nil {
-		s.mu.Lock()
 		if err == ErrChecksum {
-			s.rxBadSum++
+			s.stats.RxDropBadSum.Add(1)
+			obs.NetRxDropBadSum.Add(s.obsShard, 1)
+		} else {
+			s.stats.RxDropBadFrame.Add(1)
+			obs.NetRxDropBadFrame.Add(s.obsShard, 1)
 		}
-		s.rxDrops++
-		s.mu.Unlock()
 		return
 	}
 	s.mu.Lock()
-	s.rxFrames++
 	sock := s.sockets[g.DstPort]
 	s.mu.Unlock()
 	if sock == nil {
-		return // no listener: dropped, as UDP does
+		// No listener: shed, as UDP does — but account for it.
+		s.stats.RxDropNoListener.Add(1)
+		obs.NetRxDropNoListener.Add(s.obsShard, 1)
+		return
 	}
 	payload := make([]byte, len(g.Payload))
 	copy(payload, g.Payload)
 	sock.deliver(Received{From: f.Src, FromPort: g.SrcPort, Payload: payload})
 }
 
+// send transmits one frame, counting it.
+func (s *Stack) send(f Frame) error {
+	s.stats.TxFrames.Add(1)
+	obs.NetTxFrames.Add(s.obsShard, 1)
+	return s.dev.Send(EncodeFrame(f))
+}
+
+// deliver queues one datagram on the socket, shedding (with accounting)
+// on overflow or when the socket has closed, and rings the doorbell on
+// success and on the closed-drop (a closed socket's waiters must
+// re-check and observe the close).
 func (k *Socket) deliver(r Received) {
 	k.mu.Lock()
-	defer k.mu.Unlock()
-	if k.closed || len(k.q) >= k.cap {
+	if k.closed {
+		k.mu.Unlock()
+		k.st.stats.RxDropClosed.Add(1)
+		obs.NetRxDropClosed.Add(k.st.obsShard, 1)
+		return
+	}
+	if len(k.q) >= k.cap {
+		k.mu.Unlock()
+		k.st.stats.RxDropOverflow.Add(1)
+		obs.NetRxDropOverflow.Add(k.st.obsShard, 1)
 		return
 	}
 	k.q = append(k.q, r)
 	k.cond.Signal()
+	db := k.doorbell
+	k.mu.Unlock()
+	k.st.stats.RxDelivered.Add(1)
+	obs.NetRxDelivered.Add(k.st.obsShard, 1)
+	if db != nil {
+		db()
+	}
 }
 
 // Port returns the bound port.
 func (k *Socket) Port() uint16 { return k.port }
+
+// SetDoorbell installs the delivery/close wakeup hook. The doorbell is
+// rung outside the socket lock after each successful delivery and once
+// when the socket closes; it must be cheap and non-blocking (the
+// kernel's hook wakes parked receivers).
+func (k *Socket) SetDoorbell(f func()) {
+	k.mu.Lock()
+	k.doorbell = f
+	k.mu.Unlock()
+}
+
+// SetRecvBudget adjusts the receive budget (queue bound) of a live
+// socket; n <= 0 restores the default.
+func (k *Socket) SetRecvBudget(n int) {
+	if n <= 0 {
+		n = DefaultSocketQueue
+	}
+	k.mu.Lock()
+	k.cap = n
+	k.mu.Unlock()
+}
 
 // SendTo transmits payload to (dst, dstPort).
 func (k *Socket) SendTo(dst Addr, dstPort uint16, payload []byte) error {
@@ -155,7 +262,7 @@ func (k *Socket) SendTo(dst Addr, dstPort uint16, payload []byte) error {
 		return ErrNoSocket
 	}
 	g := EncodeDatagram(Datagram{SrcPort: k.port, DstPort: dstPort, Payload: payload})
-	return k.st.dev.Send(EncodeFrame(Frame{Dst: dst, Src: k.st.Addr(), Type: TypeDatagram, Payload: g}))
+	return k.st.send(Frame{Dst: dst, Src: k.st.Addr(), Type: TypeDatagram, Payload: g})
 }
 
 // Recv blocks until a datagram arrives or the socket closes.
@@ -188,26 +295,42 @@ func (k *Socket) TryRecv() (Received, error) {
 	return r, nil
 }
 
-// Close unbinds the socket and wakes blocked receivers.
+// Close unbinds the socket and wakes blocked receivers. Close is
+// idempotent (a second close is a no-op) and atomic with respect to the
+// port table: the port is released before the socket is marked closed,
+// so a concurrent Bind on the same port never observes ErrPortInUse for
+// a socket that is already dead. The map entry is removed only if it
+// still points at this socket — a rebind that won the port must not be
+// torn down by a late duplicate close.
 func (k *Socket) Close() error {
-	k.mu.Lock()
-	if k.closed {
-		k.mu.Unlock()
-		return ErrNoSocket
+	k.st.mu.Lock()
+	if k.st.sockets[k.port] == k {
+		delete(k.st.sockets, k.port)
 	}
+	k.st.mu.Unlock()
+
+	k.mu.Lock()
+	already := k.closed
 	k.closed = true
 	k.cond.Broadcast()
+	db := k.doorbell
 	k.mu.Unlock()
-
-	k.st.mu.Lock()
-	delete(k.st.sockets, k.port)
-	k.st.mu.Unlock()
+	if db != nil && !already {
+		db()
+	}
 	return nil
 }
 
-// Stats reports receive-path counters.
+// Stats reports the aggregate receive-path counters: frames is the
+// delivered datagram count, drops the sum of every drop reason, and
+// badSums the checksum-failure subset of drops.
 func (s *Stack) Stats() (frames, drops, badSums uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rxFrames, s.rxDrops, s.rxBadSum
+	d := &s.stats
+	badSums = d.RxDropBadSum.Load()
+	drops = d.RxDropBadFrame.Load() + badSums + d.RxDropNoListener.Load() +
+		d.RxDropOverflow.Load() + d.RxDropClosed.Load()
+	return d.RxDelivered.Load(), drops, badSums
 }
+
+// StatsDetail exposes the per-reason counters (read with .Load()).
+func (s *Stack) StatsDetail() *StatsDetail { return &s.stats }

@@ -1,0 +1,292 @@
+package netstack
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestEchoReplyWire pins the echo wire behavior: a TypeEcho frame is
+// answered with a TypeEchoReply frame carrying the identical opaque
+// payload, and the reply is consumed (counted), never re-reflected or
+// re-typed as a datagram.
+func TestEchoReplyWire(t *testing.T) {
+	d := newLoopDevice(2)
+	st := NewStack(d)
+	sock, err := st.Bind(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replies [][]byte
+	d.AttachWire(func(raw []byte) { replies = append(replies, raw) })
+
+	payload := []byte{0xde, 0xad, 0xbe, 0xef, 0x01} // not datagram-encoded
+	d.Deliver(EncodeFrame(Frame{Dst: 2, Src: 1, Type: TypeEcho, Payload: payload}))
+
+	if len(replies) != 1 {
+		t.Fatalf("echo produced %d frames, want 1", len(replies))
+	}
+	f, err := DecodeFrame(replies[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != TypeEchoReply {
+		t.Fatalf("reply type = %#x, want TypeEchoReply %#x", f.Type, TypeEchoReply)
+	}
+	if f.Dst != 1 || f.Src != 2 || string(f.Payload) != string(payload) {
+		t.Fatalf("reply = %+v", f)
+	}
+	// The opaque payload must not have been parsed as a datagram.
+	if _, err := sock.TryRecv(); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("echo leaked into datagram path: %v", err)
+	}
+	if _, _, badSums := st.Stats(); badSums != 0 {
+		t.Fatalf("echo miscounted as %d checksum failures", badSums)
+	}
+
+	// A received reply is consumed, not answered again.
+	replies = replies[:0]
+	d.Deliver(EncodeFrame(Frame{Dst: 2, Src: 1, Type: TypeEchoReply, Payload: payload}))
+	if len(replies) != 0 {
+		t.Fatalf("echo reply re-reflected: %d frames", len(replies))
+	}
+	if n := st.StatsDetail().RxEchoReplies.Load(); n != 1 {
+		t.Fatalf("RxEchoReplies = %d, want 1", n)
+	}
+}
+
+// TestDropAccounting pins the satellite fix: every shed frame lands in
+// a drop counter — overflow, delivered-after-close, and no-listener —
+// and delivered counts only actual deliveries.
+func TestDropAccounting(t *testing.T) {
+	d := newLoopDevice(1)
+	st := NewStack(d)
+	sock, err := st.BindBudget(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg := func(dstPort uint16) []byte {
+		g := EncodeDatagram(Datagram{SrcPort: 1, DstPort: dstPort, Payload: []byte("x")})
+		return EncodeFrame(Frame{Dst: 1, Src: 9, Type: TypeDatagram, Payload: g})
+	}
+
+	// 6 frames into a budget of 4: 4 delivered, 2 shed as overflow.
+	for i := 0; i < 6; i++ {
+		d.Deliver(dg(7))
+	}
+	det := st.StatsDetail()
+	if got := det.RxDelivered.Load(); got != 4 {
+		t.Fatalf("RxDelivered = %d, want 4", got)
+	}
+	if got := det.RxDropOverflow.Load(); got != 2 {
+		t.Fatalf("RxDropOverflow = %d, want 2", got)
+	}
+
+	// No listener on the port: counted as a drop, not a delivery.
+	d.Deliver(dg(555))
+	if got := det.RxDropNoListener.Load(); got != 1 {
+		t.Fatalf("RxDropNoListener = %d, want 1", got)
+	}
+
+	// After close: the late frame is a counted drop.
+	if err := sock.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close released the port, so a late frame is now a no-listener
+	// drop; re-create the closed-socket window explicitly.
+	closed := &Socket{st: st, port: 7, cap: 4}
+	closed.cond = sync.NewCond(&closed.mu)
+	closed.closed = true
+	closed.deliver(Received{From: 9, FromPort: 1, Payload: []byte("x")})
+	if got := det.RxDropClosed.Load(); got != 1 {
+		t.Fatalf("RxDropClosed = %d, want 1", got)
+	}
+
+	frames, drops, _ := st.Stats()
+	if frames != 4 || drops != 4 {
+		t.Fatalf("Stats = frames %d drops %d, want 4/4", frames, drops)
+	}
+}
+
+// TestCloseIdempotentAndPortReuse pins the close/bind satellite fix:
+// double close is a well-defined no-op, the port is reusable the moment
+// Close returns, and a duplicate close never tears down a successor
+// socket that rebound the same port.
+func TestCloseIdempotentAndPortReuse(t *testing.T) {
+	st := NewStack(newLoopDevice(1))
+	s1, err := st.Bind(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	s2, err := st.Bind(80)
+	if err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+	// Duplicate close of the dead socket must not unbind s2.
+	if err := s1.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if _, err := st.Bind(80); !errors.Is(err, ErrPortInUse) {
+		t.Fatalf("successor socket lost its port: %v", err)
+	}
+	if _, err := s2.TryRecv(); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("successor socket dead: %v", err)
+	}
+}
+
+// TestBindCloseStress is the -race stress for the port-reuse window:
+// concurrent bind/send/recv/close on a small set of contended ports.
+// Every bind failure must be a true conflict (ErrPortInUse with a live
+// owner), and closes must never make a port permanently unusable.
+func TestBindCloseStress(t *testing.T) {
+	net := NewNetwork()
+	da, db := newLoopDevice(1), newLoopDevice(2)
+	net.Attach(da)
+	net.Attach(db)
+	sa, sb := NewStack(da), NewStack(db)
+
+	const (
+		workers = 8
+		iters   = 300
+		ports   = 4
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				port := uint16(100 + (w+i)%ports)
+				s, err := sb.Bind(port)
+				if err != nil {
+					if !errors.Is(err, ErrPortInUse) {
+						t.Errorf("bind %d: %v", port, err)
+						return
+					}
+					continue
+				}
+				src, err := sa.Bind(0)
+				if err != nil {
+					t.Errorf("client bind: %v", err)
+					return
+				}
+				_ = src.SendTo(2, port, []byte(fmt.Sprintf("w%d-%d", w, i)))
+				_, _ = s.TryRecv() // may race another worker's close cycle
+				if err := s.Close(); err != nil {
+					t.Errorf("close: %v", err)
+					return
+				}
+				if err := s.Close(); err != nil {
+					t.Errorf("double close: %v", err)
+					return
+				}
+				if err := src.Close(); err != nil {
+					t.Errorf("client close: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Quiesced: every contended port must be bindable again.
+	for p := uint16(100); p < 100+ports; p++ {
+		s, err := sb.Bind(p)
+		if err != nil {
+			t.Fatalf("port %d unusable after stress: %v", p, err)
+		}
+		_ = s.Close()
+	}
+}
+
+// TestRecvBudgetShedding pins the backpressure contract: a socket's
+// budget bounds its queue, the excess is shed with accounting, and
+// raising the budget admits more.
+func TestRecvBudgetShedding(t *testing.T) {
+	net := NewNetwork()
+	da, db := newLoopDevice(1), newLoopDevice(2)
+	net.Attach(da)
+	net.Attach(db)
+	sa, sb := NewStack(da), NewStack(db)
+	src, _ := sa.Bind(1)
+	dst, err := sb.BindBudget(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := src.SendTo(2, 2, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	for {
+		if _, err := dst.TryRecv(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 8 {
+		t.Fatalf("queued %d, want budget 8", n)
+	}
+	if got := sb.StatsDetail().RxDropOverflow.Load(); got != 12 {
+		t.Fatalf("RxDropOverflow = %d, want 12", got)
+	}
+	dst.SetRecvBudget(16)
+	for i := 0; i < 20; i++ {
+		_ = src.SendTo(2, 2, []byte{byte(i)})
+	}
+	n = 0
+	for {
+		if _, err := dst.TryRecv(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 16 {
+		t.Fatalf("queued %d after budget raise, want 16", n)
+	}
+}
+
+// TestDoorbell pins the completion-style wakeup: the doorbell rings
+// once per delivery and once on close, outside the socket lock.
+func TestDoorbell(t *testing.T) {
+	net := NewNetwork()
+	da, db := newLoopDevice(1), newLoopDevice(2)
+	net.Attach(da)
+	net.Attach(db)
+	sa, sb := NewStack(da), NewStack(db)
+	src, _ := sa.Bind(1)
+	dst, _ := sb.Bind(2)
+
+	rings := 0
+	dst.SetDoorbell(func() {
+		rings++
+		// Re-entering socket methods from the doorbell must not
+		// deadlock (it is rung outside the lock).
+		_, _ = dst.TryRecv()
+	})
+	for i := 0; i < 3; i++ {
+		if err := src.SendTo(2, 2, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rings != 3 {
+		t.Fatalf("doorbell rang %d times for 3 deliveries", rings)
+	}
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rings != 4 {
+		t.Fatalf("doorbell rang %d times after close, want 4", rings)
+	}
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rings != 4 {
+		t.Fatalf("duplicate close re-rang the doorbell: %d", rings)
+	}
+}

@@ -25,8 +25,9 @@ const Broadcast Addr = ^Addr(0)
 
 // EtherType values.
 const (
-	TypeDatagram uint16 = 0x0800
-	TypeEcho     uint16 = 0x0806 // link-layer ping, used by self-tests
+	TypeDatagram  uint16 = 0x0800
+	TypeEcho      uint16 = 0x0806 // link-layer ping, used by self-tests
+	TypeEchoReply uint16 = 0x0807 // answer to TypeEcho; carries the request payload back
 )
 
 // Header sizes (fixed by the encoders below).

@@ -69,6 +69,21 @@ var (
 	ShardLogTail   = newShardGauges("nr.shard.log_tail")
 	ShardApplyLag  = newShardGauges("nr.shard.apply_lag")
 
+	// Network stack (internal/netstack) and the kernel receive path
+	// (internal/core netops). Receive-side drops are split by reason so
+	// the backpressure budget's shedding is visible, not silent.
+	NetTxFrames        = NewCounter("net.tx_frames")          // frames handed to the device
+	NetRxDelivered     = NewCounter("net.rx_delivered")       // datagrams queued on a socket
+	NetRxDropOverflow  = NewCounter("net.rx_drop_overflow")   // receive budget exceeded, shed
+	NetRxDropClosed    = NewCounter("net.rx_drop_closed")     // delivered after socket close
+	NetRxDropNoListener = NewCounter("net.rx_drop_nolistener") // no socket bound on dst port
+	NetRxDropBadSum    = NewCounter("net.rx_drop_badsum")     // checksum mismatch
+	NetRxDropBadFrame  = NewCounter("net.rx_drop_badframe")   // undecodable frame/datagram
+	NetRecvParks       = NewCounter("net.recv_parks")         // blocking receives that parked
+	NetRecvWakes       = NewCounter("net.recv_wakes")         // doorbell wakeups delivered
+	NetSockBinds       = NewCounter("net.sock_binds")         // successful socket binds
+	NetSockCloses      = NewCounter("net.sock_closes")        // successful socket closes
+
 	// Kernel event ring.
 	KernelTrace = NewTrace("kernel", 4096)
 )

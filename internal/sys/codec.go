@@ -29,16 +29,29 @@ func IsReadOp(num uint64) bool {
 
 // IsLocalOp reports whether a syscall is handled by the composition
 // layer (internal/core) outside the replicated kernel state: blocking
-// primitives (futex) and device-fed state (sockets), plus raw user
-// memory access, which is not a kernel-state transition at all.
+// primitives (futex) plus raw user memory access, which is not a
+// kernel-state transition at all.
 func IsLocalOp(num uint64) bool {
 	switch num {
-	case NumFutexWait, NumFutexWake, NumSockBind, NumSockSend,
-		NumSockRecv, NumSockClose, NumMemRead, NumMemWrite, NumMemCAS,
+	case NumFutexWait, NumFutexWake, NumMemRead, NumMemWrite, NumMemCAS,
 		NumSync:
 		// NumSync is local because durability is a device effect: the
 		// journal flush happens once, against the one disk, not once
 		// per replica inside the state machine.
+		return true
+	}
+	return false
+}
+
+// IsSockOp reports whether a syscall is a socket operation. The socket
+// path is split: the *table* transition (bind/close/ownership) is
+// logged through the replicated state machine as a socktab op, while
+// the device effect (NIC transmit, interrupt-fed receive queues) stays
+// in core. The core dispatcher intercepts these before local and
+// replicated dispatch and sequences both halves (netops.go).
+func IsSockOp(num uint64) bool {
+	switch num {
+	case NumSockBind, NumSockSend, NumSockRecv, NumSockClose:
 		return true
 	}
 	return false

@@ -32,6 +32,7 @@ type Kernel struct {
 	rq     *sched.RunQueue
 	vs     map[proc.PID]*mm.VSpace
 	spaces map[proc.PID]*pt.Verified
+	socks  *sockTab
 
 	// pmem is the machine's shared physical memory; tables is this
 	// replica's private page-table frame source.
@@ -54,6 +55,7 @@ func NewKernel(pmem *mem.PhysMem, tables pt.FrameSource) *Kernel {
 		rq:       sched.NewRunQueue(),
 		vs:       make(map[proc.PID]*mm.VSpace),
 		spaces:   make(map[proc.PID]*pt.Verified),
+		socks:    newSockTab(),
 		pmem:     pmem,
 		tables:   tables,
 		obsShard: obs.NextShard(),
@@ -309,6 +311,9 @@ func (k *Kernel) DispatchWrite(op WriteOp) Resp {
 			return fail(err)
 		}
 		return Resp{Errno: EOK, Val: uint64(tid), TID: tid}
+	case NumSockTabBind, NumSockTabSend, NumSockTabClose,
+		NumSockPortAcquire, NumSockPortRelease:
+		return k.dispatchSockWrite(op)
 	}
 	// Internal cross-shard protocol ops (sharded composition; shard.go).
 	return k.dispatchShardWrite(op)
@@ -361,10 +366,11 @@ func (k *Kernel) exit(op WriteOp) Resp {
 	delete(k.spaces, pid)
 	delete(k.vs, pid)
 	delete(k.fds, pid)
+	ports := k.socks.detachSocks(pid)
 	if err := k.procs.Exit(pid, op.Code); err != nil {
 		return fail(err)
 	}
-	return Resp{Errno: EOK, Freed: freed}
+	return Resp{Errno: EOK, Freed: freed, Ports: ports}
 }
 
 // mmap reserves virtual space and maps the caller-provided frames.
@@ -456,6 +462,9 @@ func (k *Kernel) DispatchRead(op ReadOp) Resp {
 			return Resp{Errno: EFAULT}
 		}
 		return Resp{Errno: EOK, Val: uint64(m.Frame) + uint64(op.VA)%m.PageSize}
+
+	case NumSockTabGet:
+		return k.dispatchSockRead(op)
 	}
 	// Internal cross-shard protocol ops (sharded composition; shard.go).
 	return k.dispatchShardRead(op)

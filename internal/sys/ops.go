@@ -106,11 +106,33 @@ const (
 	NumFsStatIno    // stat by inode (owner shard has the true size)
 	NumFsReadAt     // data: read at offset (owner shard)
 	NumProcHasTable // does the PID own a descriptor table here
+
+	// Socket-table ops (socktab.go): the replicated half of the network
+	// path. Socket *table* state — which (PID, id) owns which port —
+	// lives in the kernel state machine so bind/close/ownership get the
+	// same logging, batching, and §3 contract checking as the file path,
+	// while the interrupt-fed receive queues stay device-local in core
+	// behind a doorbell. Table ops route to the process shard owning the
+	// PID; the port-namespace pair is pinned to process shard 0 (the
+	// global port namespace, like the process tree).
+	NumSockTabBind     // install (PID, id=++nextID) → Port; Val = id
+	NumSockTabSend     // validate a send against the table; Val = byte count
+	NumSockTabClose    // remove the entry, free its port; Val = port
+	NumSockPortAcquire // shard 0: reserve Port in the global namespace
+	NumSockPortRelease // shard 0: release Port from the global namespace
+
+	// Socket-table read-only op.
+	NumSockTabGet // (PID, Sock) → bound port
 )
 
 // MaxInternalOpNum is the highest internal (cross-shard protocol) op
 // number; the obs opcode space must cover it too.
-const MaxInternalOpNum = NumProcHasTable
+const MaxInternalOpNum = NumSockTabGet
+
+// SockRecvBlock, set in WriteOp.Flags of a NumSockRecv, asks the kernel
+// to park the caller on the socket's doorbell until a datagram arrives
+// or the socket closes, instead of returning EAGAIN.
+const SockRecvBlock uint64 = 1
 
 // IsInternalOp reports whether num is a cross-shard protocol op — valid
 // only inside the kernel composition, never at the user boundary.
@@ -140,6 +162,9 @@ var opNames = map[uint64]string{
 	NumFsCreate: "fs_create", NumFsWriteAt: "fs_writeat", NumFsTruncate: "fs_truncate",
 	NumFDGet: "fd_get", NumFsLookup: "fs_lookup", NumFsStatIno: "fs_statino",
 	NumFsReadAt: "fs_readat", NumProcHasTable: "proc_hastable",
+	NumSockTabBind: "socktab_bind", NumSockTabSend: "socktab_send",
+	NumSockTabClose: "socktab_close", NumSockPortAcquire: "sock_port_acquire",
+	NumSockPortRelease: "sock_port_release", NumSockTabGet: "socktab_get",
 }
 
 // OpName returns the syscall's display name ("open", "mmap", ...), or
@@ -217,8 +242,9 @@ type ReadOp struct {
 	TID  sched.TID
 
 	// Internal cross-shard read ops only (never marshalled).
-	Ino fs.Ino
-	Off uint64
+	Ino  fs.Ino
+	Off  uint64
+	Sock uint64
 }
 
 // Resp is the kernel response for either kind.
@@ -239,9 +265,12 @@ type Resp struct {
 	Freed []mem.PAddr
 
 	// Internal cross-shard protocol results only (never marshalled):
-	// the inode/offset a descriptor op resolved to.
-	Ino fs.Ino
-	Off uint64
+	// the inode/offset a descriptor op resolved to, and the ports a
+	// process detach freed (the router releases them from the global
+	// namespace on process shard 0).
+	Ino   fs.Ino
+	Off   uint64
+	Ports []uint16
 }
 
 // ok returns a success response with a value.

@@ -79,6 +79,33 @@ func OpLink(old, new string) Op { return Op{w: WriteOp{Num: NumLink, Path: old, 
 // durable with one journal flush before completing the sync entries.
 func OpSync() Op { return Op{w: WriteOp{Num: NumSync}} }
 
+// OpSockBind enqueues sock_bind(port) with a receive budget (0 =
+// default); the completion's Val is the socket id.
+func OpSockBind(port uint16, budget uint32) Op {
+	return Op{w: WriteOp{Num: NumSockBind, Port: port, Word: budget}}
+}
+
+// OpSockSend enqueues sock_send(sock → addr:port); the completion's Val
+// is the accepted byte count.
+func OpSockSend(sock, addr uint64, port uint16, payload []byte) Op {
+	return Op{w: WriteOp{Num: NumSockSend, Sock: sock, Addr: addr, Port: port, Data: payload}}
+}
+
+// OpSockRecv enqueues a non-blocking receive; the completion's Data is
+// the datagram payload and Val packs the source as (from<<16)|fromPort.
+// EAGAIN completes the entry when the queue is empty.
+func OpSockRecv(sock uint64) Op { return Op{w: WriteOp{Num: NumSockRecv, Sock: sock}} }
+
+// OpSockClose enqueues sock_close(sock); the completion's Val is the
+// released port.
+func OpSockClose(sock uint64) Op { return Op{w: WriteOp{Num: NumSockClose, Sock: sock}} }
+
+// SockRecvVal unpacks an OpSockRecv completion's Val into the source
+// address and port.
+func SockRecvVal(val uint64) (from uint64, fromPort uint16) {
+	return val >> 16, uint16(val)
+}
+
 // Completion is one completion-queue entry, in submission order.
 type Completion struct {
 	Op    uint64 // syscall number of the submitted op
@@ -265,6 +292,14 @@ func checkBatch(pre, post fs.SpecState, ops []WriteOp, comps []Completion) error
 	}
 	trusted := true
 
+	// Socket replay: the per-connection state machine for sockets the
+	// batch itself binds (bound → closed; sends only while bound; the
+	// accepted count equals the payload length; double close fails).
+	// Sockets bound before the batch are untracked — their table state
+	// is not in the fs snapshot — so only the count identity is checked.
+	type batchSock struct{ closed bool }
+	socks := make(map[uint64]*batchSock)
+
 	// The per-op spec calls each need a one-descriptor pre and post
 	// state; two reused maps keep the replay loop allocation-free.
 	preM := make(map[fs.FD]fs.SpecFile, 1)
@@ -282,10 +317,40 @@ func checkBatch(pre, post fs.SpecState, ops []WriteOp, comps []Completion) error
 				i, OpName(c.Op), OpName(op.Num))
 		}
 		if c.Errno != EOK {
+			if op.Num == NumSockSend || op.Num == NumSockRecv {
+				if bs := socks[op.Sock]; bs != nil && !bs.closed && c.Errno == EBADF {
+					return fmt.Errorf("batch op %d: EBADF for socket %d bound in this batch", i, op.Sock)
+				}
+			}
 			// Failed transitions leave the abstract state unchanged; the
 			// endpoint comparison below catches a kernel that mutated
 			// state on a reported failure.
 			continue
+		}
+		switch op.Num {
+		case NumSockBind:
+			socks[c.Val] = &batchSock{}
+		case NumSockSend:
+			if c.Val != uint64(len(op.Data)) {
+				return fmt.Errorf("batch op %d (sock_send): accepted %d bytes for a %d-byte payload",
+					i, c.Val, len(op.Data))
+			}
+			if bs := socks[op.Sock]; bs != nil && bs.closed {
+				return fmt.Errorf("batch op %d: send succeeded on socket %d closed earlier in the batch",
+					i, op.Sock)
+			}
+		case NumSockRecv:
+			if bs := socks[op.Sock]; bs != nil && bs.closed {
+				return fmt.Errorf("batch op %d: recv succeeded on socket %d closed earlier in the batch",
+					i, op.Sock)
+			}
+		case NumSockClose:
+			if bs := socks[op.Sock]; bs != nil {
+				if bs.closed {
+					return fmt.Errorf("batch op %d: double close of socket %d reported success", i, op.Sock)
+				}
+				bs.closed = true
+			}
 		}
 		switch op.Num {
 		case NumOpen:

@@ -44,10 +44,13 @@ const (
 	TargetCompose
 )
 
-// ClassifyWrite maps a mutating syscall to its shard target.
+// ClassifyWrite maps a mutating syscall to its shard target. Wire-level
+// socket ops classify local defensively: the dispatcher intercepts them
+// before routing and sequences their table half (socktab ops on the
+// owner shard) and device half itself.
 func ClassifyWrite(num uint64) ShardTarget {
 	switch {
-	case IsLocalOp(num) || num == NumSync:
+	case IsLocalOp(num) || IsSockOp(num) || num == NumSync:
 		return TargetLocal
 	}
 	switch num {
@@ -247,7 +250,8 @@ func (k *Kernel) detach(op WriteOp) Resp {
 	delete(k.spaces, pid)
 	delete(k.vs, pid)
 	delete(k.fds, pid)
-	return Resp{Errno: EOK, Freed: freed}
+	ports := k.socks.detachSocks(pid)
+	return Resp{Errno: EOK, Freed: freed, Ports: ports}
 }
 
 // SnapshotFDs returns a value copy of a process's descriptor table, or

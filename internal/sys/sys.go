@@ -2,7 +2,6 @@ package sys
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"github.com/verified-os/vnros/internal/fs"
@@ -322,13 +321,23 @@ func (s *Sys) MemWrite(va mmu.VAddr, p []byte) Errno {
 // SockBind binds a datagram socket (port 0 picks an ephemeral port),
 // returning its handle.
 func (s *Sys) SockBind(port uint16) (uint64, Errno) {
-	r := s.callWrite(WriteOp{Num: NumSockBind, Port: port})
+	return s.SockBindBudget(port, 0)
+}
+
+// SockBindBudget binds a socket with an explicit receive budget — the
+// queue depth past which incoming datagrams are shed (0 = default). The
+// budget is part of the logged bind, so every replica's table agrees on
+// the socket's backpressure contract.
+func (s *Sys) SockBindBudget(port uint16, budget uint32) (uint64, Errno) {
+	r := s.callWrite(WriteOp{Num: NumSockBind, Port: port, Word: budget})
 	return r.Val, r.Errno
 }
 
-// SockSend transmits payload to (addr, port) from the given socket.
-func (s *Sys) SockSend(sock uint64, addr uint64, port uint16, payload []byte) Errno {
-	return s.callWrite(WriteOp{Num: NumSockSend, Sock: sock, Addr: addr, Port: port, Data: payload}).Errno
+// SockSend transmits payload to (addr, port) from the given socket,
+// returning the accepted byte count like the write path.
+func (s *Sys) SockSend(sock uint64, addr uint64, port uint16, payload []byte) (uint64, Errno) {
+	r := s.callWrite(WriteOp{Num: NumSockSend, Sock: sock, Addr: addr, Port: port, Data: payload})
+	return r.Val, r.Errno
 }
 
 // SockRecv receives one datagram without blocking (EAGAIN when empty).
@@ -341,15 +350,16 @@ func (s *Sys) SockRecv(sock uint64) (payload []byte, from uint64, fromPort uint1
 	return r.Data, r.Val, uint16(r.TID), EOK
 }
 
-// SockRecvBlocking loops on SockRecv, yielding between attempts.
+// SockRecvBlocking receives one datagram, parking the calling core's
+// handler on the socket's delivery doorbell until a datagram arrives or
+// the socket closes — a single boundary crossing, not an EAGAIN poll
+// loop over every core.
 func (s *Sys) SockRecvBlocking(sock uint64) ([]byte, uint64, uint16, Errno) {
-	for {
-		p, from, port, e := s.SockRecv(sock)
-		if e != EAGAIN {
-			return p, from, port, e
-		}
-		runtime.Gosched()
+	r := s.callWrite(WriteOp{Num: NumSockRecv, Sock: sock, Flags: SockRecvBlock})
+	if r.Errno != EOK {
+		return nil, 0, 0, r.Errno
 	}
+	return r.Data, r.Val, uint16(r.TID), EOK
 }
 
 // SockClose releases a socket.

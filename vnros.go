@@ -171,6 +171,20 @@ func OpLink(old, new string) Op        { return sys.OpLink(old, new) }
 // the batch is journaled and flushed by a single disk write sequence.
 func OpSync() Op { return sys.OpSync() }
 
+// Socket submission-queue entries: the networked syscall path batched
+// through the same ring. A batched receive is always non-blocking; its
+// completion Val packs the sender — unpack it with SockRecvVal.
+func OpSockBind(port uint16, budget uint32) Op { return sys.OpSockBind(port, budget) }
+func OpSockSend(sock, addr uint64, port uint16, payload []byte) Op {
+	return sys.OpSockSend(sock, addr, port, payload)
+}
+func OpSockRecv(sock uint64) Op  { return sys.OpSockRecv(sock) }
+func OpSockClose(sock uint64) Op { return sys.OpSockClose(sock) }
+
+// SockRecvVal unpacks an OpSockRecv completion's Val into the sender's
+// machine address and source port.
+func SockRecvVal(val uint64) (from uint64, fromPort uint16) { return sys.SockRecvVal(val) }
+
 // NewNetwork creates a virtual switch; pass it in Config.Network to
 // connect multiple Systems (the blockstore example builds a small
 // cluster this way).

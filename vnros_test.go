@@ -96,7 +96,7 @@ func TestPublicNetworkedSystems(t *testing.T) {
 			reply <- "bind failed"
 			return 1
 		}
-		if e := p.Sys.SockSend(sock, 2, 99, []byte("ping")); e != vnros.EOK {
+		if _, e := p.Sys.SockSend(sock, 2, 99, []byte("ping")); e != vnros.EOK {
 			reply <- "send failed"
 			return 1
 		}
