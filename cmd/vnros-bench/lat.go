@@ -1,0 +1,168 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	vnros "github.com/verified-os/vnros"
+	"github.com/verified-os/vnros/internal/obs"
+)
+
+// runLat measures what the throughput benches don't: end-to-end request
+// latency under the completion-driven submission API, per wait mode.
+// Each simulated client issues a mixed open/read/write/sync request as
+// one ring batch and the measured interval is Submit → reaped — the
+// latency a real server's request handler sees. The same workload runs
+// once per wait mode:
+//
+//	spin  — busy-poll the CQ (lowest wake latency, burns the core)
+//	block — park on the CQ doorbell, woken by completion posting
+//	poll  — never wait; re-poll from the event loop between yields
+//
+// Journaling is on, so the periodic OpSync inside the mix prices real
+// durability group commits into the tail.
+func runLat(cores, clients, requests int) error {
+	fmt.Printf("request latency: %d cores, %d clients, %d mixed open/read/write/sync requests each (WAL on)\n\n",
+		cores, clients, requests)
+	type modeResult struct {
+		name                string
+		p50, p99, p999      time.Duration
+		rate                float64
+		parks, wakes, spins uint64
+	}
+	var results []modeResult
+	for _, mode := range []struct {
+		name string
+		wait vnros.WaitMode
+	}{{"spin", vnros.WaitSpin}, {"block", vnros.WaitBlock}, {"poll", vnros.WaitPoll}} {
+		obs.Reset()
+		obs.Enable()
+		lats, elapsed, err := latWorkload(cores, clients, requests, mode.wait)
+		obs.Disable()
+		if err != nil {
+			return fmt.Errorf("%s: %w", mode.name, err)
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(lats)-1))
+			return lats[i]
+		}
+		results = append(results, modeResult{
+			name: mode.name, p50: pct(0.50), p99: pct(0.99), p999: pct(0.999),
+			rate:  float64(len(lats)) / elapsed.Seconds(),
+			parks: obs.RingWaitParks.Load(), wakes: obs.RingWaitWakes.Load(), spins: obs.RingWaitSpins.Load(),
+		})
+	}
+	fmt.Printf("  %-6s %12s %12s %12s %12s %10s %10s %10s\n",
+		"mode", "p50", "p99", "p999", "reqs/s", "parks", "wakes", "spins")
+	for _, r := range results {
+		fmt.Printf("  %-6s %12v %12v %12v %12.0f %10d %10d %10d\n",
+			r.name, r.p50, r.p99, r.p999, r.rate, r.parks, r.wakes, r.spins)
+	}
+	return nil
+}
+
+// latWorkload boots a fresh journaled system and runs the client fleet
+// in the given wait mode, returning every request's latency.
+func latWorkload(cores, clients, requests int, wait vnros.WaitMode) ([]time.Duration, time.Duration, error) {
+	system, err := vnros.Boot(vnros.Config{Cores: cores, MemBytes: 512 << 20, WAL: true})
+	if err != nil {
+		return nil, 0, err
+	}
+	initSys, err := system.Init()
+	if err != nil {
+		return nil, 0, err
+	}
+	type clientOut struct {
+		lats []time.Duration
+		err  error
+	}
+	done := make(chan clientOut, clients)
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		c := c
+		_, err := system.Run(initSys, fmt.Sprintf("lat%d", c), func(p *vnros.Process) int {
+			fd, e := p.Sys.Open(fmt.Sprintf("/lat%d", c), vnros.OCreate|vnros.ORdWr)
+			if e != vnros.EOK {
+				done <- clientOut{err: fmt.Errorf("client %d: open: %v", c, e)}
+				return 1
+			}
+			payload := []byte(fmt.Sprintf("client-%d: request payload bytes", c))
+			lats := make([]time.Duration, 0, requests)
+			for r := 0; r < requests; r++ {
+				// The request mix: reposition, two writes, a read-back;
+				// every 8th request adds a durability barrier, every 16th
+				// opens (and later closes) a side file through the ring.
+				ops := []vnros.Op{
+					vnros.OpSeek(fd, 0, vnros.SeekSet),
+					vnros.OpWrite(fd, payload),
+					vnros.OpWrite(fd, payload),
+					vnros.OpRead(fd, uint64(len(payload))),
+				}
+				sideIdx := -1
+				if r%16 == 0 {
+					sideIdx = len(ops)
+					ops = append(ops, vnros.OpOpen(fmt.Sprintf("/lat%d-side", c), vnros.OCreate|vnros.ORdWr))
+				}
+				if r%8 == 0 {
+					ops = append(ops, vnros.OpSync())
+				}
+				start := time.Now()
+				b := p.Sys.SubmitOpts(ops, vnros.SubmitOptions{Wait: wait})
+				var comps []vnros.Completion
+				var werr error
+				for {
+					comps, werr = b.Wait()
+					if werr == vnros.ErrBatchPending {
+						runtime.Gosched() // poll mode: yield and re-enter the event loop
+						continue
+					}
+					break
+				}
+				lats = append(lats, time.Since(start))
+				if werr != nil {
+					done <- clientOut{err: fmt.Errorf("client %d req %d: %v", c, r, werr)}
+					return 1
+				}
+				for i, comp := range comps {
+					if comp.Errno != vnros.EOK {
+						done <- clientOut{err: fmt.Errorf("client %d req %d op %d: %v", c, r, i, comp.Errno)}
+						return 1
+					}
+				}
+				// Close the side file so the per-process FD table doesn't
+				// grow without bound.
+				if sideIdx >= 0 {
+					if e := p.Sys.Close(vnros.FD(comps[sideIdx].Val)); e != vnros.EOK {
+						done <- clientOut{err: fmt.Errorf("client %d req %d: close side fd: %v", c, r, e)}
+						return 1
+					}
+				}
+			}
+			done <- clientOut{lats: lats}
+			return 0
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	var all []time.Duration
+	for c := 0; c < clients; c++ {
+		out := <-done
+		if out.err != nil {
+			return nil, 0, out.err
+		}
+		all = append(all, out.lats...)
+	}
+	elapsed := time.Since(t0)
+	system.WaitAll()
+	if err := initSys.ContractErr(); err != nil {
+		return nil, 0, fmt.Errorf("contract violation: %w", err)
+	}
+	if err := system.CheckReplicaAgreement(); err != nil {
+		return nil, 0, err
+	}
+	return all, elapsed, nil
+}

@@ -28,6 +28,9 @@ func main() {
 	netBench := flag.Bool("net", false, "run the networked syscall-path workload: concurrent echo clients against a sharded two-machine wire")
 	netClients := flag.Int("netclients", 1000, "concurrent simulated clients for -net")
 	netMsgs := flag.Int("netmsgs", 20, "request/reply round trips per client for -net")
+	lat := flag.Bool("lat", false, "run the request-latency workload: mixed open/read/write/sync batches, p50/p99/p999 per wait mode (spin/block/poll)")
+	latClients := flag.Int("latclients", 8, "concurrent simulated clients for -lat")
+	latReqs := flag.Int("latreqs", 300, "requests per client for -lat")
 	all := flag.Bool("all", false, "run everything")
 	ops := flag.Int("ops", 200, "operations per core for figures 1b/1c and the kstats workload")
 	batch := flag.Int("batch", 32, "submission-queue depth for the -ring comparison")
@@ -35,7 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 2026, "VC seed for figure 1a")
 	flag.Parse()
 
-	if *fig == "" && *table == 0 && !*ablations && !*stats && !*ring && !*walBench && !*shard && !*netBench {
+	if *fig == "" && *table == 0 && !*ablations && !*stats && !*ring && !*walBench && !*shard && !*netBench && !*lat {
 		*all = true
 	}
 	coreCounts, err := parseCores(*cores)
@@ -129,6 +132,14 @@ func main() {
 			fmt.Println()
 		}
 		if err := runNet(4, *netClients, *netMsgs); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *lat {
+		if *all {
+			fmt.Println()
+		}
+		if err := runLat(4, *latClients, *latReqs); err != nil {
 			fatal(err)
 		}
 	}

@@ -56,7 +56,7 @@ func decodeMsg(p []byte) (kind uint8, block uint64, payload []byte, err error) {
 // storageNode is the server program. ready is signalled once the node
 // is bound and serving (datagram transports drop packets sent to
 // unbound ports, so clients must not start earlier).
-func storageNode(name string, replicateTo uint64, ready chan<- struct{}, served chan<- int) vnros.Program {
+func storageNode(name string, replicateTo vnros.NetAddr, ready chan<- struct{}, served chan<- int) vnros.Program {
 	return func(p *vnros.Process) int {
 		sock, e := p.Sys.SockBind(storePort)
 		if e != vnros.EOK {
@@ -225,7 +225,7 @@ func main() {
 		}
 		// Read back from primary and backup alternately.
 		for i := 0; i < blocks; i++ {
-			target := uint64(primaryAddr)
+			target := vnros.NetAddr(primaryAddr)
 			if i%2 == 1 {
 				target = backupAddr
 			}

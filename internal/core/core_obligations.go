@@ -62,6 +62,7 @@ func RegisterObligations(g *verifier.Registry) {
 	registerEvenMoreObligations(g)
 	registerShardObligations(g)
 	registerNetObligations(g)
+	registerRingWaitObligations(g)
 	g.Register(
 		verifier.Obligation{Module: "core", Name: "end-to-end-contract-holds", Kind: verifier.KindRefinement,
 			Check: func(r *rand.Rand) error { return endToEndWorkload(r, 2, 3) }},

@@ -37,7 +37,7 @@ func registerMoreObligations(g *verifier.Registry) {
 				if err != nil {
 					return err
 				}
-				ready := make(chan uint64, 1)
+				ready := make(chan sys.SockID, 1)
 				serverErr := make(chan error, 1)
 				const rounds = 20
 				_, err = sb.Run(initB, "echo", func(p *Process) int {

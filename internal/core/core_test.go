@@ -194,7 +194,7 @@ func TestNetworkBetweenSystems(t *testing.T) {
 	initB, _ := sb.Init()
 
 	// Server on B.
-	ready := make(chan uint64, 1)
+	ready := make(chan sys.SockID, 1)
 	got := make(chan string, 1)
 	_, err = sb.Run(initB, "server", func(p *Process) int {
 		sock, e := p.Sys.SockBind(7000)

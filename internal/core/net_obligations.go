@@ -71,7 +71,7 @@ func sockSpecRun(r *rand.Rand, shards int) error {
 	_, err = s.Run(initSys, "sockspec", func(p *Process) int {
 		rr := rand.New(rand.NewSource(seed))
 		type mSock struct {
-			id   uint64
+			id   sys.SockID
 			port uint16 // 0 for ephemeral (outside the model's port range)
 			open bool
 		}
@@ -91,7 +91,7 @@ func sockSpecRun(r *rand.Rand, shards int) error {
 			switch rr.Intn(6) {
 			case 0: // bind a port from a small contended range
 				port := uint16(5000 + rr.Intn(6))
-				id, e := p.Sys.SockBind(port)
+				id, e := p.Sys.SockBind(sys.Port(port))
 				if bound[port] {
 					if e != sys.EADDRINUSE {
 						return fail("op %d: bind taken port %d: got %v, spec EADDRINUSE", i, port, e)
@@ -176,7 +176,7 @@ func sockSpecRun(r *rand.Rand, shards int) error {
 			if bound[port] {
 				continue
 			}
-			id, e := p.Sys.SockBind(port)
+			id, e := p.Sys.SockBind(sys.Port(port))
 			if e != sys.EOK {
 				return fail("endpoint: freed port %d does not rebind: %v", port, e)
 			}
@@ -215,8 +215,8 @@ func sockTableAgreementRun(r *rand.Rand, shards int) error {
 	release := make(chan struct{})
 	_, err = s.Run(initSys, "tabagree", func(p *Process) int {
 		rr := rand.New(rand.NewSource(seed))
-		open := make(map[uint64]bool)
-		var ids []uint64
+		open := make(map[sys.SockID]bool)
+		var ids []sys.SockID
 		for i := 0; i < 80; i++ {
 			if rr.Intn(3) != 0 || len(ids) == 0 {
 				id, e := p.Sys.SockBind(0)

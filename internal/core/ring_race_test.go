@@ -43,9 +43,9 @@ func TestRingConcurrentSubmit(t *testing.T) {
 					errs <- fmt.Errorf("getpid during batch: %v", e)
 					return 1
 				}
-				comps, e := b.Wait()
-				if e != sys.EOK {
-					errs <- fmt.Errorf("round %d: batch errno %v", r, e)
+				comps, err := b.Wait()
+				if err != nil {
+					errs <- fmt.Errorf("round %d: batch error %v", r, err)
 					return 1
 				}
 				for i, c := range comps {

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"github.com/verified-os/vnros/internal/obs"
+	"github.com/verified-os/vnros/internal/sys"
+)
+
+// Wait-mode stress: several processes hammer the completion-driven reap
+// path — blocking waits, partial WaitN reaps, poll loops, completion
+// callbacks — on the monolithic and sharded kernels. Runs under -race
+// in CI. The scheduler-idle assertion rides along: nothing in this
+// workload uses WaitSpin, so a single recorded spin iteration means a
+// blocking or polling wait burned a core it had no business burning —
+// the same "idle core must stay idle" discipline as
+// TestIdleCoreIRQDelivered enforces for interrupt polling.
+func TestRingWaitModeStress(t *testing.T) {
+	forEachKernelMode(t, func(t *testing.T, shards int) {
+		obs.Reset()
+		obs.Enable()
+		defer obs.Disable()
+		s, initSys := bootMode(t, shards)
+		const workers = 4
+		const rounds = 6
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			w := w
+			_, err := s.Run(initSys, fmt.Sprintf("waitmode%d", w), func(p *Process) int {
+				fail := func(f string, a ...any) int {
+					errs <- fmt.Errorf("worker %d: "+f, append([]any{w}, a...)...)
+					return 1
+				}
+				fd, e := p.Sys.Open(fmt.Sprintf("/wm%d", w), sys.OCreate|sys.ORdWr)
+				if e != sys.EOK {
+					return fail("open: %v", e)
+				}
+				for r := 0; r < rounds; r++ {
+					n := 16 + 24*w
+					ops := make([]sys.Op, n)
+					for i := range ops {
+						ops[i] = sys.OpWrite(fd, []byte{byte(r), byte(i)})
+					}
+					switch r % 3 {
+					case 0: // blocking wait with a partial reap first
+						b := p.Sys.NewBatch(sys.SubmitOptions{Wait: sys.WaitBlock}).Add(ops...)
+						if err := b.Submit(); err != nil {
+							return fail("submit: %v", err)
+						}
+						if part, err := b.WaitN(n / 2); err != nil || len(part) < n/2 {
+							return fail("waitN: %d comps, %v", len(part), err)
+						}
+						comps, err := b.Wait()
+						if err != nil || len(comps) != n {
+							return fail("block wait: %d comps, %v", len(comps), err)
+						}
+					case 1: // poll loop, yielding between polls
+						b := p.Sys.SubmitOpts(ops, sys.SubmitOptions{Wait: sys.WaitPoll})
+						for {
+							comps, err := b.Wait()
+							if err == sys.ErrBatchPending {
+								runtime.Gosched()
+								continue
+							}
+							if err != nil || len(comps) != n {
+								return fail("poll wait: %d comps, %v", len(comps), err)
+							}
+							break
+						}
+					default: // callback delivery, then a blocking reap
+						cb := make(chan int, 1)
+						b := p.Sys.SubmitOpts(ops, sys.SubmitOptions{
+							OnComplete: func(comps []sys.Completion, err error) { cb <- len(comps) }})
+						if comps, err := b.Wait(); err != nil || len(comps) != n {
+							return fail("cb wait: %d comps, %v", len(comps), err)
+						}
+						if got := <-cb; got != n {
+							return fail("callback saw %d of %d completions", got, n)
+						}
+					}
+					// A scalar syscall interleaved with in-flight batches
+					// keeps the handler's context serialization honest.
+					if _, e := p.Sys.GetPID(); e != sys.EOK {
+						return fail("getpid: %v", e)
+					}
+				}
+				errs <- nil
+				return 0
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for w := 0; w < workers; w++ {
+			if err := <-errs; err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.WaitAll()
+		if spins := obs.RingWaitSpins.Load(); spins != 0 {
+			t.Fatalf("scheduler-idle violated: %d spin iterations from non-spin wait modes", spins)
+		}
+		if err := initSys.ContractErr(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CheckReplicaAgreement(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

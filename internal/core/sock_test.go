@@ -38,7 +38,7 @@ func bootMode(t *testing.T, shards int) (*System, *sys.Sys) {
 func TestSockCrossPIDIsolation(t *testing.T) {
 	forEachKernelMode(t, func(t *testing.T, shards int) {
 		s, initSys := bootMode(t, shards)
-		bound := make(chan uint64, 1)
+		bound := make(chan sys.SockID, 1)
 		release := make(chan struct{})
 		_, err := s.Run(initSys, "owner", func(p *Process) int {
 			id, e := p.Sys.SockBind(6200)
@@ -92,7 +92,7 @@ func TestSockExitReleasesPorts(t *testing.T) {
 		s, initSys := bootMode(t, shards)
 		setup := make(chan error, 1)
 		_, err := s.Run(initSys, "leaver", func(p *Process) int {
-			for _, port := range []uint16{6300, 6301, 0} {
+			for _, port := range []sys.Port{6300, 6301, 0} {
 				if _, e := p.Sys.SockBind(port); e != sys.EOK {
 					setup <- fmt.Errorf("bind %d: %v", port, e)
 					return 1
@@ -113,7 +113,7 @@ func TestSockExitReleasesPorts(t *testing.T) {
 		}
 		rebind := make(chan error, 1)
 		_, err = s.Run(initSys, "rebinder", func(p *Process) int {
-			for _, port := range []uint16{6300, 6301} {
+			for _, port := range []sys.Port{6300, 6301} {
 				id, e := p.Sys.SockBind(port)
 				if e != sys.EOK {
 					rebind <- fmt.Errorf("rebind %d after exit: %v", port, e)
@@ -275,7 +275,7 @@ func TestSockBatchOps(t *testing.T) {
 			if comps[4].Errno != sys.EBADF {
 				return fail("batch double close: %v, want EBADF", comps[4].Errno)
 			}
-			if e := p.Sys.SockClose(comps[2].Val); e != sys.EOK {
+			if e := p.Sys.SockClose(sys.SockID(comps[2].Val)); e != sys.EOK {
 				return fail("closing batch-bound socket: %v", e)
 			}
 			done <- nil
@@ -305,7 +305,7 @@ func TestSockBindCloseStress(t *testing.T) {
 			w := w
 			_, err := s.Run(initSys, fmt.Sprintf("stress%d", w), func(p *Process) int {
 				for i := 0; i < iters; i++ {
-					port := uint16(6700 + (w+i)%4)
+					port := sys.Port(6700 + (w+i)%4)
 					id, e := p.Sys.SockBind(port)
 					if e == sys.EADDRINUSE {
 						continue // another worker holds it
@@ -378,7 +378,7 @@ func TestSockShardedCrossMachineEcho(t *testing.T) {
 		t.Fatal(err)
 	}
 	const rounds = 10
-	ready := make(chan uint64, 1)
+	ready := make(chan sys.SockID, 1)
 	serverErr := make(chan error, 1)
 	_, err = sb.Run(initB, "echo", func(p *Process) int {
 		sock, e := p.Sys.SockBind(7100)

@@ -462,6 +462,10 @@ func (h *handler) executeBatch(ops []sys.WriteOp) []sys.Resp {
 // Syscall implements sys.Handler: the kernel side of the boundary. It
 // wraps the dispatch in the kstat probe — one count + latency sample
 // per syscall, indexed by opcode and striped by core.
+// Core reports the core this handler is pinned to — sys.CorePinned, so
+// the submission ring in the process's Sys handle knows its placement.
+func (h *handler) Core() int { return h.core }
+
 func (h *handler) Syscall(frame marshal.SyscallFrame, payload []byte) (marshal.RetFrame, []byte) {
 	t0 := obs.Start()
 	ret, out := h.syscall(frame, payload)

@@ -80,28 +80,50 @@ func OpLink(old, new string) Op { return Op{w: WriteOp{Num: NumLink, Path: old, 
 func OpSync() Op { return Op{w: WriteOp{Num: NumSync}} }
 
 // OpSockBind enqueues sock_bind(port) with a receive budget (0 =
-// default); the completion's Val is the socket id.
-func OpSockBind(port uint16, budget uint32) Op {
-	return Op{w: WriteOp{Num: NumSockBind, Port: port, Word: budget}}
+// default); the completion's Val is the socket id. Port 0 requests an
+// ephemeral port.
+func OpSockBind(port Port, budget uint32) Op {
+	return Op{w: WriteOp{Num: NumSockBind, Port: uint16(port), Word: budget}}
 }
 
 // OpSockSend enqueues sock_send(sock → addr:port); the completion's Val
-// is the accepted byte count.
-func OpSockSend(sock, addr uint64, port uint16, payload []byte) Op {
-	return Op{w: WriteOp{Num: NumSockSend, Sock: sock, Addr: addr, Port: port, Data: payload}}
+// is the accepted byte count. The socket id and destination port are
+// validated at submission, like open flags.
+func OpSockSend(sock SockID, addr NetAddr, port Port, payload []byte) Op {
+	return Op{w: WriteOp{Num: NumSockSend, Sock: uint64(sock), Addr: uint64(addr), Port: uint16(port), Data: payload}}
 }
 
 // OpSockRecv enqueues a non-blocking receive; the completion's Data is
-// the datagram payload and Val packs the source as (from<<16)|fromPort.
+// the datagram payload and Completion.SockFrom carries the source.
 // EAGAIN completes the entry when the queue is empty.
-func OpSockRecv(sock uint64) Op { return Op{w: WriteOp{Num: NumSockRecv, Sock: sock}} }
+func OpSockRecv(sock SockID) Op { return Op{w: WriteOp{Num: NumSockRecv, Sock: uint64(sock)}} }
 
 // OpSockClose enqueues sock_close(sock); the completion's Val is the
 // released port.
-func OpSockClose(sock uint64) Op { return Op{w: WriteOp{Num: NumSockClose, Sock: sock}} }
+func OpSockClose(sock SockID) Op { return Op{w: WriteOp{Num: NumSockClose, Sock: uint64(sock)}} }
+
+// validate is the boundary check run at batch submission: a
+// structurally invalid op fails the whole submission before a frame is
+// built, mirroring the scalar syscalls' argument validation.
+func (o Op) validate() Errno {
+	switch o.w.Num {
+	case NumOpen:
+		return OpenFlag(o.w.Flags).Validate()
+	case NumSockSend:
+		if e := SockID(o.w.Sock).Validate(); e != EOK {
+			return e
+		}
+		return Port(o.w.Port).Validate()
+	case NumSockRecv, NumSockClose:
+		return SockID(o.w.Sock).Validate()
+	}
+	return EOK
+}
 
 // SockRecvVal unpacks an OpSockRecv completion's Val into the source
 // address and port.
+//
+// Deprecated: use Completion.SockFrom, which returns the typed source.
 func SockRecvVal(val uint64) (from uint64, fromPort uint16) {
 	return val >> 16, uint16(val)
 }
@@ -123,63 +145,19 @@ func BatchCompletion(op WriteOp, r Resp) Completion {
 	return Completion{Op: op.Num, Errno: r.Errno, Val: r.Val, Data: r.Data}
 }
 
-// Batch is an in-flight submission. Wait blocks until the kernel has
-// drained the queue and returns the completions in submission order.
-type Batch struct {
-	done  chan struct{}
-	comps []Completion
-	errno Errno
-}
-
-// Wait reaps the completion queue. The batch-level errno reports
-// failures of the submission itself (malformed batch, boundary
-// error); per-op failures live in the completions.
-func (b *Batch) Wait() ([]Completion, Errno) {
-	<-b.done
-	return b.comps, b.errno
-}
-
-// Submit enqueues ops and crosses the boundary asynchronously; the
-// caller reaps results via the returned Batch. The submission executes
-// on its own goroutine, so a program can overlap batch preparation with
-// kernel execution; ops and their payloads are borrowed until Wait
-// returns.
+// submitChunk carries one submission-queue segment across the boundary
+// in a single NumBatch frame and checks the §3 contract over it with
+// one pre/post snapshot pair. Ops are assumed boundary-validated (see
+// Batch.Submit); the ring drainer in submit.go feeds segments of at
+// most ringChunk ops through here.
 //
-// The batch's contract check snapshots the process view once around the
-// whole batch, so — like the per-call checker — it assumes no
+// The chunk's contract check snapshots the process view once around the
+// whole segment, so — like the per-call checker — it assumes no
 // concurrent syscall on the same process mutates the descriptors the
-// batch touches while it is in flight.
-func (s *Sys) Submit(ops []Op) *Batch {
-	b := &Batch{done: make(chan struct{})}
-	if len(ops) == 0 {
-		close(b.done)
-		return b
-	}
-	go func() {
-		defer close(b.done)
-		b.comps, b.errno = s.submit(ops)
-	}()
-	return b
-}
-
-// SubmitWait is Submit followed by Wait: the synchronous form. It runs
-// the submission on the calling goroutine (no spawn, no channel), so it
-// is also the cheaper form when nothing overlaps the batch.
-func (s *Sys) SubmitWait(ops []Op) ([]Completion, Errno) {
-	if len(ops) == 0 {
-		return nil, EOK
-	}
-	return s.submit(ops)
-}
-
-func (s *Sys) submit(ops []Op) ([]Completion, Errno) {
+// segment touches while it is in flight.
+func (s *Sys) submitChunk(ops []Op) ([]Completion, Errno) {
 	ws := make([]WriteOp, len(ops))
 	for i, op := range ops {
-		if op.w.Num == NumOpen {
-			if e := OpenFlag(op.w.Flags).Validate(); e != EOK {
-				return nil, e
-			}
-		}
 		ws[i] = op.w
 		ws[i].PID = s.pid
 	}

@@ -4,11 +4,29 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sync"
 
 	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/marshal"
 	"github.com/verified-os/vnros/internal/proc"
 	"github.com/verified-os/vnros/internal/verifier"
 )
+
+// gatedBatchHandler wraps a handler and holds every NumBatch crossing
+// until a token arrives on gate — the instrument that places a
+// completion post at a chosen point of a waiter's park protocol (and
+// that tests reuse to freeze batches in flight deterministically).
+type gatedBatchHandler struct {
+	inner Handler
+	gate  chan struct{}
+}
+
+func (g *gatedBatchHandler) Syscall(frame marshal.SyscallFrame, payload []byte) (marshal.RetFrame, []byte) {
+	if frame.Num == NumBatch {
+		<-g.gate
+	}
+	return g.inner.Syscall(frame, payload)
+}
 
 func randBytes(r *rand.Rand, n int) []byte {
 	b := make([]byte, n)
@@ -129,7 +147,144 @@ func registerRingObligations(g *verifier.Registry) {
 				}
 				return nil
 			}},
+		verifier.Obligation{Module: "sys", Name: "ring-wait-no-lost-wakeup", Kind: verifier.KindModelCheck,
+			Check: func(r *rand.Rand) error {
+				// The CQ doorbell's lost-wakeup obligation, checked as an
+				// explicit interleaving sweep: drive the completion post
+				// into every window of the park protocol —
+				//
+				//   postStage -1: before the waiter calls Wait at all
+				//   parkStagePrepared: after the doorbell ticket is taken,
+				//     before the ready re-check
+				//   parkStageParking: after the re-check said "not ready",
+				//     immediately before the park
+				//
+				// — and require that Wait always returns the full
+				// completion queue. The parking window is the classic
+				// lost-wakeup race; the WaitQueue ticket protocol must
+				// make the park a no-op when the post already rang the
+				// bell. Exactly-once delivery rides along: every op
+				// completes once, and a second reap is refused.
+				for _, postStage := range []int{-1, parkStagePrepared, parkStageParking} {
+					if err := ringWaitSweep(r, postStage); err != nil {
+						return fmt.Errorf("post at stage %d: %w", postStage, err)
+					}
+				}
+				return ringWaitChunked(r)
+			}},
 	)
+}
+
+// ringWaitSweep runs one park/post interleaving: a gated kernel holds
+// the batch in flight, the waiter advances to the target stage of its
+// park protocol, the gate opens and the completion post fully runs,
+// and only then does the waiter proceed.
+func ringWaitSweep(r *rand.Rand, postStage int) error {
+	k := newTestKernel()
+	gate := make(chan struct{}, 1)
+	s := NewSys(proc.InitPID, &gatedBatchHandler{inner: &directHandler{k: k}, gate: gate})
+
+	fd, e := s.Open("/doorbell", OCreate|ORdWr)
+	if e != EOK {
+		return fmt.Errorf("open: %v", e)
+	}
+	n := 1 + r.Intn(8)
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = OpWrite(fd, randBytes(r, 1+r.Intn(16)))
+	}
+
+	posted := make(chan struct{})
+	b := s.NewBatch(SubmitOptions{Wait: WaitBlock, OnComplete: func([]Completion, error) { close(posted) }}).Add(ops...)
+	release := func() {
+		gate <- struct{}{}
+		<-posted // the post (completions + doorbell ring) has fully run
+	}
+	var once sync.Once
+	if postStage >= 0 {
+		b.parkHook = func(stage int) {
+			if stage == postStage {
+				once.Do(release)
+			}
+		}
+	}
+	if err := b.Submit(); err != nil {
+		return fmt.Errorf("submit: %v", err)
+	}
+	if postStage < 0 {
+		once.Do(release)
+	}
+
+	comps, err := b.Wait()
+	if err != nil {
+		return fmt.Errorf("wait: %v", err)
+	}
+	if len(comps) != n {
+		return fmt.Errorf("wait returned %d of %d completions", len(comps), n)
+	}
+	for i, c := range comps {
+		if c.Errno != EOK || c.Val != uint64(len(ops[i].w.Data)) {
+			return fmt.Errorf("completion %d: errno %v val %d, want %d bytes written", i, c.Errno, c.Val, len(ops[i].w.Data))
+		}
+	}
+	if _, err := b.Wait(); err != ErrBatchReaped {
+		return fmt.Errorf("second reap: %v, want ErrBatchReaped", err)
+	}
+	return nil
+}
+
+// ringWaitChunked checks the mid-batch doorbell: on a batch longer than
+// one submission chunk, a WaitN for the first chunk must return as soon
+// as that chunk posts — while the rest of the batch is still gated —
+// and the final Wait must deliver every completion exactly once.
+func ringWaitChunked(r *rand.Rand) error {
+	k := newTestKernel()
+	gate := make(chan struct{}, 1)
+	s := NewSys(proc.InitPID, &gatedBatchHandler{inner: &directHandler{k: k}, gate: gate})
+
+	fd, e := s.Open("/chunks", OCreate|ORdWr)
+	if e != EOK {
+		return fmt.Errorf("open: %v", e)
+	}
+	n := ringChunk + 1 + r.Intn(ringChunk-1)
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = OpWrite(fd, []byte{byte(i)})
+	}
+	b := s.NewBatch(SubmitOptions{Wait: WaitBlock}).Add(ops...)
+	if err := b.Submit(); err != nil {
+		return fmt.Errorf("submit: %v", err)
+	}
+
+	gate <- struct{}{} // first chunk only; the second crossing stays held
+	comps, err := b.WaitN(ringChunk)
+	if err != nil {
+		return fmt.Errorf("waitN: %v", err)
+	}
+	if len(comps) < ringChunk || len(comps) >= n {
+		return fmt.Errorf("waitN(%d) returned %d completions on a gated %d-op batch", ringChunk, len(comps), n)
+	}
+	if b.Done() {
+		return fmt.Errorf("batch done with its second chunk still gated")
+	}
+
+	gate <- struct{}{}
+	all, err := b.Wait()
+	if err != nil {
+		return fmt.Errorf("final wait: %v", err)
+	}
+	if len(all) != n {
+		return fmt.Errorf("final wait returned %d of %d completions", len(all), n)
+	}
+	for i, c := range all {
+		if c.Errno != EOK || c.Val != 1 {
+			return fmt.Errorf("completion %d: errno %v val %d", i, c.Errno, c.Val)
+		}
+	}
+	if _, err := b.WaitN(1); err != ErrBatchReaped {
+		return fmt.Errorf("waitN after reap: %v, want ErrBatchReaped", err)
+	}
+	return nil
 }
 
 // randomFileOps builds a random batch over a tiny path set so opens,

@@ -162,8 +162,8 @@ func TestSubmitBatchFlow(t *testing.T) {
 
 func TestSubmitEmptyAndAsync(t *testing.T) {
 	_, s := newSysPair(t)
-	if comps, e := s.Submit(nil).Wait(); e != EOK || comps != nil {
-		t.Errorf("empty submit = %v, %v", comps, e)
+	if comps, err := s.Submit(nil).Wait(); err != ErrBatchEmpty || comps != nil {
+		t.Errorf("empty submit = %v, %v (want ErrBatchEmpty)", comps, err)
 	}
 	// Async: the caller may do work between Submit and Wait.
 	fd, e := s.Open("/async", OCreate|ORdWr)
@@ -171,9 +171,9 @@ func TestSubmitEmptyAndAsync(t *testing.T) {
 		t.Fatal(e)
 	}
 	b := s.Submit([]Op{OpWrite(fd, []byte("deferred"))})
-	comps, e := b.Wait()
-	if e != EOK || comps[0].Errno != EOK || comps[0].Val != 8 {
-		t.Fatalf("async batch: %+v %v", comps, e)
+	comps, err := b.Wait()
+	if err != nil || comps[0].Errno != EOK || comps[0].Val != 8 {
+		t.Fatalf("async batch: %+v %v", comps, err)
 	}
 	if err := s.ContractErr(); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,49 @@
+package sys
+
+import "github.com/verified-os/vnros/internal/netstack"
+
+// Typed socket identifiers. The wire ABI (WriteOp.Sock/Port/Addr) stays
+// bare integers — these types live at the API boundary, where they are
+// validated before a frame is built, the same posture as OpenFlag: a
+// structurally invalid argument never crosses into the kernel.
+
+// NetAddr is a network-layer address (a netstack wire address).
+type NetAddr = netstack.Addr
+
+// Port is a socket port number. Port 0 is the ephemeral request in
+// bind (the kernel picks a free port) and never a valid destination.
+type Port uint16
+
+// Validate checks p as a send destination: datagrams cannot target the
+// ephemeral port.
+func (p Port) Validate() Errno {
+	if p == 0 {
+		return EINVAL
+	}
+	return EOK
+}
+
+// SockID names a bound socket. The kernel allocates ids from 1, so the
+// zero SockID is never valid — a zero-value bug is caught at the
+// boundary as EBADF instead of crossing as a table miss.
+type SockID uint64
+
+// Validate checks that s can name a socket at all.
+func (s SockID) Validate() Errno {
+	if s == 0 {
+		return EBADF
+	}
+	return EOK
+}
+
+// SockFrom is the source of a received datagram.
+type SockFrom struct {
+	Addr NetAddr
+	Port Port
+}
+
+// SockFrom unpacks a receive completion's Val into the datagram's
+// typed source. Only meaningful on NumSockRecv completions.
+func (c Completion) SockFrom() SockFrom {
+	return SockFrom{Addr: NetAddr(c.Val >> 16), Port: Port(uint16(c.Val))}
+}

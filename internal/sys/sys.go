@@ -32,6 +32,14 @@ type Sys struct {
 	pid proc.PID
 	h   Handler
 
+	// core is the core the handle's kernel handler is pinned to (0 when
+	// the handler doesn't expose one) — the stripe for ring obs counters
+	// and the documentation of the per-core ring placement.
+	core uint32
+	// ring is this handle's submission ring (see submit.go). The handler
+	// pins the handle to one core, so this is the per-core ring.
+	ring subRing
+
 	// contract checking (optional). mu guards viewer and cerr: the
 	// viewer may be attached by EnableContract after syscall goroutines
 	// are already running, so unsynchronized reads would race.
@@ -40,8 +48,21 @@ type Sys struct {
 	cerr   error
 }
 
+// CorePinned is implemented by handlers that pin the handle to one
+// core (internal/core's per-process handler does); the submission ring
+// uses it to stripe its observability counters by core.
+type CorePinned interface {
+	Core() int
+}
+
 // NewSys creates a handle for the given process.
-func NewSys(pid proc.PID, h Handler) *Sys { return &Sys{pid: pid, h: h} }
+func NewSys(pid proc.PID, h Handler) *Sys {
+	s := &Sys{pid: pid, h: h}
+	if cp, ok := h.(CorePinned); ok {
+		s.core = uint32(cp.Core())
+	}
+	return s
+}
 
 // PID returns the owning process.
 func (s *Sys) PID() proc.PID { return s.pid }
@@ -320,7 +341,7 @@ func (s *Sys) MemWrite(va mmu.VAddr, p []byte) Errno {
 
 // SockBind binds a datagram socket (port 0 picks an ephemeral port),
 // returning its handle.
-func (s *Sys) SockBind(port uint16) (uint64, Errno) {
+func (s *Sys) SockBind(port Port) (SockID, Errno) {
 	return s.SockBindBudget(port, 0)
 }
 
@@ -328,43 +349,60 @@ func (s *Sys) SockBind(port uint16) (uint64, Errno) {
 // queue depth past which incoming datagrams are shed (0 = default). The
 // budget is part of the logged bind, so every replica's table agrees on
 // the socket's backpressure contract.
-func (s *Sys) SockBindBudget(port uint16, budget uint32) (uint64, Errno) {
-	r := s.callWrite(WriteOp{Num: NumSockBind, Port: port, Word: budget})
-	return r.Val, r.Errno
+func (s *Sys) SockBindBudget(port Port, budget uint32) (SockID, Errno) {
+	r := s.callWrite(WriteOp{Num: NumSockBind, Port: uint16(port), Word: budget})
+	return SockID(r.Val), r.Errno
 }
 
 // SockSend transmits payload to (addr, port) from the given socket,
-// returning the accepted byte count like the write path.
-func (s *Sys) SockSend(sock uint64, addr uint64, port uint16, payload []byte) (uint64, Errno) {
-	r := s.callWrite(WriteOp{Num: NumSockSend, Sock: sock, Addr: addr, Port: port, Data: payload})
+// returning the accepted byte count like the write path. The socket id
+// and destination port are validated before the crossing, like Open's
+// flag set.
+func (s *Sys) SockSend(sock SockID, addr NetAddr, port Port, payload []byte) (uint64, Errno) {
+	if e := sock.Validate(); e != EOK {
+		return 0, e
+	}
+	if e := port.Validate(); e != EOK {
+		return 0, e
+	}
+	r := s.callWrite(WriteOp{Num: NumSockSend, Sock: uint64(sock), Addr: uint64(addr), Port: uint16(port), Data: payload})
 	return r.Val, r.Errno
 }
 
 // SockRecv receives one datagram without blocking (EAGAIN when empty).
 // The source address and port are returned through resp fields.
-func (s *Sys) SockRecv(sock uint64) (payload []byte, from uint64, fromPort uint16, e Errno) {
-	r := s.callWrite(WriteOp{Num: NumSockRecv, Sock: sock})
+func (s *Sys) SockRecv(sock SockID) (payload []byte, from NetAddr, fromPort Port, e Errno) {
+	if e := sock.Validate(); e != EOK {
+		return nil, 0, 0, e
+	}
+	r := s.callWrite(WriteOp{Num: NumSockRecv, Sock: uint64(sock)})
 	if r.Errno != EOK {
 		return nil, 0, 0, r.Errno
 	}
-	return r.Data, r.Val, uint16(r.TID), EOK
+	return r.Data, NetAddr(r.Val), Port(uint16(r.TID)), EOK
 }
 
 // SockRecvBlocking receives one datagram, parking the calling core's
 // handler on the socket's delivery doorbell until a datagram arrives or
 // the socket closes — a single boundary crossing, not an EAGAIN poll
 // loop over every core.
-func (s *Sys) SockRecvBlocking(sock uint64) ([]byte, uint64, uint16, Errno) {
-	r := s.callWrite(WriteOp{Num: NumSockRecv, Sock: sock, Flags: SockRecvBlock})
+func (s *Sys) SockRecvBlocking(sock SockID) ([]byte, NetAddr, Port, Errno) {
+	if e := sock.Validate(); e != EOK {
+		return nil, 0, 0, e
+	}
+	r := s.callWrite(WriteOp{Num: NumSockRecv, Sock: uint64(sock), Flags: SockRecvBlock})
 	if r.Errno != EOK {
 		return nil, 0, 0, r.Errno
 	}
-	return r.Data, r.Val, uint16(r.TID), EOK
+	return r.Data, NetAddr(r.Val), Port(uint16(r.TID)), EOK
 }
 
 // SockClose releases a socket.
-func (s *Sys) SockClose(sock uint64) Errno {
-	return s.callWrite(WriteOp{Num: NumSockClose, Sock: sock}).Errno
+func (s *Sys) SockClose(sock SockID) Errno {
+	if e := sock.Validate(); e != EOK {
+		return e
+	}
+	return s.callWrite(WriteOp{Num: NumSockClose, Sock: uint64(sock)}).Errno
 }
 
 // MemCAS32 atomically compares-and-swaps the 32-bit word at va: if it

@@ -21,6 +21,14 @@
 // Every syscall a program issues is checked against the paper's §3
 // specification relations (read_spec and friends) through the kernel's
 // view abstraction; violations surface via Sys.ContractErr.
+//
+// Batched file ops go through the completion-driven submission ring:
+// Sys.SubmitOpts enqueues a vector of Ops on the per-core ring and
+// returns a Batch whose Wait/WaitN reap the completion queue under the
+// chosen WaitMode — WaitBlock parks on the CQ doorbell, WaitSpin
+// busy-polls, WaitPoll returns ErrBatchPending for event loops — with
+// an optional OnComplete callback. Sys.Submit and Sys.SubmitWait are
+// shorthands over the same path.
 package vnros
 
 import (
@@ -75,10 +83,43 @@ type (
 	OpenFlag = sys.OpenFlag
 	// Op is one entry of a batched submission (Sys.Submit).
 	Op = sys.Op
-	// Batch is an in-flight batched submission; reap it with Wait.
+	// Batch is an in-flight batched submission; reap it with Wait/WaitN.
 	Batch = sys.Batch
 	// Completion is one completion-queue entry of a drained batch.
 	Completion = sys.Completion
+	// SubmitOptions selects the wait mode and completion callback of a
+	// submission (Sys.SubmitOpts / Sys.NewBatch).
+	SubmitOptions = sys.SubmitOptions
+	// WaitMode is a batch's reap discipline: block, spin, or poll.
+	WaitMode = sys.WaitMode
+	// Port is a typed socket port number.
+	Port = sys.Port
+	// SockID is a typed socket handle; the zero SockID is never valid.
+	SockID = sys.SockID
+	// SockFrom is the typed source of a received datagram
+	// (Completion.SockFrom).
+	SockFrom = sys.SockFrom
+)
+
+// Wait modes (SubmitOptions.Wait).
+const (
+	// WaitBlock parks the waiter on the batch's CQ doorbell (default).
+	WaitBlock = sys.WaitBlock
+	// WaitSpin busy-polls completions for latency-critical callers.
+	WaitSpin = sys.WaitSpin
+	// WaitPoll never waits: Wait returns ErrBatchPending while in flight.
+	WaitPoll = sys.WaitPoll
+)
+
+// Batch lifecycle errors (Batch.Submit/Wait/WaitN).
+var (
+	ErrBatchEmpty        = sys.ErrBatchEmpty
+	ErrBatchNotSubmitted = sys.ErrBatchNotSubmitted
+	ErrBatchSubmitted    = sys.ErrBatchSubmitted
+	ErrBatchReaped       = sys.ErrBatchReaped
+	ErrBatchBusy         = sys.ErrBatchBusy
+	ErrBatchPending      = sys.ErrBatchPending
+	ErrWaitRange         = sys.ErrWaitRange
 )
 
 // Open flags (typed; untyped constant combinations like OCreate|ORdWr
@@ -173,16 +214,18 @@ func OpSync() Op { return sys.OpSync() }
 
 // Socket submission-queue entries: the networked syscall path batched
 // through the same ring. A batched receive is always non-blocking; its
-// completion Val packs the sender — unpack it with SockRecvVal.
-func OpSockBind(port uint16, budget uint32) Op { return sys.OpSockBind(port, budget) }
-func OpSockSend(sock, addr uint64, port uint16, payload []byte) Op {
+// completion carries the typed sender in Completion.SockFrom.
+func OpSockBind(port Port, budget uint32) Op { return sys.OpSockBind(port, budget) }
+func OpSockSend(sock SockID, addr NetAddr, port Port, payload []byte) Op {
 	return sys.OpSockSend(sock, addr, port, payload)
 }
-func OpSockRecv(sock uint64) Op  { return sys.OpSockRecv(sock) }
-func OpSockClose(sock uint64) Op { return sys.OpSockClose(sock) }
+func OpSockRecv(sock SockID) Op  { return sys.OpSockRecv(sock) }
+func OpSockClose(sock SockID) Op { return sys.OpSockClose(sock) }
 
 // SockRecvVal unpacks an OpSockRecv completion's Val into the sender's
 // machine address and source port.
+//
+// Deprecated: use Completion.SockFrom, which returns the typed source.
 func SockRecvVal(val uint64) (from uint64, fromPort uint16) { return sys.SockRecvVal(val) }
 
 // NewNetwork creates a virtual switch; pass it in Config.Network to

@@ -71,7 +71,7 @@ func TestPublicNetworkedSystems(t *testing.T) {
 	}
 	ia, _ := sa.Init()
 	ib, _ := sb.Init()
-	ready := make(chan uint64, 1)
+	ready := make(chan vnros.SockID, 1)
 	reply := make(chan string, 1)
 	sb.Run(ib, "server", func(p *vnros.Process) int {
 		sock, e := p.Sys.SockBind(99)
