@@ -23,8 +23,9 @@ func main() {
 	stats := flag.Bool("stats", false, "run the kstats workload: combiner batch-size histogram + per-opcode syscall latency percentiles")
 	ring := flag.Bool("ring", false, "compare the batched submission ring against the per-call syscall loop")
 	walBench := flag.Bool("wal", false, "compare journal group commit against per-op commit, plus recovery-time series")
-	shard := flag.Bool("shard", false, "run the 1/2/4-shard read-throughput scaling series against the single-NR baseline")
+	shard := flag.Bool("shard", false, "run the read-path scaling series: pcache preads at 1/2/4 shards against single-NR logged reads")
 	shardOps := flag.Int("shardops", 400000, "read syscalls per configuration for the -shard series")
+	shardJSON := flag.String("shardjson", "", "write the -shard series (rates, speedups, pcache counters) to this JSON file")
 	netBench := flag.Bool("net", false, "run the networked syscall-path workload: concurrent echo clients against a sharded two-machine wire")
 	netClients := flag.Int("netclients", 1000, "concurrent simulated clients for -net")
 	netMsgs := flag.Int("netmsgs", 20, "request/reply round trips per client for -net")
@@ -123,7 +124,7 @@ func main() {
 		if *all {
 			fmt.Println()
 		}
-		if err := runShard(*shardOps); err != nil {
+		if err := runShard(*shardOps, *shardJSON); err != nil {
 			fatal(err)
 		}
 	}

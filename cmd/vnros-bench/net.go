@@ -22,10 +22,10 @@ import (
 // and the kernel's net.* counters are reported at the end.
 func runNet(cores, clients, msgs int) error {
 	const (
-		serverAddr = 0xA
-		clientAddr = 0xB
-		serverPort = 7000
-		workers    = 8
+		serverAddr  = 0xA
+		clientAddr  = 0xB
+		serverPort  = 7000
+		workers     = 8
 		clientProcs = 8
 	)
 	network := vnros.NewNetwork()

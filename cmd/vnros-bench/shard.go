@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -9,62 +11,122 @@ import (
 
 	"github.com/verified-os/vnros/internal/core"
 	"github.com/verified-os/vnros/internal/fs"
-	"github.com/verified-os/vnros/internal/hw/mmu"
 	"github.com/verified-os/vnros/internal/obs"
+	"github.com/verified-os/vnros/internal/pcache"
 	"github.com/verified-os/vnros/internal/proc"
 	"github.com/verified-os/vnros/internal/sys"
 )
 
 const (
-	shardReaders = 8
-	shardWriters = 2
+	shardReaders    = 8
+	shardWriters    = 2
+	shardChurnBytes = 2048
+	shardChurnEvery = 4 // one churn write per this many reads
 )
 
-// runShard measures read-heavy syscall throughput of the sharded kernel
-// against the single-NR monolith, mirroring BenchmarkShardScaling:
-// eight reader processes issue MemResolve from node-1 cores while two
-// writer processes churn Seek (a logged write) from node-0 cores. On
-// the monolith every reader must sync its replica past every writer's
-// log entries; on the sharded kernel only readers co-sharded with a
-// writer pay that sync — the rest stay on the read fast path.
-func runShard(readOps int) error {
-	shardCounts := []int{1, 2, 4}
-	rates := make([]float64, len(shardCounts))
-	var shardSnap obs.Snapshot
-	for i, shards := range shardCounts {
-		rate, snap, err := shardRun(shards, readOps)
+// runShard measures read-heavy syscall throughput, mirroring
+// BenchmarkShardScaling: eight reader processes stream 256-byte reads of
+// their own warm files from node-1 cores while two writer processes
+// churn 2KB logged Writes from node-0 cores, paced at one write per four
+// reads. The series compares reads through the operation log (the only
+// read path a bare single-NR kernel offers for file bytes — the
+// baseline) against the page-cache pread path at 1, 2, and 4 shards,
+// where a cache hit is a replica-local descriptor resolve plus an
+// epoch-pinned copy that never takes the combiner.
+//
+// The final configuration rerun is instrumented: it must show a nonzero
+// pcache.hit count (the smoke assertion CI relies on), and the whole
+// series is optionally written as JSON for trend tracking.
+func runShard(readOps int, jsonPath string) error {
+	series := []struct {
+		path   string
+		shards int
+	}{
+		{"logged", 1},
+		{"pread", 1},
+		{"pread", 2},
+		{"pread", 4},
+	}
+	rates := make([]float64, len(series))
+	var finalSnap obs.Snapshot
+	for i, sc := range series {
+		rate, snap, err := shardRun(sc.shards, readOps, sc.path == "logged", i == len(series)-1)
 		if err != nil {
-			return fmt.Errorf("shards=%d: %w", shards, err)
+			return fmt.Errorf("%s/shards=%d: %w", sc.path, sc.shards, err)
 		}
 		rates[i] = rate
-		if shards == shardCounts[len(shardCounts)-1] {
-			shardSnap = snap
+		if i == len(series)-1 {
+			finalSnap = snap
 		}
 	}
 
-	fmt.Printf("shard scaling: %d read syscalls, %d readers (node 1) vs %d writers (node 0), %d cores\n\n",
+	fmt.Printf("read-path scaling: %d read syscalls, %d readers (node 1) vs %d writers (node 0), %d cores\n\n",
 		readOps, shardReaders, shardWriters, 2*core.CoresPerNode)
-	for i, shards := range shardCounts {
-		label := fmt.Sprintf("%d shards:", shards)
-		if shards == 1 {
-			label = "single NR:"
+	for i, sc := range series {
+		label := fmt.Sprintf("%s, %d shards:", sc.path, sc.shards)
+		if sc.shards == 1 {
+			label = fmt.Sprintf("%s, single NR:", sc.path)
 		}
-		fmt.Printf("  %-12s %12.0f ops/s   %5.2fx\n", label, rates[i], rates[i]/rates[0])
+		fmt.Printf("  %-20s %12.0f ops/s   %5.2fx\n", label, rates[i], rates[i]/rates[0])
 	}
 
-	if ops := shardSnap.Ops["nr.shard.ops"]; len(ops) > 0 {
+	hits := finalSnap.Counters["pcache.hit"]
+	misses := finalSnap.Counters["pcache.miss"]
+	fmt.Printf("\n  pcache.hit  %12d\n  pcache.miss %12d\n", hits, misses)
+	if ops := finalSnap.Ops["nr.shard.ops"]; len(ops) > 0 {
 		fmt.Println()
 		fmt.Print(obs.RenderOps(
-			fmt.Sprintf("per-shard ops (%d shards):", shardCounts[len(shardCounts)-1]),
+			fmt.Sprintf("per-shard ops (%d shards):", series[len(series)-1].shards),
 			ops, obs.ShardSlotName))
+	}
+	if hits == 0 {
+		return fmt.Errorf("pcache.hit = 0 after a warm pread workload: the read path is not hitting the page cache")
+	}
+
+	if jsonPath != "" {
+		type seriesPoint struct {
+			Path    string  `json:"path"`
+			Shards  int     `json:"shards"`
+			OpsSec  float64 `json:"ops_per_sec"`
+			Speedup float64 `json:"speedup_vs_logged"`
+		}
+		report := struct {
+			ReadOps    int           `json:"read_ops"`
+			Readers    int           `json:"readers"`
+			Writers    int           `json:"writers"`
+			Cores      int           `json:"cores"`
+			PCacheHit  uint64        `json:"pcache_hit"`
+			PCacheMiss uint64        `json:"pcache_miss"`
+			Series     []seriesPoint `json:"series"`
+		}{
+			ReadOps: readOps, Readers: shardReaders, Writers: shardWriters,
+			Cores: 2 * core.CoresPerNode, PCacheHit: hits, PCacheMiss: misses,
+		}
+		for i, sc := range series {
+			report.Series = append(report.Series, seriesPoint{
+				Path: sc.path, Shards: sc.shards, OpsSec: rates[i], Speedup: rates[i] / rates[0],
+			})
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
 	}
 	return nil
 }
 
 // shardRun boots one configuration (shards==1 is the monolithic
-// baseline), runs the read workload to completion, and returns the
-// aggregate reader throughput plus the run's metric snapshot.
-func shardRun(shards, readOps int) (float64, obs.Snapshot, error) {
+// single-NR kernel), runs the read workload to completion, and returns
+// the aggregate reader throughput. When instrument is set, a short
+// post-timing burst reruns the reads with metrics on and the snapshot is
+// returned (timing always runs with obs disabled: the sharded dispatch
+// records extra per-op shard metrics the monolith doesn't, so live
+// instrumentation would bias the comparison).
+func shardRun(shards, readOps int, logged, instrument bool) (float64, obs.Snapshot, error) {
 	var snap obs.Snapshot
 	// One OS thread per simulated core, so cross-core synchronization
 	// (combiner hand-offs, reader sync convoys) costs wall-clock time.
@@ -137,6 +199,10 @@ func shardRun(shards, readOps int) (float64, obs.Snapshot, error) {
 		sys *sys.Sys
 		fd  fs.FD
 	}
+	churn := make([]byte, shardChurnBytes)
+	for i := range churn {
+		churn[i] = 0xC5
+	}
 	ws := make([]wrk, shardWriters)
 	for i, pid := range writers {
 		S, err := s.RawSysOn(pid, 1+i)
@@ -150,8 +216,13 @@ func shardRun(shards, readOps int) (float64, obs.Snapshot, error) {
 		ws[i] = wrk{sys: S, fd: fd}
 	}
 	type rdr struct {
-		sys  *sys.Sys
-		base mmu.VAddr
+		sys *sys.Sys
+		fd  fs.FD
+		buf []byte
+	}
+	hot := make([]byte, pcache.PageSize)
+	for i := range hot {
+		hot[i] = 0x7E
 	}
 	rs := make([]rdr, shardReaders)
 	for i, pid := range readers {
@@ -159,18 +230,50 @@ func shardRun(shards, readOps int) (float64, obs.Snapshot, error) {
 		if err != nil {
 			return 0, snap, err
 		}
-		base, e := S.MMap(4096)
+		fd, e := S.Open(fmt.Sprintf("/hot%d", i), fs.OCreate|fs.ORdWr)
 		if e != sys.EOK {
-			return 0, snap, fmt.Errorf("reader mmap: %v", e)
+			return 0, snap, fmt.Errorf("reader open: %v", e)
 		}
-		rs[i] = rdr{sys: S, base: base}
+		if _, e := S.Write(fd, hot); e != sys.EOK {
+			return 0, snap, fmt.Errorf("reader write: %v", e)
+		}
+		if _, e := S.Seek(fd, 0, fs.SeekSet); e != sys.EOK {
+			return 0, snap, fmt.Errorf("reader seek: %v", e)
+		}
+		rs[i] = rdr{sys: S, fd: fd, buf: make([]byte, 256)}
+		// Warm the cache so the timed pread loop hits.
+		if n, e := S.Pread(fd, rs[i].buf, 0); e != sys.EOK || n != uint64(len(rs[i].buf)) {
+			return 0, snap, fmt.Errorf("reader warmup pread: n=%d %v", n, e)
+		}
 	}
 
-	// Timing runs with obs disabled: the sharded dispatch records extra
-	// per-op shard metrics the monolith doesn't, so live instrumentation
-	// would bias the comparison. The per-shard table comes from a short
-	// instrumented burst after the clock stops.
+	// read is one loop iteration of the measured workload.
+	read := func(r rdr) error {
+		if logged {
+			// Sequential reads through the log; rewind at EOF (one Seek
+			// per 16 reads of the page-sized file).
+			n, e := r.sys.Read(r.fd, r.buf)
+			if e != sys.EOK {
+				return fmt.Errorf("read: %v", e)
+			}
+			if n < uint64(len(r.buf)) {
+				if _, e := r.sys.Seek(r.fd, 0, fs.SeekSet); e != sys.EOK {
+					return fmt.Errorf("rewind: %v", e)
+				}
+			}
+			return nil
+		}
+		if n, e := r.sys.Pread(r.fd, r.buf, 0); e != sys.EOK || n != uint64(len(r.buf)) {
+			return fmt.Errorf("pread: n=%d %v", n, e)
+		}
+		return nil
+	}
+
+	// Churn paced to reader progress — one write per shardChurnEvery
+	// claimed reads, arbitrated by CAS on churned — so every variant
+	// applies the identical write stream per measured read.
 	var stop atomic.Bool
+	var claimed, churned atomic.Int64
 	var wwg sync.WaitGroup
 	for _, w := range ws {
 		w := w
@@ -180,7 +283,16 @@ func shardRun(shards, readOps int) (float64, obs.Snapshot, error) {
 			runtime.LockOSThread()
 			defer runtime.UnlockOSThread()
 			for !stop.Load() {
+				k := churned.Load()
+				if claimed.Load() < (k+1)*shardChurnEvery || !churned.CompareAndSwap(k, k+1) {
+					runtime.Gosched()
+					continue
+				}
 				if _, e := w.sys.Seek(w.fd, 0, fs.SeekSet); e != sys.EOK {
+					stop.Store(true)
+					return
+				}
+				if _, e := w.sys.Write(w.fd, churn); e != sys.EOK {
 					stop.Store(true)
 					return
 				}
@@ -190,7 +302,6 @@ func shardRun(shards, readOps int) (float64, obs.Snapshot, error) {
 	// Work-stealing read loop: readers claim ops from a shared counter
 	// so aggregate throughput is measured, not the slowest reader's
 	// fixed share.
-	var claimed atomic.Int64
 	errs := make(chan error, shardReaders)
 	t0 := time.Now()
 	for _, r := range rs {
@@ -199,8 +310,8 @@ func shardRun(shards, readOps int) (float64, obs.Snapshot, error) {
 			runtime.LockOSThread()
 			defer runtime.UnlockOSThread()
 			for claimed.Add(1) <= int64(readOps) {
-				if _, e := r.sys.MemResolve(r.base); e != sys.EOK {
-					errs <- fmt.Errorf("memresolve: %v", e)
+				if err := read(r); err != nil {
+					errs <- err
 					return
 				}
 			}
@@ -216,14 +327,14 @@ func shardRun(shards, readOps int) (float64, obs.Snapshot, error) {
 	stop.Store(true)
 	wwg.Wait()
 
-	if shards > 1 {
+	if instrument {
 		obs.Reset()
 		obs.SetSampleRate(1)
 		obs.Enable()
 		for _, r := range rs {
 			for i := 0; i < readOps/(10*shardReaders); i++ {
-				if _, e := r.sys.MemResolve(r.base); e != sys.EOK {
-					return 0, snap, fmt.Errorf("memresolve (instrumented): %v", e)
+				if err := read(r); err != nil {
+					return 0, snap, fmt.Errorf("instrumented %w", err)
 				}
 			}
 		}

@@ -14,6 +14,7 @@ import (
 	"github.com/verified-os/vnros/internal/mm"
 	"github.com/verified-os/vnros/internal/netstack"
 	"github.com/verified-os/vnros/internal/nr"
+	"github.com/verified-os/vnros/internal/pcache"
 	"github.com/verified-os/vnros/internal/proc"
 	"github.com/verified-os/vnros/internal/pt"
 	"github.com/verified-os/vnros/internal/relwork"
@@ -46,6 +47,7 @@ func RegisterAllObligations(g *verifier.Registry) {
 	netstack.RegisterObligations(g)
 	usr.RegisterObligations(g)
 	sys.RegisterObligations(g)
+	pcache.RegisterObligations(g)
 	ulib.RegisterObligations(g, newUlibEnv())
 	wal.RegisterObligations(g)
 	relwork.RegisterObligations(g)
@@ -63,6 +65,7 @@ func RegisterObligations(g *verifier.Registry) {
 	registerShardObligations(g)
 	registerNetObligations(g)
 	registerRingWaitObligations(g)
+	registerPCacheObligations(g)
 	g.Register(
 		verifier.Obligation{Module: "core", Name: "end-to-end-contract-holds", Kind: verifier.KindRefinement,
 			Check: func(r *rand.Rand) error { return endToEndWorkload(r, 2, 3) }},

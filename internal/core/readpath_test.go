@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/verified-os/vnros/internal/fs"
+	"github.com/verified-os/vnros/internal/obs"
+	"github.com/verified-os/vnros/internal/pcache"
+	"github.com/verified-os/vnros/internal/sys"
+)
+
+// TestPreadServesFromCache checks the perf claim behind the read path:
+// the first pread of a page misses and fills, repeats hit — visible in
+// both the cache's residency and the pcache.hit counter.
+func TestPreadServesFromCache(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			s, err := Boot(Config{Cores: 2, Shards: shards, MemBytes: 256 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			initSys, err := s.Init()
+			if err != nil {
+				t.Fatal(err)
+			}
+			contents := bytes.Repeat([]byte{7}, 2*pcache.PageSize)
+			fd, e := initSys.Open("/hot.dat", fs.OCreate|fs.ORdWr)
+			if e != sys.EOK {
+				t.Fatalf("open: %v", e)
+			}
+			if _, e := initSys.Write(fd, contents); e != sys.EOK {
+				t.Fatalf("write: %v", e)
+			}
+
+			obs.Enable()
+			defer obs.Disable()
+			hits0 := obs.PCacheHits.Load()
+			misses0 := obs.PCacheMisses.Load()
+			buf := make([]byte, pcache.PageSize)
+			for i := 0; i < 8; i++ {
+				if n, e := initSys.Pread(fd, buf, 0); e != sys.EOK || n != uint64(len(buf)) {
+					t.Fatalf("pread %d: n=%d %v", i, n, e)
+				}
+				if !bytes.Equal(buf, contents[:len(buf)]) {
+					t.Fatalf("pread %d bytes diverge", i)
+				}
+			}
+			if hits := obs.PCacheHits.Load() - hits0; hits < 7 {
+				t.Errorf("pcache.hit = %d after 8 preads of one page, want >= 7", hits)
+			}
+			if misses := obs.PCacheMisses.Load() - misses0; misses < 1 {
+				t.Errorf("pcache.miss = %d, want >= 1 (first read fills)", misses)
+			}
+
+			// A write through the logged path invalidates; the next pread
+			// misses and refills with the new bytes.
+			if _, e := initSys.Seek(fd, 0, fs.SeekSet); e != sys.EOK {
+				t.Fatalf("seek: %v", e)
+			}
+			fresh := bytes.Repeat([]byte{9}, pcache.PageSize)
+			if _, e := initSys.Write(fd, fresh); e != sys.EOK {
+				t.Fatalf("overwrite: %v", e)
+			}
+			misses1 := obs.PCacheMisses.Load()
+			if n, e := initSys.Pread(fd, buf, 0); e != sys.EOK || n != uint64(len(buf)) {
+				t.Fatalf("pread after write: n=%d %v", n, e)
+			}
+			if !bytes.Equal(buf, fresh) {
+				t.Fatal("pread after write served stale bytes")
+			}
+			if obs.PCacheMisses.Load() == misses1 {
+				t.Error("pread after invalidation did not miss")
+			}
+			if e := initSys.Close(fd); e != sys.EOK {
+				t.Fatalf("close: %v", e)
+			}
+			if err := initSys.ContractErr(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPreadErrnos covers the error surface: bad descriptor, write-only
+// descriptor, misaligned map offset, and unmap of a non-mapping VA.
+func TestPreadErrnos(t *testing.T) {
+	s, err := Boot(Config{Cores: 2, MemBytes: 256 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initSys, err := s.Init()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, e := initSys.Pread(9999, make([]byte, 4), 0); e != sys.EBADF {
+		t.Errorf("pread bad fd: %v, want EBADF", e)
+	}
+	fd, e := initSys.Open("/wr.dat", fs.OCreate|fs.OWrOnly)
+	if e != sys.EOK {
+		t.Fatalf("open: %v", e)
+	}
+	if _, e := initSys.Pread(fd, make([]byte, 4), 0); e != sys.EPERM {
+		t.Errorf("pread write-only fd: %v, want EPERM", e)
+	}
+	if _, _, e := initSys.PreadMap(fd, 0); e != sys.EPERM {
+		t.Errorf("pread_map write-only fd: %v, want EPERM", e)
+	}
+	if e := initSys.Close(fd); e != sys.EOK {
+		t.Fatalf("close: %v", e)
+	}
+	fd, e = initSys.Open("/rd.dat", fs.OCreate|fs.ORdWr)
+	if e != sys.EOK {
+		t.Fatalf("open rd: %v", e)
+	}
+	if _, e := initSys.Write(fd, []byte("hello")); e != sys.EOK {
+		t.Fatalf("write: %v", e)
+	}
+	if _, _, e := initSys.PreadMap(fd, 13); e != sys.EINVAL {
+		t.Errorf("pread_map misaligned: %v, want EINVAL", e)
+	}
+	// Unmap of a VA that is not a pread mapping needs a process with a
+	// vspace (init has none — that path is ESRCH before the VA check).
+	errs := make(chan error, 1)
+	if _, err := s.Run(initSys, "unmapper", func(p *Process) int {
+		if e := p.Sys.PreadUnmap(0xdead000); e != sys.EINVAL {
+			errs <- fmt.Errorf("pread_unmap of unmapped VA: %v, want EINVAL", e)
+		} else {
+			errs <- nil
+		}
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errs; err != nil {
+		t.Error(err)
+	}
+	s.WaitAll()
+	if _, e := initSys.Wait(); e != sys.EOK {
+		t.Fatalf("wait: %v", e)
+	}
+}
+
+// TestBatchPreadObservesBatchWrites checks the ring contract: a pread
+// submitted in a batch is served after the whole logged run, so it
+// observes writes later in the same batch.
+func TestBatchPreadObservesBatchWrites(t *testing.T) {
+	s, err := Boot(Config{Cores: 2, MemBytes: 256 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initSys, err := s.Init()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, e := initSys.Open("/b.dat", fs.OCreate|fs.ORdWr)
+	if e != sys.EOK {
+		t.Fatalf("open: %v", e)
+	}
+	payload := []byte("batched-bytes")
+	comps, e := initSys.SubmitWait([]sys.Op{
+		sys.OpWrite(fd, payload),
+		sys.OpPread(fd, uint64(len(payload)), 0),
+	})
+	if e != sys.EOK {
+		t.Fatalf("batch: %v", e)
+	}
+	if comps[1].Errno != sys.EOK {
+		t.Fatalf("batched pread: %v", comps[1].Errno)
+	}
+	if !bytes.Equal(comps[1].Data, payload) {
+		t.Fatalf("batched pread = %q, want %q (must observe the batch's write)", comps[1].Data, payload)
+	}
+}

@@ -201,6 +201,9 @@ func (h *handler) shardWriteSyscall(op sys.WriteOp) (resp sys.Resp) {
 	if resp.Errno == sys.EOK && len(resp.Freed) > 0 {
 		s.freeDataFrames(resp.Freed)
 	}
+	if resp.Errno == sys.EOK && len(resp.Unpinned) > 0 {
+		s.unpinFrames(resp.Unpinned)
+	}
 	if op.Num == sys.NumExit && resp.Errno == sys.EOK {
 		s.cleanupProcessLocal(op.PID)
 	}
@@ -451,7 +454,7 @@ func (h *handler) shardExit(op sys.WriteOp) sys.Resp {
 	if tr.Errno != sys.EOK {
 		return tr
 	}
-	return sys.Resp{Errno: sys.EOK, Freed: dt.Freed}
+	return sys.Resp{Errno: sys.EOK, Freed: dt.Freed, Unpinned: dt.Unpinned}
 }
 
 // shardKill: SIGKILL composes as the victim's exit; other signals are a

@@ -21,6 +21,7 @@ import (
 	"github.com/verified-os/vnros/internal/netstack"
 	"github.com/verified-os/vnros/internal/nr"
 	"github.com/verified-os/vnros/internal/obs"
+	"github.com/verified-os/vnros/internal/pcache"
 	"github.com/verified-os/vnros/internal/proc"
 	"github.com/verified-os/vnros/internal/pt"
 	"github.com/verified-os/vnros/internal/relwork"
@@ -111,6 +112,12 @@ type System struct {
 	// Shared data-frame allocator (physical pages for user memory).
 	dataMu    sync.Mutex
 	dataAlloc *mm.Buddy
+
+	// pcaches is the sharded page cache behind the pread family: one
+	// cache per filesystem shard (index = fs shard; one entry on the
+	// monolithic kernel). Every replica's FS carries the matching
+	// cache as its Invalidator (see readpath.go).
+	pcaches []*pcache.Cache
 
 	// Devices.
 	Dispatcher *dev.Dispatcher
@@ -310,6 +317,21 @@ func Boot(cfg Config) (*System, error) {
 		}
 		s.procNR = group(obs.ProcShardSlot)
 		s.fsNR = group(obs.FsShardSlot)
+
+		// One page cache per filesystem shard; every replica of a shard
+		// publishes its invalidations into that shard's cache (whichever
+		// replica's combiner applies a write first kills the cached
+		// pages before the write returns).
+		s.pcaches = make([]*pcache.Cache, cfg.Shards)
+		for i := 0; i < cfg.Shards; i++ {
+			cache := pcache.New(cacheFrames{s}, obs.FsShardSlot(i), 0)
+			s.pcaches[i] = cache
+			for r := 0; r < cfg.Replicas; r++ {
+				s.InspectFsShard(i, r, func(k *sys.Kernel) {
+					k.FS().SetInvalidator(cache)
+				})
+			}
+		}
 		s.registerComponents()
 		return s, nil
 	}
@@ -338,6 +360,14 @@ func Boot(cfg Config) (*System, error) {
 	// journal's linearization.
 	if s.journal != nil {
 		s.replicas[0].FS().SetJournal(s.journal)
+	}
+
+	// The monolithic kernel runs one page cache; every replica's FS
+	// publishes invalidations into it (idempotent per mutation, applied
+	// first by the writing core's combiner).
+	s.pcaches = []*pcache.Cache{pcache.New(cacheFrames{s}, 0, 0)}
+	for _, k := range s.replicas {
+		k.FS().SetInvalidator(s.pcaches[0])
 	}
 
 	s.registerComponents()
@@ -506,6 +536,11 @@ func (h *handler) syscall(frame marshal.SyscallFrame, payload []byte) (marshal.R
 		if err != nil {
 			return sys.EncodeResp(sys.Resp{Errno: sys.EINVAL})
 		}
+		// Pread goes through the page cache in both kernel modes: a
+		// cache hit never enters an NR instance (readpath.go).
+		if op.Num == sys.NumPread {
+			return sys.EncodeResp(h.pread(op))
+		}
 		if s.sharded() {
 			return sys.EncodeResp(h.shardReadDispatch(op))
 		}
@@ -523,6 +558,14 @@ func (h *handler) syscall(frame marshal.SyscallFrame, payload []byte) (marshal.R
 	}
 	if sys.IsLocalOp(op.Num) {
 		return sys.EncodeResp(s.localOp(h, op))
+	}
+	// The zero-copy pread tier coordinates the page-cache pin with the
+	// logged mapping transition itself, in both kernel modes.
+	if op.Num == sys.NumPreadMap {
+		return sys.EncodeResp(h.preadMap(op))
+	}
+	if op.Num == sys.NumPreadUnmap {
+		return sys.EncodeResp(h.preadUnmap(op))
 	}
 	if s.sharded() {
 		return sys.EncodeResp(h.shardWriteSyscall(op))
@@ -549,8 +592,13 @@ func (h *handler) syscall(frame marshal.SyscallFrame, payload []byte) (marshal.R
 	resp := h.execute(op)
 	// munmap/exit return the data frames they released; give them back
 	// to the shared pool exactly once (here, on the calling path).
+	// Cache-owned frames behind pread mappings come back separately in
+	// Unpinned and return to their cache, never the pool.
 	if resp.Errno == sys.EOK && len(resp.Freed) > 0 {
 		s.freeDataFrames(resp.Freed)
+	}
+	if resp.Errno == sys.EOK && len(resp.Unpinned) > 0 {
+		s.unpinFrames(resp.Unpinned)
 	}
 	if op.Num == sys.NumExit && resp.Errno == sys.EOK {
 		s.cleanupProcessLocal(op.PID)
@@ -583,12 +631,17 @@ func (h *handler) batch(frame marshal.SyscallFrame, payload []byte) (marshal.Ret
 	}
 	comps := make([]sys.Completion, len(ops))
 	var sops []*sockBatchOp
+	var preadIdx []int
 	syncIdx := make([]int, 0, 1)
 	nOther := 0
 	for i := range ops {
 		switch {
 		case sys.IsBatchableOp(ops[i].Num):
 			nOther++
+		case ops[i].Num == sys.NumPread || ops[i].Num == sys.NumPreadMap:
+			// Served from the page cache after the logged run below (see
+			// sys.OpPread for the ordering contract).
+			preadIdx = append(preadIdx, i)
 		case sys.IsSockOp(ops[i].Num):
 			// Socket entries run in three passes around the table
 			// execution below: device bind resolution before, device
@@ -652,6 +705,20 @@ func (h *handler) batch(frame marshal.SyscallFrame, payload []byte) (marshal.Ret
 					}
 				}
 			}
+		}
+	}
+	// Pread entries complete after every logged op of the batch has
+	// applied, so they observe all of the batch's writes. Outside ctxMu:
+	// the cache path takes the thread context per kernel crossing.
+	for _, i := range preadIdx {
+		if ops[i].Num == sys.NumPread {
+			r := h.pread(sys.ReadOp{
+				Num: sys.NumPread, PID: ops[i].PID, FD: ops[i].FD,
+				Len: ops[i].Len, Off: uint64(ops[i].Off),
+			})
+			comps[i] = sys.BatchCompletion(ops[i], r)
+		} else {
+			comps[i] = sys.BatchCompletion(ops[i], h.preadMap(ops[i]))
 		}
 	}
 	h.sockBatchPost(sops, comps)

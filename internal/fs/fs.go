@@ -76,6 +76,10 @@ type FS struct {
 
 	// jrn, when set, receives every successful mutation (journal.go).
 	jrn Journal
+
+	// inv, when set, receives data-visibility events for the page
+	// cache (inval.go).
+	inv Invalidator
 }
 
 // New returns a filesystem containing only the root directory.
@@ -240,6 +244,9 @@ func (f *FS) Unlink(path string) error {
 	n.Nlink--
 	if n.Nlink <= 0 {
 		delete(f.inodes, ino)
+		// The inode is gone; its cached pages are dead weight (inode
+		// numbers are never reused, so they are harmless but useless).
+		f.invalidateIno(ino)
 	}
 	f.metaOp(ino)
 	f.record(Mutation{Kind: MutUnlink, Path: path})
@@ -329,6 +336,7 @@ func (f *FS) Rename(oldpath, newpath string) error {
 		en.Nlink--
 		if en.Nlink <= 0 {
 			delete(f.inodes, existing)
+			f.invalidateIno(existing)
 		}
 	}
 	// Moving a directory under itself would detach a subtree; compare
@@ -418,6 +426,11 @@ func (f *FS) ReadDir(path string) ([]DirEntry, error) {
 // returning the count (0 at or past EOF).
 func (f *FS) ReadAt(ino Ino, off uint64, p []byte) (int, error) {
 	t0 := obs.Start()
+	// Record the latency on every outcome: error returns (bad inode,
+	// directory read) are part of the read path's latency distribution,
+	// and skipping them would make error-heavy workloads look faster
+	// than they are.
+	defer obs.FSReadLatency.Since(f.obsShard, t0)
 	n, err := f.get(ino)
 	if err != nil {
 		return 0, err
@@ -425,7 +438,6 @@ func (f *FS) ReadAt(ino Ino, off uint64, p []byte) (int, error) {
 	if n.Kind != KindFile {
 		return 0, fmt.Errorf("%w: inode %d", ErrIsDir, ino)
 	}
-	defer obs.FSReadLatency.Since(f.obsShard, t0)
 	if off >= uint64(len(n.Data)) {
 		return 0, nil
 	}
@@ -443,8 +455,9 @@ func (f *FS) WriteAt(ino Ino, off uint64, p []byte) (int, error) {
 	if n.Kind != KindFile {
 		return 0, fmt.Errorf("%w: inode %d", ErrIsDir, ino)
 	}
+	oldSize := uint64(len(n.Data))
 	end := off + uint64(len(p))
-	if end > uint64(len(n.Data)) {
+	if end > oldSize {
 		grown := make([]byte, end)
 		copy(grown, n.Data)
 		n.Data = grown
@@ -452,6 +465,15 @@ func (f *FS) WriteAt(ino Ino, off uint64, p []byte) (int, error) {
 	copy(n.Data[off:end], p)
 	obs.FSWriteLatency.Since(f.obsShard, t0)
 	f.record(Mutation{Kind: MutWrite, Ino: ino, Off: off, Data: p})
+	// Kill cached pages across the whole changed window: not just
+	// [off, end) but also the sparse gap (oldSize, off) that this write
+	// materialized as zeroes — a cached short page there used to read as
+	// EOF and now must not.
+	lo := off
+	if oldSize < lo {
+		lo = oldSize
+	}
+	f.invalidateRange(ino, lo, end)
 	return len(p), nil
 }
 
@@ -464,15 +486,23 @@ func (f *FS) Truncate(ino Ino, size uint64) error {
 	if n.Kind != KindFile {
 		return fmt.Errorf("%w: inode %d", ErrIsDir, ino)
 	}
+	oldSize := uint64(len(n.Data))
 	switch {
-	case size < uint64(len(n.Data)):
+	case size < oldSize:
 		n.Data = n.Data[:size]
-	case size > uint64(len(n.Data)):
+	case size > oldSize:
 		grown := make([]byte, size)
 		copy(grown, n.Data)
 		n.Data = grown
 	}
 	f.record(Mutation{Kind: MutTruncate, Ino: ino, Size: size})
+	if size != oldSize {
+		lo, hi := size, oldSize
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		f.invalidateRange(ino, lo, hi)
+	}
 	return nil
 }
 

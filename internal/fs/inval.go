@@ -1,0 +1,47 @@
+package fs
+
+// This file is the filesystem's side of page-cache coherence: the hook
+// through which a cache (internal/pcache) learns that file data it may
+// hold has changed. Like the journal hook it is defined here — fs says
+// *when* data visibility changes — while the cache itself lives in
+// internal/pcache, so the two packages compose without an import cycle.
+//
+// Invalidation is published *after* the mutation is applied, while the
+// mutating op still holds the combiner on the data-owning replica. A
+// concurrent cached read that misses the kill linearizes before the
+// write; one that sees it refills from the post-write state. The cache
+// additionally version-stamps fills so a fill that raced the write
+// cannot insert stale bytes (see pcache's package comment).
+
+// Invalidator receives data-visibility events from an FS instance:
+// byte ranges whose contents changed, and inodes whose cached pages
+// are dead wholesale (final unlink).
+type Invalidator interface {
+	// InvalidateRange reports that bytes [lo, hi) of ino changed.
+	InvalidateRange(ino Ino, lo, hi uint64)
+	// InvalidateIno reports that every cached page of ino is dead.
+	InvalidateIno(ino Ino)
+}
+
+// SetInvalidator attaches (or detaches, with nil) the invalidation
+// sink. Unlike the journal, on a replicated kernel *every* replica's FS
+// must carry the sink: whichever replica's combiner applies a write
+// first must kill cached pages before any reader can observe the new
+// bytes through that replica. Invalidation is idempotent, so R replicas
+// publishing the same kill is correct (the cache counts each, which is
+// why pcache.invalidations is an apply-side metric).
+func (f *FS) SetInvalidator(inv Invalidator) { f.inv = inv }
+
+// invalidateRange forwards a data-range kill to the attached sink.
+func (f *FS) invalidateRange(ino Ino, lo, hi uint64) {
+	if f.inv != nil {
+		f.inv.InvalidateRange(ino, lo, hi)
+	}
+}
+
+// invalidateIno forwards a whole-inode kill to the attached sink.
+func (f *FS) invalidateIno(ino Ino) {
+	if f.inv != nil {
+		f.inv.InvalidateIno(ino)
+	}
+}

@@ -329,6 +329,11 @@ func (c *ThreadContext[Rd, Wr, Resp]) executeRun(ops []Wr) []Resp {
 func (c *ThreadContext[Rd, Wr, Resp]) ExecuteRead(op Rd) Resp {
 	r := c.r
 	horizon := r.nr.log.Tail()
+	if r.applied.Load() >= horizon {
+		obs.NRReadFast.Add(r.id, 1)
+	} else {
+		obs.NRReadSync.Add(r.id, 1)
+	}
 	for r.applied.Load() < horizon {
 		// Replica is behind: help by combining (which applies
 		// outstanding log entries) or wait for the active combiner.

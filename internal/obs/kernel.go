@@ -56,6 +56,22 @@ var (
 	FSWriteLatency = NewHist("fs.write_latency", UnitNanos)
 	FSMetaOps      = NewCounter("fs.meta_ops") // create/unlink/mkdir/rmdir/link/rename
 
+	// Page cache (internal/pcache), striped by fs shard. Hits are served
+	// lock-free under an epoch pin; misses fall through to the
+	// authoritative fs read. Invalidations count writer-published kills
+	// (one per overlapping write/truncate, however many pages died);
+	// evictions count capacity-pressure retirements.
+	PCacheHits          = NewCounter("pcache.hit")
+	PCacheMisses        = NewCounter("pcache.miss")
+	PCacheInvalidations = NewCounter("pcache.invalidations")
+	PCacheEvictions     = NewCounter("pcache.evictions")
+
+	// NR read-path discipline (nr.ExecuteRead), striped by replica. A
+	// fast read found the replica already caught up to the log tail on
+	// entry; a sync read had to wait for (or drive) the combiner first.
+	NRReadFast = NewCounter("nr.read_fast")
+	NRReadSync = NewCounter("nr.read_sync")
+
 	// Page tables (internal/pt).
 	PTMapLatency   = NewHist("pt.map_latency", UnitNanos)
 	PTUnmapLatency = NewHist("pt.unmap_latency", UnitNanos)
@@ -81,17 +97,17 @@ var (
 	// Network stack (internal/netstack) and the kernel receive path
 	// (internal/core netops). Receive-side drops are split by reason so
 	// the backpressure budget's shedding is visible, not silent.
-	NetTxFrames        = NewCounter("net.tx_frames")          // frames handed to the device
-	NetRxDelivered     = NewCounter("net.rx_delivered")       // datagrams queued on a socket
-	NetRxDropOverflow  = NewCounter("net.rx_drop_overflow")   // receive budget exceeded, shed
-	NetRxDropClosed    = NewCounter("net.rx_drop_closed")     // delivered after socket close
+	NetTxFrames         = NewCounter("net.tx_frames")          // frames handed to the device
+	NetRxDelivered      = NewCounter("net.rx_delivered")       // datagrams queued on a socket
+	NetRxDropOverflow   = NewCounter("net.rx_drop_overflow")   // receive budget exceeded, shed
+	NetRxDropClosed     = NewCounter("net.rx_drop_closed")     // delivered after socket close
 	NetRxDropNoListener = NewCounter("net.rx_drop_nolistener") // no socket bound on dst port
-	NetRxDropBadSum    = NewCounter("net.rx_drop_badsum")     // checksum mismatch
-	NetRxDropBadFrame  = NewCounter("net.rx_drop_badframe")   // undecodable frame/datagram
-	NetRecvParks       = NewCounter("net.recv_parks")         // blocking receives that parked
-	NetRecvWakes       = NewCounter("net.recv_wakes")         // doorbell wakeups delivered
-	NetSockBinds       = NewCounter("net.sock_binds")         // successful socket binds
-	NetSockCloses      = NewCounter("net.sock_closes")        // successful socket closes
+	NetRxDropBadSum     = NewCounter("net.rx_drop_badsum")     // checksum mismatch
+	NetRxDropBadFrame   = NewCounter("net.rx_drop_badframe")   // undecodable frame/datagram
+	NetRecvParks        = NewCounter("net.recv_parks")         // blocking receives that parked
+	NetRecvWakes        = NewCounter("net.recv_wakes")         // doorbell wakeups delivered
+	NetSockBinds        = NewCounter("net.sock_binds")         // successful socket binds
+	NetSockCloses       = NewCounter("net.sock_closes")        // successful socket closes
 
 	// Kernel event ring.
 	KernelTrace = NewTrace("kernel", 4096)
@@ -102,7 +118,7 @@ var (
 // cross-shard protocol ops above the wire ABI; sys's obligations assert
 // this at test time so adding a syscall without growing it fails loudly
 // instead of clamping silently.
-const MaxSyscallOps = 64
+const MaxSyscallOps = 96
 
 // The shard-slot space: the per-shard metrics above are fixed vectors
 // indexed by slot, with the process-state NR group occupying slots

@@ -21,7 +21,7 @@ import (
 // (executed replica-locally rather than through the log).
 func IsReadOp(num uint64) bool {
 	switch num {
-	case NumStat, NumReadDir, NumGetPID, NumMemResolve:
+	case NumStat, NumReadDir, NumGetPID, NumMemResolve, NumPread:
 		return true
 	}
 	return false
@@ -176,6 +176,7 @@ func EncodeRead(op ReadOp) (marshal.SyscallFrame, []byte) {
 	frame.Args[4] = uint64(op.TID)
 	e := marshal.NewEncoder(nil)
 	e.String(op.Path)
+	e.U64(op.Off)
 	return frame, e.Bytes()
 }
 
@@ -191,6 +192,7 @@ func DecodeRead(frame marshal.SyscallFrame, payload []byte) (ReadOp, error) {
 	}
 	d := marshal.NewDecoder(payload)
 	op.Path = d.String()
+	op.Off = d.U64()
 	if err := d.Finish(); err != nil {
 		return ReadOp{}, fmt.Errorf("sys: read op decode: %w", err)
 	}

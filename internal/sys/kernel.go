@@ -19,6 +19,13 @@ const (
 	UserVATop  = mmu.VAddr(0x0000_7000_0000_0000)
 )
 
+// preadMapTag marks vspace regions whose frame is owned by the page
+// cache (zero-copy pread mappings). Teardown reports such frames in
+// Resp.Unpinned — the cache drops its map pin — never in Resp.Freed:
+// buddy-freeing a cache-owned frame while a reader holds an epoch pin
+// on it would be a use-after-free.
+const preadMapTag = "pread"
+
 // Kernel is one replica of the kernel state machine: the sequential
 // data structure NrOS-style node replication scales across cores
 // (§4.1). All operations are deterministic; applying the same WriteOp
@@ -343,21 +350,12 @@ func (k *Kernel) spawn(op WriteOp) Resp {
 	return ok(uint64(pid))
 }
 
-// exit tears down a process: descriptors, mappings, page table.
+// exit tears down a process: descriptors, mappings, page table. Frames
+// behind pread mappings are cache-owned and go out via Unpinned, not
+// Freed (see preadMapTag).
 func (k *Kernel) exit(op WriteOp) Resp {
 	pid := op.PID
-	var freed []mem.PAddr
-	if vs := k.vs[pid]; vs != nil {
-		as := k.spaces[pid]
-		for _, region := range vs.Regions() {
-			for off := uint64(0); off < region.Len; off += mmu.L1PageSize {
-				if frame, err := as.Unmap(region.Base + mmu.VAddr(off)); err == nil {
-					freed = append(freed, frame)
-				}
-			}
-			_, _ = vs.Release(region.Base)
-		}
-	}
+	freed, unpinned := k.teardownVSpace(pid)
 	if as := k.spaces[pid]; as != nil {
 		if err := as.Destroy(); err != nil {
 			return fail(err)
@@ -370,7 +368,32 @@ func (k *Kernel) exit(op WriteOp) Resp {
 	if err := k.procs.Exit(pid, op.Code); err != nil {
 		return fail(err)
 	}
-	return Resp{Errno: EOK, Freed: freed, Ports: ports}
+	return Resp{Errno: EOK, Freed: freed, Unpinned: unpinned, Ports: ports}
+}
+
+// teardownVSpace unmaps and releases every region of pid's address
+// space, splitting the recovered frames by ownership: process-owned
+// data frames (freed) versus cache-owned pread mapping frames
+// (unpinned).
+func (k *Kernel) teardownVSpace(pid proc.PID) (freed, unpinned []mem.PAddr) {
+	vs := k.vs[pid]
+	if vs == nil {
+		return nil, nil
+	}
+	as := k.spaces[pid]
+	for _, region := range vs.Regions() {
+		for off := uint64(0); off < region.Len; off += mmu.L1PageSize {
+			if frame, err := as.Unmap(region.Base + mmu.VAddr(off)); err == nil {
+				if region.Tag == preadMapTag {
+					unpinned = append(unpinned, frame)
+				} else {
+					freed = append(freed, frame)
+				}
+			}
+		}
+		_, _ = vs.Release(region.Base)
+	}
+	return freed, unpinned
 }
 
 // mmap reserves virtual space and maps the caller-provided frames.
@@ -406,12 +429,18 @@ func (k *Kernel) mmap(op WriteOp) Resp {
 	return ok(uint64(base))
 }
 
-// munmap removes a region, returning its data frames in Freed.
+// munmap removes a region, returning its data frames in Freed. Pread
+// mappings are not munmap-able: their frames belong to the page cache,
+// and only PreadUnmap knows to return them as Unpinned rather than
+// Freed.
 func (k *Kernel) munmap(op WriteOp) Resp {
 	vs := k.vs[op.PID]
 	as := k.spaces[op.PID]
 	if vs == nil || as == nil {
 		return Resp{Errno: ESRCH}
+	}
+	if r, found := vs.Lookup(op.VA); found && r.Tag == preadMapTag {
+		return Resp{Errno: EINVAL}
 	}
 	region, err := vs.Release(op.VA)
 	if err != nil {
@@ -432,6 +461,29 @@ func (k *Kernel) munmap(op WriteOp) Resp {
 func (k *Kernel) DispatchRead(op ReadOp) Resp {
 	obs.KernelApplies.Count(op.Num, k.obsShard)
 	switch op.Num {
+	case NumPread:
+		// Positioned read: no descriptor lock and no offset mutation —
+		// that independence from descriptor state is what lets the core
+		// serve it via ExecuteRead plus the page cache instead of the
+		// write log.
+		t, e := k.fdTable(op.PID)
+		if e != EOK {
+			return Resp{Errno: e}
+		}
+		of, err := t.Get(op.FD)
+		if err != nil {
+			return fail(err)
+		}
+		if of.Flags&fs.OWrOnly != 0 {
+			return fail(fs.ErrPermission)
+		}
+		buf := make([]byte, op.Len)
+		n, err := k.fs.ReadAt(of.Ino, op.Off, buf)
+		if err != nil {
+			return fail(err)
+		}
+		return Resp{Errno: EOK, Val: uint64(n), Data: buf[:n]}
+
 	case NumStat:
 		st, err := k.fs.StatPath(op.Path)
 		if err != nil {

@@ -68,6 +68,23 @@ const (
 	// disk lives outside the replicated state machine.
 	NumSync
 
+	// NumPread is the positioned read: read Len bytes at absolute
+	// offset Off without touching the descriptor's offset. Because it
+	// mutates no kernel state it is a ReadOp — core serves it from the
+	// sharded page cache (cache hits never cross the combiner) with a
+	// replica-local fill on miss.
+	NumPread
+
+	// NumPreadMap / NumPreadUnmap are the zero-copy tier: a page-aligned
+	// positioned read that maps the cached frame read-only into the
+	// caller's vspace and returns the mapping descriptor (VA + valid
+	// length) instead of bytes, and the paired unmap that releases it.
+	// Both mutate the caller's address space, so they are logged write
+	// ops; core intercepts them to coordinate the page-cache pin with
+	// the replicated mapping transition.
+	NumPreadMap
+	NumPreadUnmap
+
 	// ---- Internal cross-shard protocol ops (above the wire ABI) ----
 	//
 	// Everything below is NOT a syscall: these ops never cross the user
@@ -99,6 +116,13 @@ const (
 	NumFsCreate   // namespace: create a file (broadcast)
 	NumFsWriteAt  // data: write at offset (owner shard)
 	NumFsTruncate // data: truncate (owner shard)
+
+	// Page-cache mapping ops (process shard owning the PID): install or
+	// remove a read-only alias of a pinned cache frame in the caller's
+	// vspace. The frame is pre-pinned by core's page cache; NumPageUnmap
+	// returns it in Resp.Unpinned (never Freed — the cache owns it).
+	NumPageMap
+	NumPageUnmap
 
 	// Internal read-only ops.
 	NumFDGet        // descriptor state without locking
@@ -156,6 +180,8 @@ var opNames = map[uint64]string{
 	NumSockRecv: "sock_recv", NumSockClose: "sock_close",
 	NumMemRead: "mem_read", NumMemWrite: "mem_write", NumMemCAS: "mem_cas",
 	NumBatch: "batch", NumSync: "sync",
+	NumPread: "pread", NumPreadMap: "pread_map", NumPreadUnmap: "pread_unmap",
+	NumPageMap: "page_map", NumPageUnmap: "page_unmap",
 	NumFDOpen: "fd_open", NumFDLock: "fd_lock", NumFDUnlock: "fd_unlock",
 	NumFDSeek: "fd_seek", NumProcSpawn: "proc_spawn", NumProcUnspawn: "proc_unspawn",
 	NumProcAttach: "proc_attach", NumProcDetach: "proc_detach", NumProcExit: "proc_exit",
@@ -178,7 +204,7 @@ func OpName(num uint64) string {
 
 // MaxOpNum is the highest assigned syscall number (wire ABI bound; the
 // obs opcode space must cover it).
-const MaxOpNum = NumSync
+const MaxOpNum = NumPreadUnmap
 
 // WriteOp is a mutating kernel operation — one logged NR entry. A
 // single struct (rather than one type per syscall) keeps the NR
@@ -241,9 +267,12 @@ type ReadOp struct {
 	Len  uint64
 	TID  sched.TID
 
+	// Off is the absolute offset of a positioned read. NumPread carries
+	// it across the wire; the internal cross-shard read ops reuse it.
+	Off uint64
+
 	// Internal cross-shard read ops only (never marshalled).
 	Ino  fs.Ino
-	Off  uint64
 	Sock uint64
 }
 
@@ -271,6 +300,13 @@ type Resp struct {
 	Ino   fs.Ino
 	Off   uint64
 	Ports []uint16
+
+	// Unpinned frames from page_unmap/exit: cache-owned frames whose
+	// vspace alias went away. The caller (core) unpins them in the page
+	// cache instead of returning them to the allocator — freeing them
+	// here would free memory the cache still serves reads from. Never
+	// marshalled: mapping teardown is core-internal.
+	Unpinned []mem.PAddr
 }
 
 // ok returns a success response with a value.

@@ -49,6 +49,22 @@ func OpRead(fd fs.FD, n uint64) Op { return Op{w: WriteOp{Num: NumRead, FD: fd, 
 // OpWrite enqueues write(fd, data).
 func OpWrite(fd fs.FD, data []byte) Op { return Op{w: WriteOp{Num: NumWrite, FD: fd, Data: data}} }
 
+// OpPread enqueues pread(fd, n, off): a positioned read that leaves the
+// descriptor offset untouched. In a batch the kernel serves it from the
+// page cache after the batch's logged ops complete, so it observes every
+// write in the same batch (earlier or later — positioned reads carry no
+// submission-order guarantee against their own batch's writes).
+func OpPread(fd fs.FD, n, off uint64) Op {
+	return Op{w: WriteOp{Num: NumPread, FD: fd, Len: n, Off: int64(off)}}
+}
+
+// OpPreadMap enqueues the zero-copy positioned read: the completion's
+// Val is the mapping's base VA (release it with Sys.PreadUnmap).
+// EAGAIN completes the entry when no cached page is available.
+func OpPreadMap(fd fs.FD, off uint64) Op {
+	return Op{w: WriteOp{Num: NumPreadMap, FD: fd, Off: int64(off)}}
+}
+
 // OpSeek enqueues seek(fd, off, whence).
 func OpSeek(fd fs.FD, off int64, whence int) Op {
 	return Op{w: WriteOp{Num: NumSeek, FD: fd, Off: off, Whence: whence}}
@@ -121,7 +137,10 @@ func (o Op) validate() Errno {
 }
 
 // SockRecvVal unpacks an OpSockRecv completion's Val into the source
-// address and port.
+// address and port. No internal code or example calls it anymore; it
+// survives one deprecation cycle for external callers and is scheduled
+// for removal with the next breaking API cleanup (see DESIGN.md,
+// "The networked syscall path").
 //
 // Deprecated: use Completion.SockFrom, which returns the typed source.
 func SockRecvVal(val uint64) (from uint64, fromPort uint16) {
@@ -270,6 +289,20 @@ func checkBatch(pre, post fs.SpecState, ops []WriteOp, comps []Completion) error
 	}
 	trusted := true
 
+	// Pread completions are validated against the batch's *final*
+	// contents, not the model state at their position: the kernel serves
+	// them from the page cache after every logged op of the batch has
+	// applied (see OpPread), so their bytes reflect the batch endpoint.
+	type preadEntry struct {
+		i    int
+		ino  fs.Ino
+		off  uint64
+		n    uint64 // requested length
+		val  uint64
+		data []byte
+	}
+	var preads []preadEntry
+
 	// Socket replay: the per-connection state machine for sockets the
 	// batch itself binds (bound → closed; sends only while bound; the
 	// accepted count equals the payload length; double close fails).
@@ -338,6 +371,19 @@ func checkBatch(pre, post fs.SpecState, ops []WriteOp, comps []Completion) error
 			}
 		case NumClose:
 			delete(model, op.FD)
+		case NumPread:
+			m := model[op.FD]
+			if m == nil || !m.tracked {
+				continue
+			}
+			if uint64(len(c.Data)) != c.Val {
+				return fmt.Errorf("batch op %d (pread fd %d): %d payload bytes for count %d",
+					i, op.FD, len(c.Data), c.Val)
+			}
+			// A positioned read mutates nothing: the descriptor offset
+			// must not move (checked at the endpoint) and the bytes are
+			// validated against the final contents after the replay.
+			preads = append(preads, preadEntry{i: i, ino: m.ino, off: uint64(op.Off), n: op.Len, val: c.Val, data: c.Data})
 		case NumRead:
 			m := model[op.FD]
 			if m == nil || !m.tracked {
@@ -400,6 +446,25 @@ func checkBatch(pre, post fs.SpecState, ops []WriteOp, comps []Completion) error
 			// may alias a tracked descriptor, so contents become
 			// untrusted (offsets remain exact).
 			trusted = false
+		}
+	}
+
+	if trusted {
+		for _, pr := range preads {
+			data := contents[pr.ino]
+			want := uint64(0)
+			if pr.off < uint64(len(data)) {
+				want = uint64(len(data)) - pr.off
+			}
+			if pr.n < want {
+				want = pr.n
+			}
+			if pr.val != want {
+				return fmt.Errorf("batch op %d (pread): count %d, want %d against final contents", pr.i, pr.val, want)
+			}
+			if pr.val > 0 && !bytes.Equal(pr.data, data[pr.off:pr.off+pr.val]) {
+				return fmt.Errorf("batch op %d (pread): data diverges from final contents at offset %d", pr.i, pr.off)
+			}
 		}
 	}
 

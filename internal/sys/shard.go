@@ -54,7 +54,7 @@ func ClassifyWrite(num uint64) ShardTarget {
 		return TargetLocal
 	}
 	switch num {
-	case NumClose, NumMMap, NumMUnmap:
+	case NumClose, NumMMap, NumMUnmap, NumPageMap, NumPageUnmap:
 		return TargetProcKey
 	case NumWaitPID, NumTakeSignal,
 		NumThreadAdd, NumThreadYield, NumThreadBlock, NumThreadWake, NumThreadExit, NumPickNext:
@@ -222,26 +222,60 @@ func (k *Kernel) dispatchShardWrite(op WriteOp) Resp {
 			return fail(err)
 		}
 		return ok(0)
+
+	case NumPageMap:
+		// Map one cache-owned frame read-only into the caller's address
+		// space (the zero-copy pread tier). The frame address rides in
+		// the op so every replica maps the identical physical page, and
+		// Reserve is deterministic, so every replica picks the same va.
+		vs := k.vs[op.PID]
+		as := k.spaces[op.PID]
+		if vs == nil || as == nil {
+			return Resp{Errno: ESRCH}
+		}
+		if len(op.Frames) != 1 {
+			return Resp{Errno: EINVAL}
+		}
+		base, err := vs.Reserve(mmu.L1PageSize, preadMapTag)
+		if err != nil {
+			return fail(err)
+		}
+		err = as.Map(base, op.Frames[0], mmu.L1PageSize,
+			mmu.Flags{User: true, NoExec: true}) // read-only: no Writable
+		if err != nil {
+			_, _ = vs.Release(base)
+			return fail(err)
+		}
+		return ok(uint64(base))
+
+	case NumPageUnmap:
+		vs := k.vs[op.PID]
+		as := k.spaces[op.PID]
+		if vs == nil || as == nil {
+			return Resp{Errno: ESRCH}
+		}
+		r, found := vs.Lookup(op.VA)
+		if !found || r.Base != op.VA || r.Tag != preadMapTag {
+			return Resp{Errno: EINVAL}
+		}
+		if _, err := vs.Release(op.VA); err != nil {
+			return fail(err)
+		}
+		frame, err := as.Unmap(op.VA)
+		if err != nil {
+			return fail(err)
+		}
+		return Resp{Errno: EOK, Unpinned: []mem.PAddr{frame}}
 	}
 	return Resp{Errno: ENOSYS}
 }
 
 // detach tears down a process's per-shard resources (descriptors,
-// mappings, page table) without touching the process tree.
+// mappings, page table) without touching the process tree. Like exit,
+// frames behind pread mappings travel in Unpinned, not Freed.
 func (k *Kernel) detach(op WriteOp) Resp {
 	pid := op.PID
-	var freed []mem.PAddr
-	if vs := k.vs[pid]; vs != nil {
-		as := k.spaces[pid]
-		for _, region := range vs.Regions() {
-			for off := uint64(0); off < region.Len; off += mmu.L1PageSize {
-				if frame, err := as.Unmap(region.Base + mmu.VAddr(off)); err == nil {
-					freed = append(freed, frame)
-				}
-			}
-			_, _ = vs.Release(region.Base)
-		}
-	}
+	freed, unpinned := k.teardownVSpace(pid)
 	if as := k.spaces[pid]; as != nil {
 		if err := as.Destroy(); err != nil {
 			return fail(err)
@@ -251,7 +285,7 @@ func (k *Kernel) detach(op WriteOp) Resp {
 	delete(k.vs, pid)
 	delete(k.fds, pid)
 	ports := k.socks.detachSocks(pid)
-	return Resp{Errno: EOK, Freed: freed, Ports: ports}
+	return Resp{Errno: EOK, Freed: freed, Unpinned: unpinned, Ports: ports}
 }
 
 // SnapshotFDs returns a value copy of a process's descriptor table, or

@@ -78,8 +78,13 @@ func registerSyncObligations(g *verifier.Registry) {
 				if OpName(NumSync) != "sync" {
 					return fmt.Errorf("sync has no display name")
 				}
-				if MaxOpNum != NumSync {
+				if MaxOpNum < NumSync {
 					return fmt.Errorf("MaxOpNum %d does not cover NumSync %d", MaxOpNum, NumSync)
+				}
+				// Pin MaxOpNum to the last wire op so adding a syscall
+				// without moving it fails loudly.
+				if MaxOpNum != NumPreadUnmap {
+					return fmt.Errorf("MaxOpNum %d is not the last wire op (NumPreadUnmap %d)", MaxOpNum, NumPreadUnmap)
 				}
 				if MaxOpNum >= obs.MaxSyscallOps {
 					return fmt.Errorf("obs opcode space %d does not cover MaxOpNum %d", obs.MaxSyscallOps, MaxOpNum)

@@ -173,6 +173,90 @@ func (s *Sys) Read(fd fs.FD, buffer []byte) (uint64, Errno) {
 	return uint64(n), EOK
 }
 
+// Pread reads up to len(buffer) bytes at the absolute offset off,
+// without moving the descriptor's offset. Because it mutates no kernel
+// state it travels as a read op: cache hits are served from the sharded
+// page cache without crossing the NR combiner. In contract mode the
+// result is checked against the pre view's contents (a positioned
+// read_spec: same bytes, offset untouched).
+func (s *Sys) Pread(fd fs.FD, buffer []byte, off uint64) (uint64, Errno) {
+	pre, checking := s.view()
+	r := s.callRead(ReadOp{Num: NumPread, FD: fd, Len: uint64(len(buffer)), Off: off})
+	if r.Errno != EOK {
+		return 0, r.Errno
+	}
+	n := uint64(copy(buffer, r.Data))
+	if checking {
+		post, _ := s.view()
+		if err := preadCheck(pre, post, fd, off, buffer[:n], r.Val); err != nil {
+			s.recordViolation(fmt.Errorf("pread(%d): %w", fd, err))
+		}
+	}
+	return n, EOK
+}
+
+// preadCheck is the positioned-read contract: the returned bytes are
+// exactly pre.contents[off:off+n], n is min(len(buf), size-off), and the
+// descriptor's offset is unchanged. A concurrent writer can move the
+// file between the pre snapshot and the read, so the check tolerates a
+// post-state match too (the read linearized after the write); only a
+// result matching neither snapshot is a violation.
+func preadCheck(pre, post fs.SpecState, fd fs.FD, off uint64, got []byte, n uint64) error {
+	match := func(st fs.SpecState) bool {
+		f, ok := st.Files[fd]
+		if !ok {
+			return false
+		}
+		want := uint64(0)
+		if off < f.Size() {
+			want = f.Size() - off
+		}
+		if uint64(len(got)) < want {
+			want = uint64(len(got))
+		}
+		if n != want {
+			return false
+		}
+		for i := uint64(0); i < n; i++ {
+			if got[i] != f.Contents[off+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !match(pre) && !match(post) {
+		return fmt.Errorf("pread at %d returned %d bytes matching neither pre nor post contents", off, n)
+	}
+	pf, ok1 := pre.Files[fd]
+	qf, ok2 := post.Files[fd]
+	if ok1 && ok2 && qf.Offset != pf.Offset {
+		return fmt.Errorf("pread moved descriptor offset %d -> %d", pf.Offset, qf.Offset)
+	}
+	return nil
+}
+
+// PreadMap is the zero-copy tier of the positioned read: for a
+// page-aligned offset whose page is resident in the page cache, it maps
+// the cached frame read-only into the caller's vspace and returns the
+// mapping's base address plus the number of valid bytes behind it
+// (Stat.Size of the response). The mapping observes exactly the bytes a
+// copying Pread would have returned (the read-mapping-refines-copy VC);
+// release it with PreadUnmap. EAGAIN means no cached page was available
+// — fall back to Pread.
+func (s *Sys) PreadMap(fd fs.FD, off uint64) (mmu.VAddr, uint64, Errno) {
+	r := s.callWrite(WriteOp{Num: NumPreadMap, FD: fd, Off: int64(off)})
+	if r.Errno != EOK {
+		return 0, 0, r.Errno
+	}
+	return mmu.VAddr(r.Val), r.Stat.Size, EOK
+}
+
+// PreadUnmap releases a mapping returned by PreadMap, unpinning the
+// cached frame. Only pread mappings are accepted (EINVAL otherwise).
+func (s *Sys) PreadUnmap(va mmu.VAddr) Errno {
+	return s.callWrite(WriteOp{Num: NumPreadUnmap, VA: va}).Errno
+}
+
 // Write writes data at the descriptor's offset.
 func (s *Sys) Write(fd fs.FD, data []byte) (uint64, Errno) {
 	pre, checking := s.view()

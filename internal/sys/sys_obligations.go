@@ -53,6 +53,7 @@ func RegisterObligations(g *verifier.Registry) {
 						Len:  r.Uint64(),
 						TID:  sched.TID(r.Uint64()),
 						Path: randPath(r),
+						Off:  r.Uint64(),
 					}
 					frame, payload := EncodeRead(op)
 					got, err := DecodeRead(frame, payload)

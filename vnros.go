@@ -29,6 +29,14 @@
 // busy-polls, WaitPoll returns ErrBatchPending for event loops — with
 // an optional OnComplete callback. Sys.Submit and Sys.SubmitWait are
 // shorthands over the same path.
+//
+// Positioned reads (Sys.Pread, OpPread in a batch) are served from a
+// sharded page cache with epoch-based snapshots: a cache hit never
+// crosses the kernel's operation-log combiner. Sys.PreadMap is the
+// zero-copy tier — it maps the cached page read-only into the caller's
+// address space and returns the mapping's base VA; release it with
+// Sys.PreadUnmap. See DESIGN.md, "The zero-copy read path", for when a
+// read returns a mapping versus bytes.
 package vnros
 
 import (
@@ -197,6 +205,14 @@ func OpOpen(path string, flags OpenFlag) Op { return sys.OpOpen(path, flags) }
 func OpClose(fd FD) Op                      { return sys.OpClose(fd) }
 func OpRead(fd FD, n uint64) Op             { return sys.OpRead(fd, n) }
 func OpWrite(fd FD, data []byte) Op         { return sys.OpWrite(fd, data) }
+
+// OpPread enqueues a positioned read served from the page cache after
+// the batch's logged ops complete; the descriptor offset is untouched.
+func OpPread(fd FD, n, off uint64) Op { return sys.OpPread(fd, n, off) }
+
+// OpPreadMap enqueues the zero-copy positioned read: the completion's
+// Val is the mapping's base VA (release it with Sys.PreadUnmap).
+func OpPreadMap(fd FD, off uint64) Op { return sys.OpPreadMap(fd, off) }
 func OpSeek(fd FD, off int64, whence int) Op {
 	return sys.OpSeek(fd, off, whence)
 }
@@ -223,7 +239,9 @@ func OpSockRecv(sock SockID) Op  { return sys.OpSockRecv(sock) }
 func OpSockClose(sock SockID) Op { return sys.OpSockClose(sock) }
 
 // SockRecvVal unpacks an OpSockRecv completion's Val into the sender's
-// machine address and source port.
+// machine address and source port. It survives one deprecation cycle
+// for external callers and is scheduled for removal with the next
+// breaking API cleanup (see DESIGN.md, "The networked syscall path").
 //
 // Deprecated: use Completion.SockFrom, which returns the typed source.
 func SockRecvVal(val uint64) (from uint64, fromPort uint16) { return sys.SockRecvVal(val) }

@@ -57,6 +57,89 @@ func TestPublicQuickstart(t *testing.T) {
 	}
 }
 
+// TestPublicReadPath exercises the page-cache read tiers through the
+// public API: positioned reads (scalar and batched) and the zero-copy
+// mapping lifecycle.
+func TestPublicReadPath(t *testing.T) {
+	system, err := vnros.Boot(vnros.Config{Cores: 4, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initSys, err := system.Init()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail := make(chan string, 1)
+	_, err = system.Run(initSys, "readpath", func(p *vnros.Process) int {
+		fd, e := p.Sys.Open("/hot.dat", vnros.OCreate|vnros.ORdWr)
+		if e != vnros.EOK {
+			fail <- "open failed"
+			return 1
+		}
+		page := make([]byte, vnros.PageSize)
+		for i := range page {
+			page[i] = byte('a' + i%26)
+		}
+		if _, e := p.Sys.Write(fd, page); e != vnros.EOK {
+			fail <- "write failed"
+			return 1
+		}
+		// Scalar pread: positioned, descriptor offset untouched.
+		buf := make([]byte, 26)
+		if n, e := p.Sys.Pread(fd, buf, 26); e != vnros.EOK || n != 26 {
+			fail <- "pread failed"
+			return 1
+		}
+		if string(buf) != "abcdefghijklmnopqrstuvwxyz" {
+			fail <- "pread bytes: " + string(buf)
+			return 1
+		}
+		// Batched pread observes the same batch's write.
+		comps, e := p.Sys.SubmitWait([]vnros.Op{
+			vnros.OpWrite(fd, []byte("tail")),
+			vnros.OpPread(fd, 4, uint64(vnros.PageSize)),
+		})
+		if e != vnros.EOK || comps[1].Errno != vnros.EOK || string(comps[1].Data) != "tail" {
+			fail <- "batched pread failed"
+			return 1
+		}
+		// Zero-copy tier: map page 0, read through the mapping, release.
+		va, sz, e := p.Sys.PreadMap(fd, 0)
+		if e != vnros.EOK || sz != vnros.PageSize {
+			fail <- "pread_map failed"
+			return 1
+		}
+		mapped := make([]byte, 26)
+		if e := p.Sys.MemRead(va, mapped); e != vnros.EOK {
+			fail <- "memread failed"
+			return 1
+		}
+		if string(mapped) != string(page[:26]) {
+			fail <- "mapped bytes diverge"
+			return 1
+		}
+		if e := p.Sys.PreadUnmap(va); e != vnros.EOK {
+			fail <- "pread_unmap failed"
+			return 1
+		}
+		fail <- ""
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg := <-fail; msg != "" {
+		t.Fatal(msg)
+	}
+	system.WaitAll()
+	if _, e := initSys.Wait(); e != vnros.EOK {
+		t.Fatalf("wait: %v", e)
+	}
+	if err := initSys.ContractErr(); err != nil {
+		t.Fatalf("contract violation: %v", err)
+	}
+}
+
 // TestPublicNetworkedSystems wires two systems through the exported
 // Network type.
 func TestPublicNetworkedSystems(t *testing.T) {
