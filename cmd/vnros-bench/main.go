@@ -22,7 +22,9 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the DESIGN.md ablations")
 	stats := flag.Bool("stats", false, "run the kstats workload: combiner batch-size histogram + per-opcode syscall latency percentiles")
 	ring := flag.Bool("ring", false, "compare the batched submission ring against the per-call syscall loop")
-	walBench := flag.Bool("wal", false, "compare journal group commit against per-op commit, plus recovery-time series")
+	walBench := flag.Bool("wal", false, "compare journal group commit against per-op commit, plus recovery-time and shard-scaling series")
+	walRounds := flag.Int("walrounds", 500, "commit rounds per configuration for the -wal shard series")
+	walJSON := flag.String("waljson", "", "write the -wal shard series (rates, speedups, commit counters, recovery times) to this JSON file")
 	shard := flag.Bool("shard", false, "run the read-path scaling series: pcache preads at 1/2/4 shards against single-NR logged reads")
 	shardOps := flag.Int("shardops", 400000, "read syscalls per configuration for the -shard series")
 	shardJSON := flag.String("shardjson", "", "write the -shard series (rates, speedups, pcache counters) to this JSON file")
@@ -116,7 +118,7 @@ func main() {
 		if *all {
 			fmt.Println()
 		}
-		if err := runWal(2, *batch, 200); err != nil {
+		if err := runWal(2, *batch, 200, *walRounds, *walJSON); err != nil {
 			fatal(err)
 		}
 	}

@@ -1,22 +1,33 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	vnros "github.com/verified-os/vnros"
+	"github.com/verified-os/vnros/internal/core"
+	"github.com/verified-os/vnros/internal/fs"
 	"github.com/verified-os/vnros/internal/obs"
+	"github.com/verified-os/vnros/internal/sys"
 	"github.com/verified-os/vnros/internal/wal"
+	"github.com/verified-os/vnros/internal/walshard"
 )
 
-// runWal measures the write-ahead journal two ways. First, commit
+// runWal measures the write-ahead journal three ways. First, commit
 // strategy: the same stream of file writes made durable once per
 // submission-ring batch (one OpSync marker drains the whole batch into
 // a single journal flush — group commit) versus once per operation (a
 // scalar Sync after every write). Second, recovery: how long journal
 // replay takes at boot as a function of how many records the crash left
-// in the record area. Contract checking is live throughout.
-func runWal(cores, batch, rounds int) error {
+// in the record area. Third, the shard-scaling series (walShardSeries):
+// the same write-heavy workload against the single-WAL kernel and the
+// per-shard WAL at 2 and 4 shards. Contract checking is live for the
+// commit-strategy comparison.
+func runWal(cores, batch, rounds, shardRounds int, jsonPath string) error {
 	payload := []byte("sixteen bytes!!!")
 	totalOps := rounds * batch
 
@@ -96,7 +107,331 @@ func runWal(cores, batch, rounds int) error {
 		fmt.Printf("    %5d records: replayed %5d in %8s (%6.0f records/ms)\n",
 			n, replayed, d.Round(time.Microsecond), float64(replayed)/(float64(d.Microseconds())/1000))
 	}
+
+	fmt.Println()
+	return walShardSeries(shardRounds, jsonPath)
+}
+
+const (
+	walShardWriters = 8  // writer processes, one per core
+	walShardBatch   = 48 // writes per commit round (one OpSync per round)
+)
+
+// walShardSeries is the per-shard WAL scaling comparison: eight writer
+// processes each stream batched writes to their own file, closing every
+// batch with an OpSync — on the sharded configurations one cross-shard
+// group-commit round per batch. The files spread across the fs shards
+// by inode, so the monolith funnels every write through one combiner
+// and one journal while the sharded kernels spread the same stream over
+// per-shard logs. The final configuration reruns instrumented and must
+// show commits on at least two shard slots plus a nonzero round count —
+// the smoke assertion CI relies on. Recovery replay is timed per shard
+// count over an identically-loaded journal set.
+func walShardSeries(rounds int, jsonPath string) error {
+	shardCounts := []int{1, 2, 4}
+	rates := make([]float64, len(shardCounts))
+	var finalSnap obs.Snapshot
+	for i, n := range shardCounts {
+		rate, snap, err := walShardRun(n, rounds, i == len(shardCounts)-1)
+		if err != nil {
+			return fmt.Errorf("wal shards=%d: %w", n, err)
+		}
+		rates[i] = rate
+		if i == len(shardCounts)-1 {
+			finalSnap = snap
+		}
+	}
+
+	fmt.Printf("per-shard WAL scaling: %d commit rounds x %d writes, %d writers, %d cores\n\n",
+		rounds, walShardBatch, walShardWriters, 2*core.CoresPerNode)
+	for i, n := range shardCounts {
+		label := fmt.Sprintf("%d shards:", n)
+		if n == 1 {
+			label = "single WAL:"
+		}
+		fmt.Printf("  %-14s %12.0f writes/s   %5.2fx\n", label, rates[i], rates[i]/rates[0])
+	}
+
+	rounds4 := finalSnap.Counters["wal.shard.rounds"]
+	commitSlots := 0
+	commitOps := finalSnap.Ops["wal.shard.commit"]
+	for _, op := range commitOps {
+		if op.Count > 0 {
+			commitSlots++
+		}
+	}
+	fmt.Printf("\n  wal.shard.rounds %8d   shards with commits: %d\n", rounds4, commitSlots)
+	if len(commitOps) > 0 {
+		fmt.Println()
+		fmt.Print(obs.RenderOps("per-shard prepare flushes (4 shards):", commitOps, obs.ShardSlotName))
+	}
+	if rounds4 == 0 || commitSlots < 2 {
+		return fmt.Errorf("wal.shard.rounds=%d, %d shard slots with commits: the sharded sync path is not reaching the group committer",
+			rounds4, commitSlots)
+	}
+
+	// Recovery: identical record loads replayed per shard count.
+	type recoveryPoint struct {
+		Shards   int     `json:"shards"`
+		Records  int     `json:"records"`
+		Replayed uint64  `json:"replayed"`
+		MicroSec float64 `json:"replay_us"`
+	}
+	var recovery []recoveryPoint
+	const recoveryRecords = 2048
+	fmt.Printf("\n  recovery time vs shard count (%d records):\n", recoveryRecords)
+	for _, n := range shardCounts {
+		d, replayed, err := walShardRecovery(n, recoveryRecords)
+		if err != nil {
+			return fmt.Errorf("recovery shards=%d: %w", n, err)
+		}
+		fmt.Printf("    %d shards: replayed %5d in %8s (%6.0f records/ms)\n",
+			n, replayed, d.Round(time.Microsecond), float64(replayed)/(float64(d.Microseconds())/1000))
+		recovery = append(recovery, recoveryPoint{
+			Shards: n, Records: recoveryRecords, Replayed: replayed,
+			MicroSec: float64(d.Microseconds()),
+		})
+	}
+
+	if jsonPath != "" {
+		type seriesPoint struct {
+			Shards    int     `json:"shards"`
+			WritesSec float64 `json:"writes_per_sec"`
+			Speedup   float64 `json:"speedup_vs_single_wal"`
+		}
+		report := struct {
+			Rounds       int             `json:"commit_rounds"`
+			Batch        int             `json:"writes_per_round"`
+			Writers      int             `json:"writers"`
+			Cores        int             `json:"cores"`
+			ShardRounds  uint64          `json:"wal_shard_rounds"`
+			CommitShards int             `json:"shards_with_commits"`
+			Series       []seriesPoint   `json:"series"`
+			Recovery     []recoveryPoint `json:"recovery"`
+		}{
+			Rounds: rounds, Batch: walShardBatch, Writers: walShardWriters,
+			Cores: 2 * core.CoresPerNode, ShardRounds: rounds4,
+			CommitShards: commitSlots, Recovery: recovery,
+		}
+		for i, n := range shardCounts {
+			report.Series = append(report.Series, seriesPoint{
+				Shards: n, WritesSec: rates[i], Speedup: rates[i] / rates[0],
+			})
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
 	return nil
+}
+
+// walShardRun boots one configuration (shards==1 is the monolithic
+// single-WAL kernel) and runs the write-heavy workload to completion:
+// writers claim commit rounds from a shared counter (aggregate
+// throughput, not the slowest writer's share), each round a batch of
+// cursor writes rewound by a leading seek and committed by a trailing
+// OpSync, with a truncate mixed in every eighth round. When instrument
+// is set a short post-timing burst reruns with metrics on (timing runs
+// with obs off: sharded dispatch records per-shard metrics the monolith
+// doesn't, which would bias the comparison).
+func walShardRun(shards, rounds int, instrument bool) (float64, obs.Snapshot, error) {
+	var snap obs.Snapshot
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2 * core.CoresPerNode))
+	cfg := core.Config{Cores: 2 * core.CoresPerNode, WAL: true, MemBytes: 256 << 20}
+	if shards > 1 {
+		cfg.Shards = shards
+	}
+	s, err := core.Boot(cfg)
+	if err != nil {
+		return 0, snap, err
+	}
+	initSys, err := s.Init()
+	if err != nil {
+		return 0, snap, err
+	}
+
+	payload := []byte("sixteen bytes!!!")
+	type writer struct {
+		sys *sys.Sys
+		fd  fs.FD
+	}
+	ws := make([]writer, walShardWriters)
+	for i := range ws {
+		pid, e := initSys.Spawn(fmt.Sprintf("walbench%d", i))
+		if e != sys.EOK {
+			return 0, snap, fmt.Errorf("spawn: %v", e)
+		}
+		S, err := s.RawSysOn(pid, i)
+		if err != nil {
+			return 0, snap, err
+		}
+		fd, e := S.Open(fmt.Sprintf("/wal%d", i), fs.OCreate|fs.ORdWr)
+		if e != sys.EOK {
+			return 0, snap, fmt.Errorf("writer open: %v", e)
+		}
+		ws[i] = writer{sys: S, fd: fd}
+	}
+
+	// round runs one commit round for writer w: seek, batched writes,
+	// every-8th truncate, sync marker.
+	round := func(w writer, r int64) error {
+		ops := make([]sys.Op, 0, walShardBatch+3)
+		ops = append(ops, sys.OpSeek(w.fd, 0, fs.SeekSet))
+		for i := 0; i < walShardBatch; i++ {
+			ops = append(ops, sys.OpWrite(w.fd, payload))
+		}
+		if r%8 == 0 {
+			ops = append(ops, sys.OpTruncate(w.fd, uint64(len(payload))))
+		}
+		ops = append(ops, sys.OpSync())
+		comps, e := w.sys.SubmitWait(ops)
+		if e != sys.EOK {
+			return fmt.Errorf("round %d: submit: %v", r, e)
+		}
+		for i, c := range comps {
+			if c.Errno != sys.EOK {
+				return fmt.Errorf("round %d op %d: %v", r, i, c.Errno)
+			}
+		}
+		return nil
+	}
+
+	// Untimed warmup: one round per writer covers cold-start costs.
+	for _, w := range ws {
+		if err := round(w, 1); err != nil {
+			return 0, snap, fmt.Errorf("warmup %w", err)
+		}
+	}
+
+	var claimed atomic.Int64
+	errs := make(chan error, walShardWriters)
+	t0 := time.Now()
+	for _, w := range ws {
+		w := w
+		go func() {
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			for {
+				r := claimed.Add(1)
+				if r > int64(rounds) {
+					errs <- nil
+					return
+				}
+				if err := round(w, r); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for range ws {
+		if err := <-errs; err != nil {
+			return 0, snap, err
+		}
+	}
+	dur := time.Since(t0)
+
+	if instrument {
+		obs.Reset()
+		obs.SetSampleRate(1)
+		obs.Enable()
+		for _, w := range ws {
+			for i := 0; i < 4; i++ {
+				if err := round(w, 1); err != nil {
+					return 0, snap, fmt.Errorf("instrumented %w", err)
+				}
+			}
+		}
+		obs.Disable()
+		obs.SetSampleRate(obs.DefaultSampleRate)
+		snap = obs.TakeSnapshot()
+	}
+
+	if err := s.CheckReplicaAgreement(); err != nil {
+		return 0, snap, err
+	}
+	return float64(rounds*walShardBatch) / dur.Seconds(), snap, nil
+}
+
+// walShardRecovery loads per-shard journals (a single wal.Journal for
+// shards==1) with `records` write mutations committed in rounds of 64
+// and times the replay a rebooting kernel performs: sequential
+// RecoverShard over every shard, the order a boot recovers in. Auto
+// checkpointing is off so the full load is actually replayed.
+func walShardRecovery(shards, records int) (time.Duration, uint64, error) {
+	d := fs.NewMemBlockStore(512, 8192)
+	payload := []byte("sixteen bytes!!!")
+	if shards == 1 {
+		j, err := wal.New(d, 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := j.Format(); err != nil {
+			return 0, 0, err
+		}
+		j.Record(fs.Mutation{Kind: fs.MutCreate, Path: "/f"})
+		for i := 0; i < records-1; i++ {
+			j.Record(fs.Mutation{Kind: fs.MutWrite, Ino: 2, Off: 0, Data: payload})
+			if j.Pending() >= 64 {
+				if err := j.Flush(); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		if err := j.Flush(); err != nil {
+			return 0, 0, err
+		}
+		r, err := wal.New(d, 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		t0 := time.Now()
+		if _, err := r.Recover(); err != nil {
+			return 0, 0, err
+		}
+		return time.Since(t0), r.DurableSeq(), nil
+	}
+
+	g, err := walshard.New(d, shards, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	g.SetAutoCheckpoint(false)
+	if err := g.Format(); err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < shards; i++ {
+		g.Journal(i).Record(fs.Mutation{Kind: fs.MutCreate, Path: "/f"})
+	}
+	for i := 0; i < records-shards; i++ {
+		g.Journal(i % shards).Record(fs.Mutation{Kind: fs.MutWrite, Ino: 2, Off: 0, Data: payload})
+		if (i+1)%64 == 0 {
+			if err := g.Commit(); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if err := g.Commit(); err != nil {
+		return 0, 0, err
+	}
+	r, err := walshard.New(d, shards, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	var replayed uint64
+	t0 := time.Now()
+	for i := 0; i < shards; i++ {
+		if _, err := r.RecoverShard(i); err != nil {
+			return 0, 0, err
+		}
+		replayed += r.Journal(i).DurableSeq()
+	}
+	return time.Since(t0), replayed, nil
 }
 
 // walCommitRun boots a journaled system, runs the workload against one

@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	vnros "github.com/verified-os/vnros"
 	"github.com/verified-os/vnros/internal/verifier"
@@ -20,6 +21,7 @@ func main() {
 	cdf := flag.Bool("cdf", true, "print the Figure 1a CDF")
 	ratio := flag.Bool("ratio", true, "print the proof-to-code ratio report")
 	verbose := flag.Bool("v", false, "print each VC as it completes")
+	timing := flag.Bool("timing", false, "print per-VC durations sorted descending")
 	flag.Parse()
 
 	g := vnros.NewVCRegistry()
@@ -45,6 +47,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *timing {
+		fmt.Println()
+		fmt.Print(renderTiming(rep))
+	}
 	if *cdf {
 		fmt.Println()
 		fmt.Print(renderCDF(rep))
@@ -59,6 +65,23 @@ func main() {
 		fmt.Println("Proof-to-code accounting (paper §5):")
 		fmt.Print(loc.Render(st))
 	}
+}
+
+// renderTiming lists every VC by wall-clock cost, most expensive first —
+// the working set for deciding which sweeps to parallelize or trim as
+// the suite grows (ROADMAP, "scale the verifier").
+func renderTiming(rep *verifier.Report) string {
+	results := make([]verifier.Result, len(rep.Results))
+	copy(results, rep.Results)
+	sort.Slice(results, func(i, j int) bool {
+		return results[i].Duration > results[j].Duration
+	})
+	out := "Per-VC wall-clock durations (descending):\n"
+	for _, r := range results {
+		out += fmt.Sprintf("  %10v  %-15s %s\n",
+			r.Duration.Round(1000), r.Obligation.Kind, r.Obligation.ID())
+	}
+	return out
 }
 
 func renderCDF(rep *verifier.Report) string {

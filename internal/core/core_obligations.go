@@ -25,6 +25,7 @@ import (
 	"github.com/verified-os/vnros/internal/usr"
 	"github.com/verified-os/vnros/internal/verifier"
 	"github.com/verified-os/vnros/internal/wal"
+	"github.com/verified-os/vnros/internal/walshard"
 )
 
 // RegisterAllObligations registers every module's verification
@@ -50,6 +51,7 @@ func RegisterAllObligations(g *verifier.Registry) {
 	pcache.RegisterObligations(g)
 	ulib.RegisterObligations(g, newUlibEnv())
 	wal.RegisterObligations(g)
+	walshard.RegisterObligations(g)
 	relwork.RegisterObligations(g)
 	verifier.RegisterObligations(g)
 	RegisterObligations(g)

@@ -46,10 +46,12 @@ func (s *System) localOp(h *handler, op sys.WriteOp) sys.Resp {
 		// without a journal. Local because the disk is a device, not
 		// replicated state; replica ordering comes from the flush
 		// running under replica 0's Inspect (see syncDurable). On a
-		// sharded kernel durability is not yet composed across the
-		// independent shard logs — explicit ENOSYS rather than a sync
-		// that silently covers only part of the state.
-		if s.sharded() {
+		// sharded kernel with WAL this is a cross-shard group-commit
+		// round (internal/walshard); sharded without WAL there is no
+		// journal to cut consistently across the shard logs — explicit
+		// ENOSYS rather than a sync that silently covers only part of
+		// the state.
+		if s.sharded() && s.walGroup == nil {
 			return sys.Resp{Errno: sys.ENOSYS}
 		}
 		if err := s.syncDurable(); err != nil {

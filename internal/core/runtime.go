@@ -170,7 +170,18 @@ func (s *System) ConsoleOutput() string { return s.Machine.Serial.Output() }
 // journal sequence stamp and truncates the record area.
 func (s *System) SaveFS() error {
 	if s.sharded() {
-		return fmt.Errorf("core: SaveFS is not supported on a sharded kernel (no single filesystem linearization)")
+		if s.walGroup == nil {
+			return fmt.Errorf("core: SaveFS needs WAL on a sharded kernel (no single filesystem linearization)")
+		}
+		// Checkpoint every shard in one coordinator critical section:
+		// commit pending records as a round (under nsMu, like Sync),
+		// then compact each shard's journal into its snapshot slots.
+		s.nsMu.Lock()
+		defer s.nsMu.Unlock()
+		for i := 0; i < s.NumShards(); i++ {
+			s.InspectFsShard(i, 0, func(*sys.Kernel) {})
+		}
+		return s.walGroup.CheckpointAll()
 	}
 	var err error
 	s.nr.Replica(0).Inspect(func(d nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp]) {
@@ -314,6 +325,7 @@ func (s *System) registerComponents() {
 	r.AddComponent(relwork.Component{Table2Row: "Memory management", Package: "internal/pt", Checked: true})
 	r.AddComponent(relwork.Component{Table2Row: "Filesystem", Package: "internal/fs", Checked: true})
 	r.AddComponent(relwork.Component{Table2Row: "Filesystem", Package: "internal/wal", Checked: true})
+	r.AddComponent(relwork.Component{Table2Row: "Filesystem", Package: "internal/walshard", Checked: true})
 	r.AddComponent(relwork.Component{Table2Row: "Complex drivers", Package: "internal/dev", Checked: true})
 	r.AddComponent(relwork.Component{Table2Row: "Process management", Package: "internal/proc", Checked: true})
 	r.AddComponent(relwork.Component{Table2Row: "Threads and synchronization", Package: "internal/usr", Checked: true})

@@ -25,11 +25,11 @@ func bootSharded(t *testing.T, cores, shards int) (*System, *sys.Sys) {
 }
 
 func TestShardedBootGates(t *testing.T) {
-	if _, err := Boot(Config{Shards: 2, WAL: true, MemBytes: 256 << 20}); err == nil {
-		t.Error("sharding + WAL accepted")
+	if _, err := Boot(Config{Shards: 2, WAL: true, MemBytes: 256 << 20}); err != nil {
+		t.Errorf("sharding + WAL rejected: %v", err)
 	}
 	if _, err := Boot(Config{Shards: 2, RestoreFS: true, MemBytes: 256 << 20}); err == nil {
-		t.Error("sharding + RestoreFS accepted")
+		t.Error("sharded restore without WAL accepted")
 	}
 	if _, err := Boot(Config{Shards: 64, MemBytes: 256 << 20}); err == nil {
 		t.Error("shard count beyond the obs slot space accepted")
@@ -196,13 +196,16 @@ func TestShardedKillAndSignals(t *testing.T) {
 	}
 }
 
-func TestShardedDurabilityUnsupported(t *testing.T) {
+// Sharded WITHOUT WAL has no journal to cut consistently across the
+// shard logs: Sync and SaveFS stay unsupported (walshard_core_test.go
+// covers the WAL-composed path).
+func TestShardedDurabilityNeedsWAL(t *testing.T) {
 	s, initSys := bootSharded(t, 2, 2)
 	if e := initSys.Sync(); e != sys.ENOSYS {
-		t.Errorf("sync on sharded kernel: %v", e)
+		t.Errorf("sync on sharded kernel without WAL: %v", e)
 	}
 	if err := s.SaveFS(); err == nil {
-		t.Error("SaveFS on sharded kernel succeeded")
+		t.Error("SaveFS on sharded kernel without WAL succeeded")
 	}
 }
 

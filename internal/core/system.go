@@ -27,6 +27,7 @@ import (
 	"github.com/verified-os/vnros/internal/relwork"
 	"github.com/verified-os/vnros/internal/sys"
 	"github.com/verified-os/vnros/internal/wal"
+	"github.com/verified-os/vnros/internal/walshard"
 )
 
 // CoresPerNode is the simulated NUMA topology: how many cores share one
@@ -71,10 +72,16 @@ type Config struct {
 	// process tree pinned to shard 0) plus Shards filesystem shards
 	// keyed by inode (namespace replicated on every shard, file
 	// contents on the owner). 0 or 1 boots the monolithic single-NR
-	// kernel. Sharding is incompatible with WAL/RestoreFS for now:
-	// durability is one linearization, and composing it across
-	// independent shard logs is future work (Boot rejects the combo,
-	// Sync returns ENOSYS, SaveFS errors).
+	// kernel.
+	//
+	// With WAL set, each fs shard gets its own journal region over the
+	// disk and Sync becomes a cross-shard group commit
+	// (internal/walshard): prepare chunks on every participating shard,
+	// then one commit stamp, so recovery always observes a consistent
+	// cross-shard cut. JournalBlocks then sizes each shard's journal
+	// within its region. RestoreFS on a sharded system requires WAL —
+	// the per-shard journal regions are the on-disk format; there is no
+	// sharded restore from a monolithic snapshot.
 	Shards int
 	// ShardLogSize overrides each shard's log ring size (0 = the NR
 	// default). Each shard enforces its own half-ring invariant, so
@@ -108,6 +115,13 @@ type System struct {
 	// mutation is journaled once, in apply order); Sync and SaveFS
 	// drive Flush/Checkpoint under replica 0's Inspect lock.
 	journal *wal.Journal
+
+	// walGroup replaces journal on a sharded system: per-fs-shard
+	// journal regions with a cross-shard group-commit coordinator.
+	// Shard i's replica-0 FS carries shard i's record sink; Sync
+	// commits one cross-shard round under nsMu (so a namespace
+	// broadcast is never split across the commit cut).
+	walGroup *walshard.Group
 
 	// Shared data-frame allocator (physical pages for user memory).
 	dataMu    sync.Mutex
@@ -186,8 +200,8 @@ func Boot(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("core: need at least %d MiB of memory", (dataRegionOff+(64<<20))>>20)
 	}
 	if cfg.Shards > 1 {
-		if cfg.WAL || cfg.RestoreFS {
-			return nil, fmt.Errorf("core: sharding is incompatible with WAL/RestoreFS (durability is not yet composed across shard logs)")
+		if cfg.RestoreFS && !cfg.WAL {
+			return nil, fmt.Errorf("core: sharded restore requires WAL (the per-shard journal regions are the on-disk format)")
 		}
 		if cfg.Shards > obs.MaxShards {
 			return nil, fmt.Errorf("core: at most %d shards (obs shard-slot space)", obs.MaxShards)
@@ -248,8 +262,10 @@ func Boot(cfg Config) (*System, error) {
 		}
 	}
 
-	// Optional write-ahead journal over the tail of the disk.
-	if cfg.WAL {
+	// Optional write-ahead journal: monolithic boots lay one journal
+	// over the tail of the disk; sharded boots partition the disk into
+	// per-shard journal regions behind a group-commit coordinator.
+	if cfg.WAL && cfg.Shards <= 1 {
 		if s.journal, err = wal.New(s.BlockDev, cfg.JournalBlocks); err != nil {
 			return nil, err
 		}
@@ -257,6 +273,16 @@ func Boot(cfg Config) (*System, error) {
 			// Fresh boot: initialize the journal region (a restore boots
 			// through Recover instead, which adopts the on-disk epoch).
 			if err := s.journal.Format(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.WAL && cfg.Shards > 1 {
+		if s.walGroup, err = walshard.New(s.BlockDev, cfg.Shards, cfg.JournalBlocks); err != nil {
+			return nil, err
+		}
+		if !cfg.RestoreFS {
+			if err := s.walGroup.Format(); err != nil {
 				return nil, err
 			}
 		}
@@ -297,26 +323,50 @@ func Boot(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("core: table region too small for %d shard kernels", totalKernels)
 		}
 		kernelIdx := 0
-		newShardKernel := func() *sys.Kernel {
+		nextFrames := func() pt.FrameSource {
 			base := tableRegion + mem.PAddr(kernelIdx)*span
 			kernelIdx++
-			return sys.NewKernel(m.Mem, pt.NewSimpleFrameSource(m.Mem, base, base+span))
+			return pt.NewSimpleFrameSource(m.Mem, base, base+span)
 		}
-		group := func(slot func(int) uint64) *nr.Sharded[sys.ReadOp, sys.WriteOp, sys.Resp] {
-			return nr.NewShardedFunc(cfg.Shards,
-				func(i int) nr.Options {
-					return nr.Options{
-						Replicas: cfg.Replicas,
-						LogSize:  cfg.ShardLogSize,
-						ShardTag: 1 + int(slot(i)),
+		shardOpts := func(slot func(int) uint64) func(int) nr.Options {
+			return func(i int) nr.Options {
+				return nr.Options{
+					Replicas: cfg.Replicas,
+					LogSize:  cfg.ShardLogSize,
+					ShardTag: 1 + int(slot(i)),
+				}
+			}
+		}
+		s.procNR = nr.NewShardedFunc(cfg.Shards, shardOpts(obs.ProcShardSlot),
+			func(int) nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp] {
+				return sys.NewKernel(m.Mem, nextFrames())
+			})
+		// The fs group's constructor runs once per replica of each
+		// shard; a restore boot recovers shard i's filesystem against
+		// the group's committed cut (RecoverShard is idempotent, so
+		// every replica of the shard gets an identical, independently
+		// owned filesystem).
+		s.fsNR = nr.NewShardedFunc(cfg.Shards, shardOpts(obs.FsShardSlot),
+			func(i int) nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp] {
+				if cfg.RestoreFS && s.walGroup != nil {
+					if f, rerr := s.walGroup.RecoverShard(i); rerr == nil {
+						return sys.NewKernelWithFS(m.Mem, nextFrames(), f)
 					}
-				},
-				func(int) nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp] {
-					return newShardKernel()
+				}
+				return sys.NewKernel(m.Mem, nextFrames())
+			})
+
+		// Attach each shard journal's record sink to that shard's
+		// replica 0: every replica applies every mutation, but exactly
+		// one replica's stream is the shard journal's linearization.
+		if s.walGroup != nil {
+			for i := 0; i < cfg.Shards; i++ {
+				jr := s.walGroup.Journal(i)
+				s.InspectFsShard(i, 0, func(k *sys.Kernel) {
+					k.FS().SetJournal(jr)
 				})
+			}
 		}
-		s.procNR = group(obs.ProcShardSlot)
-		s.fsNR = group(obs.FsShardSlot)
 
 		// One page cache per filesystem shard; every replica of a shard
 		// publishes its invalidations into that shard's cache (whichever
@@ -386,10 +436,31 @@ func Boot(cfg Config) (*System, error) {
 // which is exactly the ordering the durability contract needs.
 func (s *System) syncDurable() error {
 	if s.sharded() {
-		// Durability is one linearization; the shard logs are
-		// independent. Composing a consistent cross-shard cut is future
-		// work — Boot already rejects WAL/RestoreFS with Shards > 1.
-		return fmt.Errorf("core: sync is not supported on a sharded kernel")
+		if s.walGroup == nil {
+			return fmt.Errorf("core: sync needs WAL on a sharded kernel")
+		}
+		// One cross-shard group-commit round. nsMu is held across the
+		// whole round so a namespace broadcast — the only multi-shard fs
+		// mutation — is never split across the commit cut: the recovered
+		// namespaces stay identical on every shard. Each fs shard's
+		// replica 0 is first synced to its log tail (an empty Inspect),
+		// so every operation completed before this sync has been applied
+		// — and therefore journaled — before the participants are
+		// chosen. The quiesces run concurrently: each one spins against
+		// its shard's combiner traffic, so the round pays the slowest
+		// shard, not the sum.
+		s.nsMu.Lock()
+		defer s.nsMu.Unlock()
+		var wg sync.WaitGroup
+		for i := 0; i < s.NumShards(); i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				s.InspectFsShard(i, 0, func(*sys.Kernel) {})
+			}(i)
+		}
+		wg.Wait()
+		return s.walGroup.Commit()
 	}
 	var err error
 	s.nr.Replica(0).Inspect(func(d nr.DataStructure[sys.ReadOp, sys.WriteOp, sys.Resp]) {
@@ -724,11 +795,13 @@ func (h *handler) batch(frame marshal.SyscallFrame, payload []byte) (marshal.Ret
 	h.sockBatchPost(sops, comps)
 	if len(syncIdx) > 0 {
 		// One group commit for the whole batch (after its ops applied;
-		// outside ctxMu — the flush takes replica 0's lock instead).
-		// On a sharded kernel durability is unsupported (see
-		// syncDurable), so sync markers complete with ENOSYS.
+		// outside ctxMu — the flush takes replica locks instead). On a
+		// sharded kernel with WAL the commit is one cross-shard round
+		// fanning out to the shards with pending records; sharded
+		// without WAL durability is unsupported (see syncDurable), so
+		// sync markers complete with ENOSYS.
 		e := sys.EOK
-		if h.s.sharded() {
+		if h.s.sharded() && h.s.walGroup == nil {
 			e = sys.ENOSYS
 		} else if err := h.s.syncDurable(); err != nil {
 			e = sys.EIO

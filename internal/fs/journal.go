@@ -76,6 +76,10 @@ type Journal interface {
 // SetJournal attaches (or detaches, with nil) the journal sink. On an
 // NR-replicated kernel exactly one replica's FS carries the sink, so
 // each mutation is recorded once even though every replica applies it.
+// On a sharded kernel each fs shard's carrier replica gets its own sink
+// (one internal/walshard journal region per shard), so the shards'
+// mutation streams sequence independently; cross-shard ordering is the
+// group commit coordinator's job, not the record stream's.
 func (f *FS) SetJournal(j Journal) { f.jrn = j }
 
 // record forwards a successful mutation to the attached journal.

@@ -84,9 +84,17 @@ func SaveStamped(f *FS, d BlockStore, stamp uint64) error {
 
 	bs := d.BlockSize()
 	blocks := (len(payload) + bs - 1) / bs
+	// A snapshot needs the header block plus two payload slots; anything
+	// smaller is a geometry error, typed so callers slicing a shared
+	// device into journal regions (internal/walshard) can bounds-check
+	// uniformly. The guard also keeps slotCap's unsigned subtraction from
+	// underflowing on a zero-block store.
+	if d.NumBlocks() < 3 {
+		return fmt.Errorf("%w: snapshot store has %d blocks, need >= 3", ErrBlockRange, d.NumBlocks())
+	}
 	slotCap := (d.NumBlocks() - 1) / 2 // blocks per A/B slot
 	if uint64(blocks) > slotCap {
-		return fmt.Errorf("%w: %d bytes into %d-block slots", ErrTooBig, len(payload), slotCap)
+		return fmt.Errorf("%w (%w): %d bytes into %d-block slots", ErrTooBig, ErrBlockRange, len(payload), slotCap)
 	}
 	// Pick the slot the current header does NOT point at.
 	slot := uint64(0)
@@ -150,6 +158,9 @@ func Load(d BlockStore) (*FS, error) {
 // sequence number a wal checkpoint recorded; see SaveStamped).
 func LoadStamped(d BlockStore) (*FS, uint64, error) {
 	bs := d.BlockSize()
+	if d.NumBlocks() < 3 {
+		return nil, 0, fmt.Errorf("%w: snapshot store has %d blocks, need >= 3", ErrBlockRange, d.NumBlocks())
+	}
 	hd, err := readHeader(d)
 	if err != nil {
 		return nil, 0, err
@@ -158,7 +169,7 @@ func LoadStamped(d BlockStore) (*FS, uint64, error) {
 	blocks := (int(length) + bs - 1) / bs
 	slotCap := (d.NumBlocks() - 1) / 2
 	if uint64(blocks) > slotCap {
-		return nil, 0, fmt.Errorf("%w: header claims %d bytes", ErrBadImage, length)
+		return nil, 0, fmt.Errorf("%w (%w): header claims %d bytes", ErrBadImage, ErrBlockRange, length)
 	}
 	base := 1 + hd.slot*slotCap
 	payload := make([]byte, blocks*bs)

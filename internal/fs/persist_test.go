@@ -156,3 +156,50 @@ func TestBlockAccessErrors(t *testing.T) {
 		t.Fatalf("valid write rejected: %v", err)
 	}
 }
+
+// TestSnapshotGeometryErrors pins the typed sentinels on SaveStamped/
+// LoadStamped geometry failures, so journal-region slicers
+// (internal/walshard) can errors.Is-match them uniformly.
+func TestSnapshotGeometryErrors(t *testing.T) {
+	f := buildFS(t, map[string]string{"/a": "alpha"})
+	// Too small for header + two slots: typed range error both ways.
+	for _, n := range []uint64{0, 1, 2} {
+		d := NewMemBlockStore(512, n)
+		if err := SaveStamped(f, d, 1); !errors.Is(err, ErrBlockRange) {
+			t.Fatalf("save into %d-block store: %v, want ErrBlockRange", n, err)
+		}
+		if _, _, err := LoadStamped(d); !errors.Is(err, ErrBlockRange) {
+			t.Fatalf("load from %d-block store: %v, want ErrBlockRange", n, err)
+		}
+	}
+	// Payload exceeding a slot: ErrTooBig, and ErrBlockRange for uniform
+	// matching.
+	small := NewMemBlockStore(512, 3) // one block per slot
+	big := buildFS(t, map[string]string{"/big": string(make([]byte, 4096))})
+	err := SaveStamped(big, small, 1)
+	if !errors.Is(err, ErrTooBig) || !errors.Is(err, ErrBlockRange) {
+		t.Fatalf("oversized save: %v, want ErrTooBig and ErrBlockRange", err)
+	}
+	// A header claiming more payload than a slot holds: ErrBadImage and
+	// ErrBlockRange.
+	d := NewMemBlockStore(512, 5) // two blocks per slot
+	if err := SaveStamped(f, d, 1); err != nil {
+		t.Fatal(err)
+	}
+	hb := make([]byte, 512)
+	if err := d.ReadBlock(0, hb); err != nil {
+		t.Fatal(err)
+	}
+	// Header layout: magic, slot, length, sum, stamp (u64 each). Inflate
+	// the length field past the slot capacity.
+	for i, b := range []byte{0, 0, 1, 0, 0, 0, 0, 0} { // 65536 little-endian
+		hb[16+i] = b
+	}
+	if err := d.WriteBlock(0, hb); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = LoadStamped(d)
+	if !errors.Is(err, ErrBadImage) || !errors.Is(err, ErrBlockRange) {
+		t.Fatalf("inflated header: %v, want ErrBadImage and ErrBlockRange", err)
+	}
+}

@@ -84,6 +84,19 @@ var (
 	WALTornChunks      = NewCounter("wal.torn_chunks")            // chunks rejected by integrity checks
 	WALCommitRecords   = NewHist("wal.commit_records", UnitCount) // records per group commit
 	WALFlushLatency    = NewHist("wal.flush_latency", UnitNanos)  // one Flush
+	WALRoundRollbacks  = NewCounter("wal.round_rollbacks")        // uncommitted cross-shard rounds rolled back at recovery
+
+	// Per-shard write-ahead journals with cross-shard group commit
+	// (internal/walshard). A round is one two-phase commit stamp covering
+	// every participating shard's prepare flush; wal.shard.commit is the
+	// per-fs-shard prepare, indexed by FsShardSlot. The gauges track each
+	// shard's journal pressure: log_tail is blocks of flushed chunks,
+	// ckpt_lag is flushed records the shard's snapshot is behind.
+	WalShardRounds      = NewCounter("wal.shard.rounds")
+	WalShardCheckpoints = NewCounter("wal.shard.checkpoints")
+	WalShardCommits     = NewOpStats("wal.shard.commit", NumShardSlots)
+	WalShardLogTail     = newFsShardGauges("wal.shard.log_tail")
+	WalShardCkptLag     = newFsShardGauges("wal.shard.ckpt_lag")
 
 	// Sharded kernel state machine (§4.1: multiple NR instances over
 	// independent logs). Slots are the fixed shard-slot space below:
@@ -150,6 +163,17 @@ func newShardGauges(prefix string) []*Gauge {
 	out := make([]*Gauge, NumShardSlots)
 	for i := range out {
 		out[i] = NewGauge(fmt.Sprintf("%s.%s", prefix, ShardSlotName(uint64(i))))
+	}
+	return out
+}
+
+// newFsShardGauges pre-registers one gauge per filesystem shard,
+// indexed by fs shard number (not slot) — for metrics that only exist
+// on the fs group, like the per-shard journals.
+func newFsShardGauges(prefix string) []*Gauge {
+	out := make([]*Gauge, MaxShards)
+	for i := range out {
+		out[i] = NewGauge(fmt.Sprintf("%s.fs%d", prefix, i))
 	}
 	return out
 }

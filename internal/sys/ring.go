@@ -136,17 +136,6 @@ func (o Op) validate() Errno {
 	return EOK
 }
 
-// SockRecvVal unpacks an OpSockRecv completion's Val into the source
-// address and port. No internal code or example calls it anymore; it
-// survives one deprecation cycle for external callers and is scheduled
-// for removal with the next breaking API cleanup (see DESIGN.md,
-// "The networked syscall path").
-//
-// Deprecated: use Completion.SockFrom, which returns the typed source.
-func SockRecvVal(val uint64) (from uint64, fromPort uint16) {
-	return val >> 16, uint16(val)
-}
-
 // Completion is one completion-queue entry, in submission order.
 type Completion struct {
 	Op    uint64 // syscall number of the submitted op

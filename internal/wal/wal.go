@@ -62,10 +62,14 @@ const (
 	chunkMagic  = 0x77_61_6c_63_68_75_6e_6b // "walchunk"
 )
 
-// chunkHdrSize is the encoded chunk prefix: magic, epoch, firstSeq
-// (u64 each), count and payload length (u32 each). The trailing
-// checksum adds 8 more bytes after the payload.
-const chunkHdrSize = 8 + 8 + 8 + 4 + 4
+// chunkHdrSize is the encoded chunk prefix: magic, epoch, firstSeq,
+// round (u64 each), count and payload length (u32 each). The trailing
+// checksum adds 8 more bytes after the payload. The round is the
+// cross-shard group-commit stamp (internal/walshard): a monolithic
+// journal flushes round 0 and replays unconditionally, a shard journal
+// flushes the coordinator's round and replays only rounds covered by
+// the group's commit stamp.
+const chunkHdrSize = 8 + 8 + 8 + 8 + 4 + 4
 
 // Journal is a write-ahead journal over one BlockStore. All methods are
 // safe for concurrent use; Record is designed to be called from the
@@ -251,10 +255,20 @@ func (j *Journal) DurableSeq() uint64 {
 func (j *Journal) Flush() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.flushLocked()
+	return j.flushLocked(0)
 }
 
-func (j *Journal) flushLocked() error {
+// FlushRound is Flush with an explicit commit-round stamp in the chunk
+// header — the prepare half of internal/walshard's two-phase cross-shard
+// commit. The chunk is durable but conditional: RecoverCommitted
+// replays it only once the group's commit stamp covers the round.
+func (j *Journal) FlushRound(round uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flushLocked(round)
+}
+
+func (j *Journal) flushLocked(round uint64) error {
 	if j.pendingCount == 0 {
 		return nil
 	}
@@ -262,7 +276,7 @@ func (j *Journal) flushLocked() error {
 
 	// Chunk: header fields, payload, trailing checksum over both.
 	e := marshal.NewEncoder(make([]byte, 0, chunkHdrSize+len(j.pending)+8))
-	e.U64(chunkMagic).U64(j.epoch).U64(j.pendingFirst)
+	e.U64(chunkMagic).U64(j.epoch).U64(j.pendingFirst).U64(round)
 	e.U32(j.pendingCount).U32(uint32(len(j.pending)))
 	buf := append(e.Bytes(), j.pending...)
 	se := marshal.NewEncoder(nil)
@@ -333,6 +347,86 @@ func (j *Journal) Checkpoint(f *fs.FS) error {
 	return nil
 }
 
+// CheckpointCommitted compacts the journal without touching the live
+// filesystem or the pending buffer: it reconstructs the durable state
+// purely from disk (snapshot + every valid on-disk chunk), snapshots
+// that into the A/B region, and truncates the record area. Pending
+// records stay in memory for the next flush.
+//
+// This is the checkpoint internal/walshard uses — both for background
+// compaction and for the ErrJournalFull escalation inside a commit
+// round. Because it covers exactly the on-disk chunk prefix, it can
+// never make half of an unstamped cross-shard round durable the way
+// Checkpoint's live-FS snapshot would. The caller must guarantee every
+// chunk on disk is committed (walshard holds the coordinator lock, so
+// no unstamped prepare chunk exists while this runs).
+func (j *Journal) CheckpointCommitted() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+
+	view := &subStore{d: j.d, n: j.snapBlocks}
+	f, stamp, err := fs.LoadStamped(view)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNoSnapshot) {
+			return err
+		}
+		f, stamp = fs.New(), 0
+	}
+	seq := stamp
+	tail := uint64(0)
+	for tail < j.tail {
+		recs, first, _, count, nb, err := j.readChunk(tail, j.epoch)
+		if err != nil {
+			break
+		}
+		last := first + uint64(count) - 1
+		if last > seq {
+			if first != seq+1 {
+				break
+			}
+			for _, m := range recs {
+				if err := f.Apply(m); err != nil {
+					return fmt.Errorf("wal: checkpoint replay seq %d (%s %q): %w", first, m.Kind, m.Path, err)
+				}
+			}
+			seq = last
+		}
+		tail += nb
+	}
+
+	if err := fs.SaveStamped(f, view, seq); err != nil {
+		return err
+	}
+	j.epoch++
+	if err := j.writeHeader(); err != nil {
+		return err
+	}
+	j.snapSeq = seq
+	j.flushedSeq = seq
+	j.tail = 0
+	obs.WALCheckpoints.Add(j.shard, 1)
+	return nil
+}
+
+// TailBlocks returns the current record-area tail (blocks used by
+// flushed chunks) — the checkpoint worker's pressure signal.
+func (j *Journal) TailBlocks() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tail
+}
+
+// RecordBlocks returns the record-area capacity in blocks.
+func (j *Journal) RecordBlocks() uint64 { return j.recBlocks }
+
+// SnapLag returns how many flushed records the on-disk snapshot is
+// behind — the checkpoint-lag gauge.
+func (j *Journal) SnapLag() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flushedSeq - j.snapSeq
+}
+
 // Recover rebuilds the filesystem from disk: load the checkpoint
 // snapshot (empty filesystem if none), then replay every journal chunk
 // that passes the validity checks — magic, checksum, current epoch,
@@ -350,7 +444,24 @@ func (j *Journal) Checkpoint(f *fs.FS) error {
 func (j *Journal) Recover() (*fs.FS, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.recoverLocked(^uint64(0), false)
+}
 
+// RecoverCommitted is Recover with a cross-shard commit cut: replay
+// stops at the first chunk whose round exceeds committed (the group's
+// durable commit stamp, internal/walshard), and that rolled-back chunk
+// is physically invalidated — its first block is zeroed — so it can
+// never resurrect when the stamp later advances past its round. The
+// in-memory tail is left at the rollback point, so new chunks overwrite
+// the rolled-back one. Like Recover, it is idempotent (re-zeroing an
+// already-zeroed block) and may be called once per kernel replica.
+func (j *Journal) RecoverCommitted(committed uint64) (*fs.FS, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recoverLocked(committed, true)
+}
+
+func (j *Journal) recoverLocked(committed uint64, invalidate bool) (*fs.FS, error) {
 	epoch, hdrErr := j.readHeader()
 	view := &subStore{d: j.d, n: j.snapBlocks}
 	f, stamp, err := fs.LoadStamped(view)
@@ -383,9 +494,21 @@ func (j *Journal) Recover() (*fs.FS, error) {
 	seq := stamp // last applied (or snapshot-covered) sequence
 	tail := uint64(0)
 	for tail < j.recBlocks {
-		recs, first, count, nb, err := j.readChunk(tail, epoch)
+		recs, first, round, count, nb, err := j.readChunk(tail, epoch)
 		if err != nil {
 			break // first invalid/stale chunk ends the valid prefix
+		}
+		if round > committed {
+			// A prepare that never got its commit stamp: the round must
+			// roll back on every shard. Invalidate the chunk physically
+			// so a later stamp advance cannot revalidate it.
+			if invalidate {
+				if err := j.d.WriteBlock(j.recBase+tail, make([]byte, j.bs)); err != nil {
+					return nil, err
+				}
+				obs.WALRoundRollbacks.Add(j.shard, 1)
+			}
+			break
 		}
 		last := first + uint64(count) - 1
 		switch {
@@ -421,45 +544,46 @@ func (j *Journal) Recover() (*fs.FS, error) {
 }
 
 // readChunk parses and validates the chunk at record-area block `at`,
-// returning its decoded records, first sequence, count, and size in
-// blocks. Any validation failure — bad magic, wrong epoch, bad
-// checksum, truncated encoding — returns an error; a chunk that looked
-// like one (magic matched) but failed integrity is counted as torn.
-func (j *Journal) readChunk(at uint64, epoch uint64) ([]fs.Mutation, uint64, uint32, uint64, error) {
+// returning its decoded records, first sequence, commit round, count,
+// and size in blocks. Any validation failure — bad magic, wrong epoch,
+// bad checksum, truncated encoding — returns an error; a chunk that
+// looked like one (magic matched) but failed integrity is counted as
+// torn.
+func (j *Journal) readChunk(at uint64, epoch uint64) ([]fs.Mutation, uint64, uint64, uint32, uint64, error) {
 	bs := uint64(j.bs)
 	blk := make([]byte, j.bs)
 	if err := j.d.ReadBlock(j.recBase+at, blk); err != nil {
-		return nil, 0, 0, 0, err
+		return nil, 0, 0, 0, 0, err
 	}
 	d := marshal.NewDecoder(blk[:chunkHdrSize])
-	magic, ep, first := d.U64(), d.U64(), d.U64()
+	magic, ep, first, round := d.U64(), d.U64(), d.U64(), d.U64()
 	count, plen := d.U32(), d.U32()
 	if d.Err() != nil || magic != chunkMagic {
-		return nil, 0, 0, 0, fmt.Errorf("%w: no chunk at block %d", ErrCorruptChunk, at)
+		return nil, 0, 0, 0, 0, fmt.Errorf("%w: no chunk at block %d", ErrCorruptChunk, at)
 	}
 	if ep != epoch {
 		// A stale chunk from a previous epoch: not torn, just truncated
 		// away by a checkpoint.
-		return nil, 0, 0, 0, fmt.Errorf("%w: epoch %d at block %d, journal at %d", ErrCorruptChunk, ep, at, epoch)
+		return nil, 0, 0, 0, 0, fmt.Errorf("%w: epoch %d at block %d, journal at %d", ErrCorruptChunk, ep, at, epoch)
 	}
 	total := uint64(chunkHdrSize) + uint64(plen) + 8
 	nb := (total + bs - 1) / bs
 	if at+nb > j.recBlocks || count == 0 {
 		obs.WALTornChunks.Add(j.shard, 1)
-		return nil, 0, 0, 0, fmt.Errorf("%w: chunk at block %d overruns record area", ErrCorruptChunk, at)
+		return nil, 0, 0, 0, 0, fmt.Errorf("%w: chunk at block %d overruns record area", ErrCorruptChunk, at)
 	}
 	buf := make([]byte, nb*bs)
 	copy(buf, blk)
 	for i := uint64(1); i < nb; i++ {
 		if err := j.d.ReadBlock(j.recBase+at+i, buf[i*bs:(i+1)*bs]); err != nil {
-			return nil, 0, 0, 0, err
+			return nil, 0, 0, 0, 0, err
 		}
 	}
 	body := buf[:uint64(chunkHdrSize)+uint64(plen)]
 	sumDec := marshal.NewDecoder(buf[len(body) : len(body)+8])
 	if sum := sumDec.U64(); fletcher64(body) != sum {
 		obs.WALTornChunks.Add(j.shard, 1)
-		return nil, 0, 0, 0, fmt.Errorf("%w: checksum mismatch at block %d", ErrCorruptChunk, at)
+		return nil, 0, 0, 0, 0, fmt.Errorf("%w: checksum mismatch at block %d", ErrCorruptChunk, at)
 	}
 	recs := make([]fs.Mutation, 0, count)
 	rd := marshal.NewDecoder(body[chunkHdrSize:])
@@ -468,9 +592,9 @@ func (j *Journal) readChunk(at uint64, epoch uint64) ([]fs.Mutation, uint64, uin
 	}
 	if err := rd.Finish(); err != nil {
 		obs.WALTornChunks.Add(j.shard, 1)
-		return nil, 0, 0, 0, fmt.Errorf("%w: record decode at block %d: %v", ErrCorruptChunk, at, err)
+		return nil, 0, 0, 0, 0, fmt.Errorf("%w: record decode at block %d: %v", ErrCorruptChunk, at, err)
 	}
-	return recs, first, count, nb, nil
+	return recs, first, round, count, nb, nil
 }
 
 // encodeMutation appends one record to the encoder (the journal wire

@@ -238,14 +238,6 @@ func OpSockSend(sock SockID, addr NetAddr, port Port, payload []byte) Op {
 func OpSockRecv(sock SockID) Op  { return sys.OpSockRecv(sock) }
 func OpSockClose(sock SockID) Op { return sys.OpSockClose(sock) }
 
-// SockRecvVal unpacks an OpSockRecv completion's Val into the sender's
-// machine address and source port. It survives one deprecation cycle
-// for external callers and is scheduled for removal with the next
-// breaking API cleanup (see DESIGN.md, "The networked syscall path").
-//
-// Deprecated: use Completion.SockFrom, which returns the typed source.
-func SockRecvVal(val uint64) (from uint64, fromPort uint16) { return sys.SockRecvVal(val) }
-
 // NewNetwork creates a virtual switch; pass it in Config.Network to
 // connect multiple Systems (the blockstore example builds a small
 // cluster this way).
