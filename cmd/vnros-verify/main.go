@@ -2,6 +2,13 @@
 // repository's analog of the paper's "total time to verify our code"),
 // printing the per-module ledger, the Figure 1a CDF, and the §5
 // proof-to-code ratio report.
+//
+// The suite discharges on a worker pool (-j, default GOMAXPROCS); per-VC
+// seeds depend only on -seed and the VC's ID, so the ledger is
+// byte-identical at every job count. -incremental skips VCs whose
+// module's input hash is unchanged since the last green run (advisory —
+// CI runs -force); -fuzzbudget scales the sweep VCs' iteration and
+// trace counts; -json writes the machine-readable timing ledger.
 package main
 
 import (
@@ -9,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	vnros "github.com/verified-os/vnros"
 	"github.com/verified-os/vnros/internal/verifier"
@@ -18,6 +26,13 @@ import (
 func main() {
 	seed := flag.Int64("seed", 2026, "seed for randomized verification conditions")
 	module := flag.String("module", "", "restrict to one module (e.g. pt, fs)")
+	jobs := flag.Int("j", 0, "worker count; 0 means GOMAXPROCS")
+	fuzzBudget := flag.Int("fuzzbudget", 1, "iteration/trace multiplier for sweep VCs (clamped to >= 1)")
+	incremental := flag.Bool("incremental", false,
+		"skip VCs whose module inputs are unchanged since the last green run (advisory)")
+	force := flag.Bool("force", false, "ignore the incremental cache and run everything")
+	jsonOut := flag.Bool("json", false, "write the per-VC timing ledger as JSON")
+	jsonFile := flag.String("jsonfile", "BENCH_verify.json", "path for the -json ledger")
 	cdf := flag.Bool("cdf", true, "print the Figure 1a CDF")
 	ratio := flag.Bool("ratio", true, "print the proof-to-code ratio report")
 	verbose := flag.Bool("v", false, "print each VC as it completes")
@@ -25,26 +40,92 @@ func main() {
 	flag.Parse()
 
 	g := vnros.NewVCRegistry()
-	opts := verifier.Options{Seed: *seed, Module: *module}
+	modules := g.Modules()
+	if *module != "" && !contains(modules, *module) {
+		fmt.Fprintf(os.Stderr, "vnros-verify: no such module %q (have: %s)\n",
+			*module, strings.Join(modules, ", "))
+		os.Exit(2)
+	}
+
+	opts := verifier.Options{Seed: *seed, Module: *module, Jobs: *jobs, FuzzBudget: *fuzzBudget}
 	if *verbose {
 		opts.Progress = func(r verifier.Result) {
 			status := "ok"
-			if r.Err != nil {
+			switch {
+			case r.Skipped:
+				status = "skipped (cached)"
+			case r.Err != nil:
 				status = "FAIL: " + r.Err.Error()
 			}
 			fmt.Printf("  [%-15s] %-45s %10v %s\n",
 				r.Obligation.Kind, r.Obligation.ID(), r.Duration.Round(1000), status)
 		}
 	}
+
+	// Incremental skipping: a VC may be elided when its module's input
+	// hash (sources of its package plus transitive repo-internal imports)
+	// matches the cache of the last green run at the same seed and
+	// budget. The skip is advisory; -force clears it.
+	var hashes map[string]string
+	if *incremental && !*force {
+		cache, err := verifier.LoadCache(verifier.CachePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vnros-verify: cache:", err)
+			os.Exit(1)
+		}
+		hashes, err = verifier.ModuleHashes(".", modules)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vnros-verify: hashing module inputs:", err)
+			os.Exit(1)
+		}
+		opts.Skip = func(o verifier.Obligation) bool {
+			return cache.Skippable(o.Module, hashes[o.Module], *seed, clampBudget(*fuzzBudget))
+		}
+	}
+
 	rep := g.Run(opts)
 
 	fmt.Print(rep.Summary())
+	fmt.Print(renderFooter(rep))
+
+	if *jsonOut {
+		raw, err := rep.LedgerJSON(*seed, clampBudget(*fuzzBudget))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vnros-verify: ledger:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonFile, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "vnros-verify: ledger:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("timing ledger written to %s\n", *jsonFile)
+	}
+
 	if failed := rep.Failed(); len(failed) > 0 {
 		fmt.Println("\nFAILED verification conditions:")
 		for _, f := range failed {
 			fmt.Printf("  %s: %v\n", f.Obligation.ID(), f.Err)
 		}
 		os.Exit(1)
+	}
+
+	// A green, unfiltered run refreshes the incremental manifest; module
+	// hashes of skipped modules are unchanged by construction, so the
+	// cache stays sound whether or not this run skipped anything.
+	if *module == "" {
+		if hashes == nil {
+			var err error
+			hashes, err = verifier.ModuleHashes(".", modules)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vnros-verify: hashing module inputs:", err)
+				os.Exit(1)
+			}
+		}
+		c := verifier.Cache{Version: 1, Seed: *seed, FuzzBudget: clampBudget(*fuzzBudget), Modules: hashes}
+		if err := c.Save(verifier.CachePath); err != nil {
+			fmt.Fprintln(os.Stderr, "vnros-verify: saving cache:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *timing {
@@ -67,13 +148,40 @@ func main() {
 	}
 }
 
+func clampBudget(b int) int {
+	if b < 1 {
+		return 1
+	}
+	return b
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// renderFooter prints the run's wall-clock numbers. These live outside
+// Summary so the summary stays byte-identical across job counts.
+func renderFooter(rep *verifier.Report) string {
+	return fmt.Sprintf("total time %v   max single VC %v   jobs: %d   speedup vs serial: %.2fx\n",
+		rep.Total.Round(1000), rep.Max().Round(1000), rep.Jobs, rep.Speedup())
+}
+
 // renderTiming lists every VC by wall-clock cost, most expensive first —
 // the working set for deciding which sweeps to parallelize or trim as
 // the suite grows (ROADMAP, "scale the verifier").
 func renderTiming(rep *verifier.Report) string {
-	results := make([]verifier.Result, len(rep.Results))
-	copy(results, rep.Results)
-	sort.Slice(results, func(i, j int) bool {
+	results := make([]verifier.Result, 0, len(rep.Results))
+	for _, r := range rep.Results {
+		if !r.Skipped {
+			results = append(results, r)
+		}
+	}
+	sort.SliceStable(results, func(i, j int) bool {
 		return results[i].Duration > results[j].Duration
 	})
 	out := "Per-VC wall-clock durations (descending):\n"
@@ -87,6 +195,9 @@ func renderTiming(rep *verifier.Report) string {
 func renderCDF(rep *verifier.Report) string {
 	out := "Figure 1a: CDF of verification condition times\n"
 	cdf := rep.CDF()
+	if len(cdf) == 0 {
+		return out + "  (no verification conditions ran)\n"
+	}
 	step := len(cdf) / 20
 	if step == 0 {
 		step = 1

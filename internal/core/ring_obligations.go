@@ -20,12 +20,14 @@ import (
 func registerRingWaitObligations(g *verifier.Registry) {
 	g.Register(
 		verifier.Obligation{Module: "core", Name: "ring-wait-no-lost-wakeup", Kind: verifier.KindModelCheck,
-			Check: func(r *rand.Rand) error {
-				if err := ringWaitRun(r, 0); err != nil {
-					return fmt.Errorf("monolithic: %w", err)
-				}
-				if err := ringWaitRun(r, 2); err != nil {
-					return fmt.Errorf("sharded: %w", err)
+			Budget: func(r *rand.Rand, budget int) error {
+				for b := 0; b < budget; b++ {
+					if err := ringWaitRun(r, 0); err != nil {
+						return fmt.Errorf("monolithic: %w", err)
+					}
+					if err := ringWaitRun(r, 2); err != nil {
+						return fmt.Errorf("sharded: %w", err)
+					}
 				}
 				return nil
 			}},

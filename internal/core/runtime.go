@@ -116,7 +116,8 @@ func (v *replicaViewer) ViewFDs(pid proc.PID) (fs.SpecState, bool) {
 			s.InspectFsShard(s.FsShardOf(of.Ino), rep, func(k *sys.Kernel) {
 				contents, _ = k.FS().Contents(of.Ino)
 			})
-			st.Files[fd] = fs.SpecFile{Contents: contents, Offset: of.Offset, Locked: of.Locked, Ino: of.Ino}
+			st.Files[fd] = fs.SpecFile{Contents: contents, Offset: of.Offset, Locked: of.Locked,
+				Append: of.Flags&fs.OAppend != 0, Ino: of.Ino}
 		}
 		return st, true
 	}

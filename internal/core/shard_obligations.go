@@ -31,7 +31,9 @@ func registerShardObligations(g *verifier.Registry) {
 		verifier.Obligation{Module: "core", Name: "shard-isolation", Kind: verifier.KindInvariant,
 			Check: func(r *rand.Rand) error { return shardIsolationWorkload(r) }},
 		verifier.Obligation{Module: "core", Name: "cross-shard-ordering", Kind: verifier.KindSafety,
-			Check: func(r *rand.Rand) error { return crossShardOrderingWorkload(r) }},
+			Budget: func(r *rand.Rand, budget int) error {
+				return crossShardOrderingWorkload(r, 6*budget)
+			}},
 		verifier.Obligation{Module: "core", Name: "sharded-refines-single-machine-spec", Kind: verifier.KindRefinement,
 			Check: func(r *rand.Rand) error { return shardRefinementCheck(r) }},
 	)
@@ -122,8 +124,7 @@ func shardIsolationWorkload(r *rand.Rand) error {
 // (create/rename/link/unlink in a private directory) from another
 // handler — interleaving every two-step protocol with namespace
 // mutations on all shards.
-func crossShardOrderingWorkload(r *rand.Rand) error {
-	const procs = 6
+func crossShardOrderingWorkload(r *rand.Rand, procs int) error {
 	s, err := Boot(Config{Cores: 8, Shards: 4, MemBytes: 256 << 20})
 	if err != nil {
 		return err

@@ -243,6 +243,10 @@ func RenderCDF(rep *verifier.Report) string {
 		len(rep.Results), rep.Total.Round(time.Millisecond), rep.Max().Round(time.Microsecond))
 	fmt.Fprintf(&b, "%14s %10s\n", "time", "fraction")
 	cdf := rep.CDF()
+	if len(cdf) == 0 {
+		b.WriteString("  (no verification conditions ran)\n")
+		return b.String()
+	}
 	// Print ~20 evenly spaced points plus the max.
 	step := len(cdf) / 20
 	if step == 0 {

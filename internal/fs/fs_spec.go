@@ -27,10 +27,14 @@ import (
 // SpecFile is the abstract view of one descriptor. Ino identifies the
 // underlying file so checkers can tell when two descriptors alias the
 // same contents; the transition relations themselves never inspect it.
+// Append mirrors the descriptor's OAppend flag: write_spec resolves the
+// effective write offset at EOF for such descriptors, exactly as the
+// implementation does.
 type SpecFile struct {
 	Contents []byte
 	Offset   uint64
 	Locked   bool
+	Append   bool
 	Ino      Ino
 }
 
@@ -48,7 +52,7 @@ func (s SpecState) CloneSpec() SpecState {
 	for fd, f := range s.Files {
 		c := make([]byte, len(f.Contents))
 		copy(c, f.Contents)
-		out.Files[fd] = SpecFile{Contents: c, Offset: f.Offset, Locked: f.Locked, Ino: f.Ino}
+		out.Files[fd] = SpecFile{Contents: c, Offset: f.Offset, Locked: f.Locked, Append: f.Append, Ino: f.Ino}
 	}
 	return out
 }
@@ -99,8 +103,10 @@ func ReadSpec(pre, post SpecState, fd FD, bufferLen uint64, gotBuffer []byte, re
 }
 
 // WriteSpec relates pre and post for a write: the written bytes appear
-// in contents at the pre offset (zero-filling any gap), the offset
-// advances by the count, everything else is unchanged.
+// in contents at the effective offset — the pre offset, or EOF when the
+// descriptor carries OAppend (zero-filling any gap) — the offset
+// advances to the end of the written segment, everything else is
+// unchanged.
 func WriteSpec(pre, post SpecState, fd FD, data []byte, wrote uint64) error {
 	pf, ok := pre.Files[fd]
 	if !ok {
@@ -116,20 +122,24 @@ func WriteSpec(pre, post SpecState, fd FD, data []byte, wrote uint64) error {
 	if !ok {
 		return fmt.Errorf("write_spec: fd %d not open in post", fd)
 	}
+	wOff := pf.Offset
+	if pf.Append {
+		wOff = pf.Size() // append resolves the write offset at EOF
+	}
 	wantSize := pf.Size()
-	if pf.Offset+wrote > wantSize {
-		wantSize = pf.Offset + wrote
+	if wOff+wrote > wantSize {
+		wantSize = wOff + wrote
 	}
 	if qf.Size() != wantSize {
 		return fmt.Errorf("write_spec: post size %d != %d", qf.Size(), wantSize)
 	}
-	if !writeSpecContentsOK(pf, qf, data, wrote) {
+	if !writeSpecContentsOK(pf, qf, wOff, data, wrote) {
 		// Slow path names the first offending index.
 		for i := uint64(0); i < qf.Size(); i++ {
 			var want byte
 			switch {
-			case i >= pf.Offset && i < pf.Offset+wrote:
-				want = data[i-pf.Offset]
+			case i >= wOff && i < wOff+wrote:
+				want = data[i-wOff]
 			case i < pf.Size():
 				want = pf.Contents[i]
 			default:
@@ -140,29 +150,29 @@ func WriteSpec(pre, post SpecState, fd FD, data []byte, wrote uint64) error {
 			}
 		}
 	}
-	if qf.Offset != pf.Offset+wrote {
-		return fmt.Errorf("write_spec: post offset %d != %d", qf.Offset, pf.Offset+wrote)
+	if qf.Offset != wOff+wrote {
+		return fmt.Errorf("write_spec: post offset %d != %d", qf.Offset, wOff+wrote)
 	}
 	return nil
 }
 
 // writeSpecContentsOK is the segment form of WriteSpec's contents
 // clause: prefix preserved, any gap beyond old EOF zero-filled, the
-// written data at the pre offset, suffix preserved. The caller has
-// already established wrote == len(data) and post size == the expected
-// size, so every slice below is in bounds.
-func writeSpecContentsOK(pf, qf SpecFile, data []byte, wrote uint64) bool {
-	cut := min64(pf.Offset, pf.Size())
+// written data at the effective offset wOff, suffix preserved. The
+// caller has already established wrote == len(data) and post size ==
+// the expected size, so every slice below is in bounds.
+func writeSpecContentsOK(pf, qf SpecFile, wOff uint64, data []byte, wrote uint64) bool {
+	cut := min64(wOff, pf.Size())
 	if !bytes.Equal(qf.Contents[:cut], pf.Contents[:cut]) {
 		return false
 	}
-	for _, b := range qf.Contents[cut:pf.Offset] { // gap beyond old EOF
+	for _, b := range qf.Contents[cut:wOff] { // gap beyond old EOF
 		if b != 0 {
 			return false
 		}
 	}
-	end := pf.Offset + wrote
-	if !bytes.Equal(qf.Contents[pf.Offset:end], data) {
+	end := wOff + wrote
+	if !bytes.Equal(qf.Contents[wOff:end], data) {
 		return false
 	}
 	if end >= qf.Size() {
@@ -214,7 +224,8 @@ func AbstractFDs(t *FDTable) SpecState {
 			contents = make([]byte, len(n.Data))
 			copy(contents, n.Data)
 		}
-		out.Files[fd] = SpecFile{Contents: contents, Offset: of.Offset, Locked: of.Locked, Ino: of.Ino}
+		out.Files[fd] = SpecFile{Contents: contents, Offset: of.Offset, Locked: of.Locked,
+			Append: of.Flags&OAppend != 0, Ino: of.Ino}
 	}
 	return out
 }

@@ -242,6 +242,9 @@ func (s *Sys) Readv(fd fs.FD, bufs [][]byte) (uint64, Errno) {
 type batchFD struct {
 	ino fs.Ino
 	off uint64
+	// app mirrors the descriptor's OAppend flag: writes resolve their
+	// offset at the model's EOF, which only trusted contents can name.
+	app bool
 	// tracked is false for descriptors the batch itself opened: their
 	// pre-state is not in the snapshot, so ops on them go unchecked.
 	tracked bool
@@ -269,7 +272,7 @@ func checkBatch(pre, post fs.SpecState, ops []WriteOp, comps []Completion) error
 	model := make(map[fs.FD]*batchFD, len(pre.Files))
 	contents := make(map[fs.Ino][]byte, len(pre.Files))
 	for fd, f := range pre.Files {
-		model[fd] = &batchFD{ino: f.Ino, off: f.Offset, tracked: true}
+		model[fd] = &batchFD{ino: f.Ino, off: f.Offset, app: f.Append, tracked: true}
 		if _, ok := contents[f.Ino]; !ok {
 			c := make([]byte, len(f.Contents))
 			copy(c, f.Contents)
@@ -304,9 +307,9 @@ func checkBatch(pre, post fs.SpecState, ops []WriteOp, comps []Completion) error
 	// state; two reused maps keep the replay loop allocation-free.
 	preM := make(map[fs.FD]fs.SpecFile, 1)
 	postM := make(map[fs.FD]fs.SpecFile, 1)
-	single := func(m map[fs.FD]fs.SpecFile, fd fs.FD, data []byte, off uint64, locked bool) fs.SpecState {
+	single := func(m map[fs.FD]fs.SpecFile, fd fs.FD, data []byte, off uint64, locked, app bool) fs.SpecState {
 		clear(m)
-		m[fd] = fs.SpecFile{Contents: data, Offset: off, Locked: locked}
+		m[fd] = fs.SpecFile{Contents: data, Offset: off, Locked: locked, Append: app}
 		return fs.SpecState{Files: m}
 	}
 
@@ -383,8 +386,8 @@ func checkBatch(pre, post fs.SpecState, ops []WriteOp, comps []Completion) error
 					i, op.FD, len(c.Data), c.Val)
 			}
 			if trusted {
-				preS := single(preM, op.FD, contents[m.ino], m.off, true)
-				postS := single(postM, op.FD, contents[m.ino], m.off+c.Val, false)
+				preS := single(preM, op.FD, contents[m.ino], m.off, true, false)
+				postS := single(postM, op.FD, contents[m.ino], m.off+c.Val, false, false)
 				if err := fs.ReadSpec(preS, postS, op.FD, op.Len, c.Data, c.Val); err != nil {
 					return fmt.Errorf("batch op %d: %w", i, err)
 				}
@@ -395,25 +398,36 @@ func checkBatch(pre, post fs.SpecState, ops []WriteOp, comps []Completion) error
 			if m == nil || !m.tracked {
 				continue
 			}
+			if !trusted && m.app {
+				// An append write lands at EOF, which untrusted contents
+				// cannot name — the descriptor's offset evolution is
+				// unknowable from here on.
+				m.tracked = false
+				continue
+			}
+			wOff := m.off
 			if trusted {
 				cur := contents[m.ino]
-				next := spliceWrite(cur, m.off, op.Data)
-				preS := single(preM, op.FD, cur, m.off, true)
-				postS := single(postM, op.FD, next, m.off+c.Val, false)
+				if m.app {
+					wOff = uint64(len(cur)) // append resolves at the model's EOF
+				}
+				next := spliceWrite(cur, wOff, op.Data)
+				preS := single(preM, op.FD, cur, m.off, true, m.app)
+				postS := single(postM, op.FD, next, wOff+c.Val, false, m.app)
 				if err := fs.WriteSpec(preS, postS, op.FD, op.Data, c.Val); err != nil {
 					return fmt.Errorf("batch op %d: %w", i, err)
 				}
 				contents[m.ino] = next
 			}
-			m.off += c.Val
+			m.off = wOff + c.Val
 		case NumSeek:
 			m := model[op.FD]
 			if m == nil || !m.tracked {
 				continue
 			}
 			if trusted {
-				preS := single(preM, op.FD, contents[m.ino], m.off, false)
-				postS := single(postM, op.FD, contents[m.ino], c.Val, false)
+				preS := single(preM, op.FD, contents[m.ino], m.off, false, false)
+				postS := single(postM, op.FD, contents[m.ino], c.Val, false, false)
 				if err := fs.SeekSpec(preS, postS, op.FD, op.Off, op.Whence, c.Val); err != nil {
 					return fmt.Errorf("batch op %d: %w", i, err)
 				}

@@ -1,0 +1,297 @@
+package verifier
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Incremental verification: a VC's inputs are the Go sources of the
+// package its module maps to plus everything that package (transitively)
+// imports inside this repository — exactly the code whose behavior the
+// VC pins. ModuleHashes computes one content hash per module over that
+// closure; a cache (.vnros-verify/cache.json) records the hashes of the
+// last fully green run, and `vnros-verify -incremental` skips VCs whose
+// module hash is unchanged.
+//
+// Invalidation rules (see DESIGN.md, "Scaling the verifier"):
+//   - any non-test .go file in the module's package dir or a transitive
+//     repo-internal import changes → the module's hash changes → run;
+//   - the run seed or fuzz budget differs from the cached run → the
+//     cached randomness doesn't cover this run → run everything;
+//   - a module with no resolvable package dir is never skippable;
+//   - the cache is written only after a green, unfiltered run.
+//
+// The skip is advisory — a scheduling aid for local iteration. CI
+// always passes -force and discharges every obligation.
+
+// CachePath is the on-disk location of the incremental manifest,
+// relative to the repo root.
+const CachePath = ".vnros-verify/cache.json"
+
+// Cache is the persisted manifest of the last green run.
+type Cache struct {
+	Version    int               `json:"version"`
+	Seed       int64             `json:"seed"`
+	FuzzBudget int               `json:"fuzzbudget"`
+	Modules    map[string]string `json:"modules"`
+}
+
+// LoadCache reads the manifest at path; a missing file is an empty
+// cache (nothing skippable), not an error.
+func LoadCache(path string) (*Cache, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Cache{Version: 1, Modules: map[string]string{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var c Cache
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return nil, fmt.Errorf("verifier: corrupt cache %s: %w", path, err)
+	}
+	if c.Modules == nil {
+		c.Modules = map[string]string{}
+	}
+	return &c, nil
+}
+
+// Save writes the manifest atomically (write-then-rename), creating the
+// cache directory if needed.
+func (c *Cache) Save(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Skippable reports whether a module's VCs may be skipped: the cached
+// run used the same seed and budget, and the module's input hash is
+// unchanged.
+func (c *Cache) Skippable(module, hash string, seed int64, fuzzBudget int) bool {
+	if c.Seed != seed || c.FuzzBudget != fuzzBudget || hash == "" {
+		return false
+	}
+	return c.Modules[module] == hash
+}
+
+// extraModuleDeps names input edges the import graph cannot see: these
+// modules' obligations are registered with an environment constructed
+// by another package (ulib's env boots core systems), so that package's
+// sources are part of their inputs.
+var extraModuleDeps = map[string][]string{
+	"ulib": {"internal/core"},
+}
+
+// ModuleHashes computes the content hash of every module's input
+// closure under root (the repo root, containing go.mod). Modules whose
+// package dir cannot be resolved are absent from the result — and
+// therefore never skippable.
+func ModuleHashes(root string, modules []string) (map[string]string, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	closures := newImportWalker(root, modPath)
+	out := make(map[string]string, len(modules))
+	for _, m := range modules {
+		dir, ok := moduleDir(root, m)
+		if !ok {
+			continue
+		}
+		dirs, err := closures.closure(dir)
+		if err != nil {
+			return nil, fmt.Errorf("verifier: module %s: %w", m, err)
+		}
+		for _, extra := range extraModuleDeps[m] {
+			more, err := closures.closure(extra)
+			if err != nil {
+				return nil, fmt.Errorf("verifier: module %s extra dep: %w", m, err)
+			}
+			dirs = append(dirs, more...)
+		}
+		h, err := hashDirs(root, dedupe(dirs))
+		if err != nil {
+			return nil, fmt.Errorf("verifier: module %s: %w", m, err)
+		}
+		out[m] = h
+	}
+	return out, nil
+}
+
+// moduleDir maps an obligation module name to its repo-relative package
+// dir: internal/<module>, falling back to internal/verifier/<module>
+// (the differential harness lives under the verifier).
+func moduleDir(root, module string) (string, bool) {
+	for _, rel := range []string{
+		filepath.Join("internal", filepath.FromSlash(module)),
+		filepath.Join("internal", "verifier", filepath.FromSlash(module)),
+	} {
+		if st, err := os.Stat(filepath.Join(root, rel)); err == nil && st.IsDir() {
+			return filepath.ToSlash(rel), true
+		}
+	}
+	return "", false
+}
+
+// modulePath reads the module line of go.mod.
+func modulePath(root string) (string, error) {
+	raw, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s/go.mod", root)
+}
+
+// importWalker memoizes the transitive repo-internal import closure of
+// package dirs (repo-relative, slash-separated).
+type importWalker struct {
+	root    string
+	modPath string
+	imports map[string][]string // dir → direct repo-internal import dirs
+}
+
+func newImportWalker(root, modPath string) *importWalker {
+	return &importWalker{root: root, modPath: modPath, imports: map[string][]string{}}
+}
+
+// closure returns dir plus every repo-internal package dir it
+// transitively imports.
+func (w *importWalker) closure(dir string) ([]string, error) {
+	seen := map[string]bool{}
+	var visit func(d string) error
+	visit = func(d string) error {
+		if seen[d] {
+			return nil
+		}
+		seen[d] = true
+		deps, err := w.directImports(d)
+		if err != nil {
+			return err
+		}
+		for _, dep := range deps {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := visit(dir); err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// directImports parses the non-test .go files of one package dir
+// (imports only) and returns the repo-internal packages they import.
+func (w *importWalker) directImports(dir string) ([]string, error) {
+	if deps, ok := w.imports[dir]; ok {
+		return deps, nil
+	}
+	files, err := goFiles(filepath.Join(w.root, filepath.FromSlash(dir)))
+	if err != nil {
+		return nil, err
+	}
+	depSet := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, f := range files {
+		parsed, err := parser.ParseFile(fset, f, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", f, err)
+		}
+		for _, imp := range parsed.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if rel, ok := strings.CutPrefix(path, w.modPath+"/"); ok {
+				depSet[rel] = true
+			}
+		}
+	}
+	deps := make([]string, 0, len(depSet))
+	for d := range depSet {
+		deps = append(deps, d)
+	}
+	sort.Strings(deps)
+	w.imports[dir] = deps
+	return deps, nil
+}
+
+// goFiles lists a dir's non-test .go files, sorted.
+func goFiles(absDir string) ([]string, error) {
+	ents, err := os.ReadDir(absDir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, filepath.Join(absDir, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// hashDirs hashes the contents of every non-test .go file under the
+// given package dirs (names and bytes, in sorted order).
+func hashDirs(root string, dirs []string) (string, error) {
+	h := sha256.New()
+	for _, dir := range dirs {
+		files, err := goFiles(filepath.Join(root, filepath.FromSlash(dir)))
+		if err != nil {
+			return "", err
+		}
+		for _, f := range files {
+			raw, err := os.ReadFile(f)
+			if err != nil {
+				return "", err
+			}
+			rel, err := filepath.Rel(root, f)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(h, "%s\x00%d\x00", filepath.ToSlash(rel), len(raw))
+			h.Write(raw)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func dedupe(ss []string) []string {
+	sort.Strings(ss)
+	out := ss[:0]
+	for i, s := range ss {
+		if i == 0 || s != ss[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

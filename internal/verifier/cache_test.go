@@ -1,0 +1,168 @@
+package verifier
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fakeRepo builds a minimal module tree for hashing tests:
+//
+//	internal/alpha   imports internal/beta
+//	internal/beta    (leaf)
+//	internal/gamma   (leaf, independent)
+func fakeRepo(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, content string) {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/fake\n\ngo 1.22\n")
+	write("internal/alpha/alpha.go",
+		"package alpha\n\nimport \"example.com/fake/internal/beta\"\n\nvar _ = beta.B\n")
+	write("internal/alpha/alpha_test.go",
+		"package alpha\n\n// test files are not inputs\n")
+	write("internal/beta/beta.go", "package beta\n\nconst B = 1\n")
+	write("internal/gamma/gamma.go", "package gamma\n\nconst G = 1\n")
+	return root
+}
+
+func TestModuleHashesInvalidation(t *testing.T) {
+	root := fakeRepo(t)
+	mods := []string{"alpha", "beta", "gamma", "missing"}
+	h1, err := ModuleHashes(root, mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h1["missing"]; ok {
+		t.Fatal("unresolvable module got a hash (and would be skippable)")
+	}
+	for _, m := range []string{"alpha", "beta", "gamma"} {
+		if h1[m] == "" {
+			t.Fatalf("no hash for %s", m)
+		}
+	}
+
+	// Editing a transitive dependency must invalidate the importer.
+	if err := os.WriteFile(filepath.Join(root, "internal/beta/beta.go"),
+		[]byte("package beta\n\nconst B = 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ModuleHashes(root, mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2["beta"] == h1["beta"] {
+		t.Fatal("beta's hash unchanged after edit")
+	}
+	if h2["alpha"] == h1["alpha"] {
+		t.Fatal("alpha's hash unchanged after a dependency edit")
+	}
+	if h2["gamma"] != h1["gamma"] {
+		t.Fatal("gamma's hash changed without any input change")
+	}
+
+	// Test files are not inputs.
+	if err := os.WriteFile(filepath.Join(root, "internal/alpha/alpha_test.go"),
+		[]byte("package alpha\n\n// edited\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h3, err := ModuleHashes(root, mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3["alpha"] != h2["alpha"] {
+		t.Fatal("test-file edit changed a module hash")
+	}
+}
+
+func TestCacheSaveLoadAndSkippable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "cache.json")
+
+	// Missing file: empty cache, nothing skippable.
+	c, err := LoadCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Skippable("m", "h", 1, 1) {
+		t.Fatal("empty cache skipped something")
+	}
+
+	c = &Cache{Version: 1, Seed: 42, FuzzBudget: 2, Modules: map[string]string{"m": "hash-m"}}
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 42 || got.FuzzBudget != 2 || got.Modules["m"] != "hash-m" {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+
+	if !got.Skippable("m", "hash-m", 42, 2) {
+		t.Fatal("matching module not skippable")
+	}
+	for _, bad := range []struct {
+		name string
+		ok   bool
+	}{{"hash mismatch", got.Skippable("m", "other", 42, 2)},
+		{"seed mismatch", got.Skippable("m", "hash-m", 43, 2)},
+		{"budget mismatch", got.Skippable("m", "hash-m", 42, 3)},
+		{"unknown module", got.Skippable("n", "hash-n", 42, 2)},
+		{"empty hash", got.Skippable("m", "", 42, 2)}} {
+		if bad.ok {
+			t.Fatalf("%s was skippable", bad.name)
+		}
+	}
+}
+
+func TestLoadCacheCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCache(path); err == nil {
+		t.Fatal("corrupt cache loaded silently")
+	}
+}
+
+// TestRepoModuleHashes runs the hasher against this repository itself:
+// every registered module except the known virtual ones must resolve.
+func TestRepoModuleHashes(t *testing.T) {
+	root := repoRoot(t)
+	hashes, err := ModuleHashes(root, []string{"fs", "core", "diff", "verifier"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"fs", "core", "diff", "verifier"} {
+		if hashes[m] == "" {
+			t.Errorf("module %s did not resolve against the real tree", m)
+		}
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test dir")
+		}
+		dir = parent
+	}
+}

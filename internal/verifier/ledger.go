@@ -1,0 +1,83 @@
+package verifier
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// LedgerEntry is one VC's row of the machine-readable timing ledger
+// (BENCH_verify.json) — the verification-time trajectory is tracked in
+// CI like the perf benches.
+type LedgerEntry struct {
+	ID         string `json:"id"`
+	Kind       string `json:"kind"`
+	DurationNs int64  `json:"duration_ns"`
+	Skipped    bool   `json:"skipped"`
+	Pass       bool   `json:"pass"`
+	Err        string `json:"err,omitempty"`
+}
+
+// Ledger is the JSON shape of a verification run: the headline numbers
+// (wall clock, serial-equivalent cost, speedup) plus the per-VC rows
+// sorted by descending duration, mirroring `vnros-verify -timing`.
+type Ledger struct {
+	Jobs       int           `json:"jobs"`
+	Seed       int64         `json:"seed"`
+	FuzzBudget int           `json:"fuzzbudget"`
+	VCs        int           `json:"vcs"`
+	Passed     int           `json:"passed"`
+	Failed     int           `json:"failed"`
+	Skipped    int           `json:"skipped"`
+	TotalNs    int64         `json:"total_ns"`
+	SerialNs   int64         `json:"serial_ns"`
+	MaxNs      int64         `json:"max_ns"`
+	Speedup    float64       `json:"speedup"`
+	Entries    []LedgerEntry `json:"entries"`
+}
+
+// Ledger builds the machine-readable run ledger. Seed and fuzz budget
+// are run inputs the report doesn't carry; the caller passes them back
+// in so the artifact reproduces the run.
+func (r *Report) Ledger(seed int64, fuzzBudget int) Ledger {
+	l := Ledger{
+		Jobs:       r.Jobs,
+		Seed:       seed,
+		FuzzBudget: fuzzBudget,
+		VCs:        len(r.Results),
+		TotalNs:    r.Total.Nanoseconds(),
+		SerialNs:   r.SerialTime().Nanoseconds(),
+		MaxNs:      r.Max().Nanoseconds(),
+		Speedup:    r.Speedup(),
+		Entries:    make([]LedgerEntry, 0, len(r.Results)),
+	}
+	for _, res := range r.Results {
+		e := LedgerEntry{
+			ID:         res.Obligation.ID(),
+			Kind:       string(res.Obligation.Kind),
+			DurationNs: res.Duration.Nanoseconds(),
+			Skipped:    res.Skipped,
+			Pass:       !res.Skipped && res.Err == nil,
+		}
+		if res.Err != nil {
+			e.Err = res.Err.Error()
+		}
+		switch {
+		case res.Skipped:
+			l.Skipped++
+		case res.Err != nil:
+			l.Failed++
+		default:
+			l.Passed++
+		}
+		l.Entries = append(l.Entries, e)
+	}
+	sort.SliceStable(l.Entries, func(i, j int) bool {
+		return l.Entries[i].DurationNs > l.Entries[j].DurationNs
+	})
+	return l
+}
+
+// LedgerJSON renders the run ledger as indented JSON.
+func (r *Report) LedgerJSON(seed int64, fuzzBudget int) ([]byte, error) {
+	return json.MarshalIndent(r.Ledger(seed, fuzzBudget), "", "  ")
+}

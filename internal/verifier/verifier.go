@@ -10,12 +10,18 @@
 //
 // Obligations must be deterministic: randomized checks derive their
 // randomness from the obligation's seeded source so that a failure
-// reproduces.
+// reproduces. The seed of each VC depends only on Options.Seed and the
+// VC's ID — never on execution order — which is what makes the worker
+// pool sound: a parallel run (Options.Jobs > 1) discharges the same
+// obligations with the same randomness as a serial run, and the report
+// collects results in ID order, so the pass/fail ledger is identical at
+// every job count.
 package verifier
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -34,6 +40,7 @@ const (
 	KindLinearizability Kind = "linearizability" // NR histories (§4.3)
 	KindModelCheck      Kind = "model-check"     // explicit-state exploration
 	KindSafety          Kind = "safety"          // memory-safety / bounds probes
+	KindDifferential    Kind = "differential"    // randomized trace diffed across kernels
 )
 
 // Obligation is one verification condition.
@@ -46,6 +53,14 @@ type Obligation struct {
 	// Check discharges the VC. It receives a deterministically seeded
 	// random source for randomized lemmas.
 	Check func(r *rand.Rand) error
+	// Budget, if non-nil, is the budgeted form of the VC and is used
+	// instead of Check: it additionally receives the run's fuzz budget
+	// (Options.FuzzBudget clamped to >= 1) and scales its iteration or
+	// trace counts linearly with it. The expensive sweep VCs (crash-point
+	// sweeps, interleaving sweeps, differential traces) register through
+	// this hook so `vnros-verify -fuzzbudget N` buys proportionally more
+	// coverage. An obligation may set Budget without Check.
+	Budget func(r *rand.Rand, budget int) error
 }
 
 // ID returns the fully qualified VC name.
@@ -68,8 +83,8 @@ func (g *Registry) Register(obls ...Obligation) {
 		g.seen = make(map[string]bool)
 	}
 	for _, o := range obls {
-		if o.Check == nil {
-			panic("verifier: obligation " + o.ID() + " has nil Check")
+		if o.Check == nil && o.Budget == nil {
+			panic("verifier: obligation " + o.ID() + " has nil Check and nil Budget")
 		}
 		if g.seen[o.ID()] {
 			panic("verifier: duplicate obligation " + o.ID())
@@ -96,18 +111,42 @@ func (g *Registry) Len() int {
 	return len(g.obls)
 }
 
+// Modules returns the sorted set of modules with registered obligations.
+func (g *Registry) Modules() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	set := make(map[string]bool)
+	for _, o := range g.obls {
+		set[o.Module] = true
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Result is the outcome of discharging one obligation.
 type Result struct {
 	Obligation Obligation
 	Duration   time.Duration
 	Err        error
+	// Skipped marks a VC elided by the incremental cache (Options.Skip):
+	// its module's inputs are unchanged since the last green run. A
+	// skipped VC is neither passed nor failed.
+	Skipped bool
 }
 
 // Report is the outcome of a full verification run — the data behind
-// Figure 1a and the §5 "total time to verify" numbers.
+// Figure 1a and the §5 "total time to verify" numbers. Results are in
+// obligation-ID order regardless of the job count or completion order.
 type Report struct {
 	Results []Result
-	Total   time.Duration
+	// Total is the wall-clock time of the run.
+	Total time.Duration
+	// Jobs is the worker count the run used.
+	Jobs int
 }
 
 // Failed returns the failed results.
@@ -115,6 +154,17 @@ func (r *Report) Failed() []Result {
 	var out []Result
 	for _, res := range r.Results {
 		if res.Err != nil {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// Skipped returns the results elided by the incremental cache.
+func (r *Report) Skipped() []Result {
+	var out []Result
+	for _, res := range r.Results {
+		if res.Skipped {
 			out = append(out, res)
 		}
 	}
@@ -133,6 +183,26 @@ func (r *Report) Max() time.Duration {
 	return m
 }
 
+// SerialTime is the sum of the individual VC durations — what the run
+// would have cost at Jobs=1 (modulo scheduling noise). The run footer's
+// "speedup vs serial" is SerialTime over Total.
+func (r *Report) SerialTime() time.Duration {
+	var s time.Duration
+	for _, res := range r.Results {
+		s += res.Duration
+	}
+	return s
+}
+
+// Speedup is the parallel speedup over a serial discharge of the same
+// obligations: SerialTime / Total. 0 when nothing ran.
+func (r *Report) Speedup() float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	return float64(r.SerialTime()) / float64(r.Total)
+}
+
 // CDFPoint is one point of the verification-time CDF.
 type CDFPoint struct {
 	Duration time.Duration
@@ -140,11 +210,15 @@ type CDFPoint struct {
 }
 
 // CDF returns the cumulative distribution of VC times, the series
-// plotted in Figure 1a.
+// plotted in Figure 1a. Skipped VCs are excluded — their zero durations
+// are cache hits, not verification times. Empty when no VC ran.
 func (r *Report) CDF() []CDFPoint {
-	ds := make([]time.Duration, len(r.Results))
-	for i, res := range r.Results {
-		ds[i] = res.Duration
+	ds := make([]time.Duration, 0, len(r.Results))
+	for _, res := range r.Results {
+		if res.Skipped {
+			continue
+		}
+		ds = append(ds, res.Duration)
 	}
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 	out := make([]CDFPoint, len(ds))
@@ -154,14 +228,20 @@ func (r *Report) CDF() []CDFPoint {
 	return out
 }
 
+// ModuleTally is one module's row of the summary ledger.
+type ModuleTally struct{ Passed, Failed, Skipped int }
+
 // ByModule groups result counts per module for the summary table.
-func (r *Report) ByModule() map[string]struct{ Passed, Failed int } {
-	out := make(map[string]struct{ Passed, Failed int })
+func (r *Report) ByModule() map[string]ModuleTally {
+	out := make(map[string]ModuleTally)
 	for _, res := range r.Results {
 		e := out[res.Obligation.Module]
-		if res.Err != nil {
+		switch {
+		case res.Skipped:
+			e.Skipped++
+		case res.Err != nil:
 			e.Failed++
-		} else {
+		default:
 			e.Passed++
 		}
 		out[res.Obligation.Module] = e
@@ -176,40 +256,92 @@ type Options struct {
 	Seed int64
 	// Module, if non-empty, restricts the run to one module.
 	Module string
-	// Progress, if non-nil, is called after each VC completes.
+	// Jobs is the worker count; <= 0 means runtime.GOMAXPROCS(0).
+	// Results are collected in ID order, so the report's ledger is
+	// byte-identical at every job count.
+	Jobs int
+	// FuzzBudget scales the iteration/trace counts of obligations with a
+	// Budget hook; values < 1 are clamped to 1 (the standard sweep).
+	FuzzBudget int
+	// Skip, if non-nil, elides obligations for which it returns true,
+	// recording them as Skipped — the incremental cache's hook.
+	Skip func(Obligation) bool
+	// Progress, if non-nil, is called after each VC completes, in
+	// completion order (serialized; never concurrently).
 	Progress func(Result)
 }
 
-// Run discharges every registered obligation sequentially (the paper
-// also reports single-job verification time) and returns the report.
+// Run discharges every registered obligation on Options.Jobs workers
+// and returns the report. Each VC's randomness derives from
+// (Seed, ID) only, so the results are independent of worker count and
+// scheduling; Results are collected in ID order.
 func (g *Registry) Run(opts Options) *Report {
-	rep := &Report{}
-	start := time.Now()
+	var obls []Obligation
 	for _, o := range g.Obligations() {
 		if opts.Module != "" && o.Module != opts.Module {
 			continue
 		}
-		src := rand.New(rand.NewSource(opts.Seed ^ int64(hashID(o.ID()))))
-		t0 := time.Now()
-		err := safeCheck(o, src)
-		res := Result{Obligation: o, Duration: time.Since(t0), Err: err}
-		rep.Results = append(rep.Results, res)
-		if opts.Progress != nil {
-			opts.Progress(res)
-		}
+		obls = append(obls, o)
 	}
-	rep.Total = time.Since(start)
-	return rep
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(obls) && len(obls) > 0 {
+		jobs = len(obls)
+	}
+	budget := opts.FuzzBudget
+	if budget < 1 {
+		budget = 1
+	}
+
+	results := make([]Result, len(obls))
+	start := time.Now()
+	var progMu sync.Mutex
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				o := obls[i]
+				if opts.Skip != nil && opts.Skip(o) {
+					results[i] = Result{Obligation: o, Skipped: true}
+				} else {
+					src := rand.New(rand.NewSource(opts.Seed ^ int64(hashID(o.ID()))))
+					t0 := time.Now()
+					err := safeCheck(o, src, budget)
+					results[i] = Result{Obligation: o, Duration: time.Since(t0), Err: err}
+				}
+				if opts.Progress != nil {
+					progMu.Lock()
+					opts.Progress(results[i])
+					progMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range obls {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	return &Report{Results: results, Total: time.Since(start), Jobs: jobs}
 }
 
 // safeCheck converts a panicking obligation into a failure rather than
 // tearing down the whole verification run.
-func safeCheck(o Obligation, src *rand.Rand) (err error) {
+func safeCheck(o Obligation, src *rand.Rand, budget int) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("obligation panicked: %v", p)
 		}
 	}()
+	if o.Budget != nil {
+		return o.Budget(src, budget)
+	}
 	return o.Check(src)
 }
 
@@ -223,7 +355,10 @@ func hashID(s string) uint64 {
 	return h
 }
 
-// Summary renders a human-readable pass/fail table.
+// Summary renders the pass/fail/skipped ledger. It contains only
+// deterministic fields (no wall-clock times), so a serial and a
+// parallel run of the same registry and seed produce byte-identical
+// summaries; timing belongs in the run footer (Total, Max, Speedup).
 func (r *Report) Summary() string {
 	var b strings.Builder
 	byMod := r.ByModule()
@@ -232,17 +367,18 @@ func (r *Report) Summary() string {
 		mods = append(mods, m)
 	}
 	sort.Strings(mods)
-	fmt.Fprintf(&b, "%-12s %8s %8s\n", "module", "passed", "failed")
-	totP, totF := 0, 0
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s\n", "module", "passed", "failed", "skipped")
+	totP, totF, totS := 0, 0, 0
 	for _, m := range mods {
 		e := byMod[m]
-		fmt.Fprintf(&b, "%-12s %8d %8d\n", m, e.Passed, e.Failed)
+		fmt.Fprintf(&b, "%-12s %8d %8d %8d\n", m, e.Passed, e.Failed, e.Skipped)
 		totP += e.Passed
 		totF += e.Failed
+		totS += e.Skipped
 	}
-	fmt.Fprintf(&b, "%-12s %8d %8d\n", "total", totP, totF)
-	fmt.Fprintf(&b, "verification conditions: %d   total time: %v   max single VC: %v\n",
-		len(r.Results), r.Total.Round(time.Millisecond), r.Max().Round(time.Microsecond))
+	fmt.Fprintf(&b, "%-12s %8d %8d %8d\n", "total", totP, totF, totS)
+	fmt.Fprintf(&b, "verification conditions: %d   passed: %d   failed: %d   skipped: %d\n",
+		len(r.Results), totP, totF, totS)
 	return b.String()
 }
 

@@ -102,6 +102,60 @@ func RegisterObligations(g *Registry) {
 				}
 				return nil
 			}},
+		Obligation{Module: "verifier", Name: "pool-order-independent", Kind: KindSafety,
+			Check: func(r *rand.Rand) error {
+				// The worker-pool soundness claim, self-applied: the same
+				// inner registry at Jobs=1 and Jobs=8 produces identical
+				// error sets and a byte-identical summary.
+				build := func() *Registry {
+					inner := &Registry{}
+					for i := 0; i < 24; i++ {
+						i := i
+						inner.Register(Obligation{Module: fmt.Sprintf("m%d", i%3),
+							Name: fmt.Sprintf("vc%02d", i), Kind: KindSafety,
+							Check: func(rr *rand.Rand) error {
+								if rr.Intn(3) == 0 {
+									return fmt.Errorf("seeded failure")
+								}
+								return nil
+							}})
+					}
+					return inner
+				}
+				seed := r.Int63()
+				a := build().Run(Options{Seed: seed, Jobs: 1})
+				b := build().Run(Options{Seed: seed, Jobs: 8})
+				if a.Summary() != b.Summary() {
+					return fmt.Errorf("summary differs between Jobs=1 and Jobs=8")
+				}
+				for i := range a.Results {
+					ra, rb := a.Results[i], b.Results[i]
+					if ra.Obligation.ID() != rb.Obligation.ID() {
+						return fmt.Errorf("result order differs at %d", i)
+					}
+					if (ra.Err == nil) != (rb.Err == nil) {
+						return fmt.Errorf("VC %s verdict differs across job counts", ra.Obligation.ID())
+					}
+				}
+				return nil
+			}},
+		Obligation{Module: "verifier", Name: "fuzz-budget-plumbed", Kind: KindSafety,
+			Check: func(r *rand.Rand) error {
+				var got []int
+				inner := &Registry{}
+				inner.Register(Obligation{Module: "m", Name: "b", Kind: KindSafety,
+					Budget: func(rr *rand.Rand, budget int) error {
+						got = append(got, budget)
+						return nil
+					}})
+				want := 1 + r.Intn(8)
+				inner.Run(Options{FuzzBudget: want})
+				inner.Run(Options{FuzzBudget: -1})
+				if len(got) != 2 || got[0] != want || got[1] != 1 {
+					return fmt.Errorf("budgets = %v, want [%d 1]", got, want)
+				}
+				return nil
+			}},
 		Obligation{Module: "verifier", Name: "module-filter-exact", Kind: KindSafety,
 			Check: func(r *rand.Rand) error {
 				inner := &Registry{}

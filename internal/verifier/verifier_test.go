@@ -144,7 +144,7 @@ func TestProgressCallback(t *testing.T) {
 	g := &Registry{}
 	g.Register(okObl("m", "a", KindSafety), okObl("m", "b", KindSafety))
 	var ids []string
-	g.Run(Options{Progress: func(r Result) { ids = append(ids, r.Obligation.ID()) }})
+	g.Run(Options{Jobs: 1, Progress: func(r Result) { ids = append(ids, r.Obligation.ID()) }})
 	if len(ids) != 2 || ids[0] != "m:a" || ids[1] != "m:b" {
 		t.Fatalf("progress = %v", ids)
 	}

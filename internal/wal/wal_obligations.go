@@ -34,7 +34,7 @@ func RegisterObligations(g *verifier.Registry) {
 		verifier.Obligation{Module: "wal", Name: "torn-record-never-replayed", Kind: verifier.KindSafety,
 			Check: func(r *rand.Rand) error { return tornChunkCheck(r) }},
 		verifier.Obligation{Module: "wal", Name: "record-encoding-roundtrip", Kind: verifier.KindRoundTrip,
-			Check: func(r *rand.Rand) error { return recordRoundTrip(r) }},
+			Budget: func(r *rand.Rand, budget int) error { return recordRoundTrip(r, 500*budget) }},
 		verifier.Obligation{Module: "wal", Name: "checkpoint-preserves-state", Kind: verifier.KindRefinement,
 			Check: func(r *rand.Rand) error { return checkpointPreservesState(r) }},
 		verifier.Obligation{Module: "wal", Name: "recovery-idempotent", Kind: verifier.KindInvariant,
@@ -294,8 +294,8 @@ func tornChunkCheck(r *rand.Rand) error {
 
 // recordRoundTrip checks encodeMutation/decodeMutation is the identity
 // on random mutations — the journal's marshalling lemma.
-func recordRoundTrip(r *rand.Rand) error {
-	for i := 0; i < 500; i++ {
+func recordRoundTrip(r *rand.Rand, iters int) error {
+	for i := 0; i < iters; i++ {
 		m := fs.Mutation{
 			Kind: fs.MutKind(r.Intn(10)),
 			Ino:  fs.Ino(r.Uint64()),

@@ -47,6 +47,7 @@ import (
 	"github.com/verified-os/vnros/internal/proc"
 	"github.com/verified-os/vnros/internal/sys"
 	"github.com/verified-os/vnros/internal/verifier"
+	"github.com/verified-os/vnros/internal/verifier/diff"
 )
 
 // Core system types.
@@ -254,10 +255,14 @@ type (
 )
 
 // NewVCRegistry returns a registry pre-loaded with every module's
-// verification conditions — the full proof ledger of the system.
+// verification conditions — the full proof ledger of the system —
+// including the differential harness's trace-diff VCs, which sit above
+// core (they boot whole kernels) and so register here rather than in
+// core.RegisterAllObligations.
 func NewVCRegistry() *VCRegistry {
 	g := &verifier.Registry{}
 	core.RegisterAllObligations(g)
+	diff.RegisterObligations(g)
 	return g
 }
 
